@@ -1,0 +1,18 @@
+"""Ablation B — agent variants (DQN vs Double DQN vs Dueling DQN).
+
+Each variant is trained on the same scenario and evaluated greedily; the
+benchmark reports reward, acceptance and latency per variant.
+"""
+
+from benchmarks.common import run_figure_benchmark
+from repro.experiments.figures import figure_agent_ablation
+
+
+def bench_ablation_agent_variants(benchmark):
+    data = run_figure_benchmark(benchmark, figure_agent_ablation, "ablation_agents")
+    names = data["x"]
+    assert set(names) == {"dqn", "double_dqn", "dueling_dqn"}
+    acceptance = dict(zip(names, data["series"]["mean_acceptance"]))
+    # Expected shape: every deep variant learns a policy that accepts a
+    # substantial fraction of requests in greedy evaluation.
+    assert all(value > 0.3 for value in acceptance.values())

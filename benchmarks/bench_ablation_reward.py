@@ -1,0 +1,25 @@
+"""Ablation A — reward-weight variants of the DRL controller.
+
+Trains the controller under balanced, latency-focused, cost-focused and
+acceptance-focused reward configurations and reports how each shifts the
+acceptance/latency/cost operating point.
+"""
+
+from benchmarks.common import run_figure_benchmark
+from repro.experiments.figures import figure_reward_ablation
+
+
+def bench_ablation_reward_weights(benchmark):
+    data = run_figure_benchmark(benchmark, figure_reward_ablation, "ablation_reward")
+    variants = data["x"]
+    assert set(variants) == {
+        "balanced",
+        "latency_focused",
+        "cost_focused",
+        "acceptance_focused",
+    }
+    for metric, values in data["series"].items():
+        assert len(values) == len(variants), metric
+    acceptance = dict(zip(variants, data["series"]["acceptance_ratio"]))
+    # Every variant must still learn a usable policy at the fast preset.
+    assert all(value > 0.2 for value in acceptance.values())

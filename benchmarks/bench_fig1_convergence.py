@@ -1,0 +1,20 @@
+"""Fig. 1 — training convergence of the DRL placement agent.
+
+Regenerates the episode-reward learning curve (raw, smoothed, and periodic
+greedy evaluations).
+"""
+
+import numpy as np
+
+from benchmarks.common import run_figure_benchmark
+from repro.experiments.figures import figure_training_convergence
+
+
+def bench_fig1_training_convergence(benchmark):
+    data = run_figure_benchmark(benchmark, figure_training_convergence, "fig1_convergence")
+    rewards = data["series"]["episode_reward"]
+    assert len(rewards) == len(data["x"])
+    # Expected shape: reward trends upward — the last quarter of training
+    # outperforms the first quarter.
+    quarter = max(1, len(rewards) // 4)
+    assert np.mean(rewards[-quarter:]) > np.mean(rewards[:quarter])

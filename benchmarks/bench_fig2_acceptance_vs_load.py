@@ -1,0 +1,19 @@
+"""Fig. 2 — acceptance ratio vs request arrival rate, DRL vs baselines."""
+
+from benchmarks.common import run_figure_benchmark
+from repro.experiments.figures import figure_acceptance_vs_arrival
+
+
+def bench_fig2_acceptance_vs_load(benchmark):
+    data = run_figure_benchmark(benchmark, figure_acceptance_vs_arrival, "fig2_acceptance_vs_load")
+    series = data["series"]
+    assert "drl_dqn" in series
+    # Every series is a valid acceptance-ratio curve.
+    for values in series.values():
+        assert len(values) == len(data["x"])
+        assert all(0.0 <= v <= 1.0 for v in values)
+    # Expected shape: acceptance does not improve as the load grows.
+    drl = series["drl_dqn"]
+    assert drl[-1] <= drl[0] + 0.1
+    # Expected shape: the learned policy dominates first-fit across the sweep.
+    assert sum(series["drl_dqn"]) >= sum(series["first_fit"])

@@ -1,0 +1,17 @@
+"""Fig. 3 — mean end-to-end latency of accepted requests vs arrival rate."""
+
+from benchmarks.common import run_figure_benchmark
+from repro.experiments.figures import figure_latency_vs_arrival
+
+
+def bench_fig3_latency_vs_load(benchmark):
+    data = run_figure_benchmark(benchmark, figure_latency_vs_arrival, "fig3_latency_vs_load")
+    series = data["series"]
+    for values in series.values():
+        assert len(values) == len(data["x"])
+        assert all(v >= 0.0 for v in values)
+    # Expected shape: cloud-only pays the WAN round trip at every load point,
+    # so its latency exceeds the learned policy's.
+    assert sum(series["cloud_only"]) > sum(series["drl_dqn"]) * 0.9
+    # Expected shape: the random policy has the worst (or near-worst) latency.
+    assert max(series["random"]) >= max(series["drl_dqn"]) * 0.8

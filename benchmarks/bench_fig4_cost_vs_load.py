@@ -1,0 +1,17 @@
+"""Fig. 4 — mean operational cost per accepted request vs arrival rate."""
+
+from benchmarks.common import run_figure_benchmark
+from repro.experiments.figures import figure_cost_vs_arrival
+
+
+def bench_fig4_cost_vs_load(benchmark):
+    data = run_figure_benchmark(benchmark, figure_cost_vs_arrival, "fig4_cost_vs_load")
+    series = data["series"]
+    for values in series.values():
+        assert len(values) == len(data["x"])
+        assert all(v >= 0.0 for v in values)
+    # Expected shape: the cloud-only strategy has the lowest per-request
+    # hosting cost (cheap central resources), the random policy among the
+    # highest (long paths, expensive edge nodes); the DRL policy sits between.
+    assert sum(series["cloud_only"]) <= sum(series["drl_dqn"])
+    assert sum(series["drl_dqn"]) <= sum(series["random"]) * 1.2

@@ -1,0 +1,21 @@
+"""Fig. 5 — acceptance ratio vs number of edge nodes (scalability).
+
+Per-node offered load is held constant while the topology grows; the DRL
+controller is retrained per topology size because the state/action spaces
+change with the substrate.
+"""
+
+from benchmarks.common import run_figure_benchmark
+from repro.experiments.figures import figure_acceptance_vs_edges
+
+
+def bench_fig5_scalability(benchmark):
+    data = run_figure_benchmark(benchmark, figure_acceptance_vs_edges, "fig5_scalability")
+    series = data["series"]
+    assert "drl_dqn" in series
+    for values in series.values():
+        assert len(values) == len(data["x"])
+        assert all(0.0 <= v <= 1.0 for v in values)
+    # Expected shape: the learned policy stays competitive with the greedy
+    # family as the substrate grows (no collapse at larger action spaces).
+    assert min(series["drl_dqn"]) > 0.3

@@ -1,0 +1,22 @@
+"""Fig. 6 — sensitivity to SLA strictness (latency-budget scale sweep)."""
+
+from benchmarks.common import run_figure_benchmark
+from repro.experiments.figures import figure_sla_sensitivity
+
+
+def bench_fig6_sla_sensitivity(benchmark):
+    data = run_figure_benchmark(benchmark, figure_sla_sensitivity, "fig6_sla_sensitivity")
+    series = data["series"]
+    scales = data["x"]
+    assert scales == sorted(scales)
+    for values in series.values():
+        assert len(values) == len(scales)
+        assert all(0.0 <= v <= 1.0 for v in values)
+    # Expected shape: looser SLAs never hurt acceptance (weakly increasing
+    # from the strictest to the loosest point) for the learned policy.
+    drl = series["drl_dqn"]
+    assert drl[-1] >= drl[0] - 0.05
+    # Expected shape: the cloud-only policy benefits the most from loose SLAs
+    # (it is the one crippled by strict latency budgets).
+    cloud = series["cloud_only"]
+    assert cloud[-1] >= cloud[0]

@@ -1,0 +1,18 @@
+"""Fig. 7 — edge utilization and load balance per algorithm at reference load."""
+
+from benchmarks.common import run_figure_benchmark
+from repro.experiments.figures import figure_utilization
+
+
+def bench_fig7_utilization(benchmark):
+    data = run_figure_benchmark(benchmark, figure_utilization, "fig7_utilization")
+    policies = data["x"]
+    series = data["series"]
+    assert "drl_dqn" in policies
+    assert len(series["mean_edge_utilization"]) == len(policies)
+    assert len(series["utilization_imbalance"]) == len(policies)
+    utilization = dict(zip(policies, series["mean_edge_utilization"]))
+    # Expected shape: cloud-only leaves the edge idle; every edge-using policy
+    # shows non-trivial utilization at the reference load.
+    assert utilization["cloud_only"] == 0.0
+    assert utilization["drl_dqn"] > 0.05

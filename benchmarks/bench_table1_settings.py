@@ -1,0 +1,15 @@
+"""Table I — simulation settings of the reference scenario.
+
+Regenerates the static parameters table (topology, VNF catalog, chain
+templates, workload and training settings) directly from the library objects.
+"""
+
+from benchmarks.common import run_table_benchmark
+from repro.experiments.tables import table_simulation_settings
+
+
+def bench_table1_simulation_settings(benchmark):
+    data = run_table_benchmark(benchmark, table_simulation_settings, "table1_settings")
+    assert data["topology"]["edge_nodes"] > 0
+    assert len(data["vnf_catalog"]) == 7
+    assert len(data["chain_templates"]) == 5

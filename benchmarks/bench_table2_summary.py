@@ -1,0 +1,19 @@
+"""Table II — summary comparison of the DRL controller vs all baselines.
+
+Regenerates the reference-load comparison table: acceptance ratio, latency,
+SLA violations, cost, revenue, profit and edge utilization per policy.
+"""
+
+from benchmarks.common import run_table_benchmark
+from repro.experiments.tables import table_summary_comparison
+
+
+def bench_table2_summary_comparison(benchmark):
+    data = run_table_benchmark(benchmark, table_summary_comparison, "table2_summary")
+    policies = {row["policy"] for row in data["rows"]}
+    assert "drl_dqn" in policies
+    assert {"random", "greedy_nearest", "first_fit", "viterbi"} <= policies
+
+    by_name = {row["policy"]: row for row in data["rows"]}
+    # Expected shape: the learned policy beats the load-oblivious packers.
+    assert by_name["drl_dqn"]["acceptance_ratio"] >= by_name["first_fit"]["acceptance_ratio"]

@@ -1,0 +1,63 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark file regenerates one table or figure of the reconstructed
+evaluation: it runs the corresponding ``repro.experiments`` function once
+under ``pytest-benchmark`` (wall-clock of the full experiment), prints the
+same rows/series the paper reports, and persists the raw data as JSON under
+``benchmarks/results/``.
+
+The benchmarks use :meth:`ExperimentConfig.fast` so the whole suite completes
+in minutes on a laptop; pass ``REPRO_BENCH_PRESET=paper`` in the environment
+to run the full-scale settings instead.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Dict
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import print_figure, print_table
+from repro.utils.serialization import save_json
+
+#: Directory where each benchmark persists its raw series/rows.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def bench_config() -> ExperimentConfig:
+    """The experiment preset used by the benchmarks (fast by default)."""
+    preset = os.environ.get("REPRO_BENCH_PRESET", "fast").lower()
+    if preset == "paper":
+        return ExperimentConfig.paper()
+    if preset == "smoke":
+        return ExperimentConfig.smoke()
+    return ExperimentConfig.fast()
+
+
+def run_figure_benchmark(
+    benchmark, figure_function: Callable[[ExperimentConfig], Dict], name: str
+) -> Dict:
+    """Run a figure-reproduction function once, print and persist its series."""
+    config = bench_config()
+    data = benchmark.pedantic(
+        figure_function, args=(config,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print_figure(data)
+    save_json(data, RESULTS_DIR / f"{name}.json")
+    return data
+
+
+def run_table_benchmark(
+    benchmark, table_function: Callable[[ExperimentConfig], Dict], name: str
+) -> Dict:
+    """Run a table-reproduction function once, print and persist its rows."""
+    config = bench_config()
+    data = benchmark.pedantic(
+        table_function, args=(config,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print_table(data)
+    save_json(data, RESULTS_DIR / f"{name}.json")
+    return data

@@ -1,0 +1,13 @@
+"""Pytest configuration for the repository.
+
+Makes ``src/`` importable even when the package has not been pip-installed
+(the offline environment used for the reproduction cannot build editable
+wheels).  With a normal ``pip install -e .`` this file is a harmless no-op.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

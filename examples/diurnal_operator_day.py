@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""A full operator day: diurnal traffic over the geo-distributed substrate.
+
+Operator traffic follows a day/night cycle.  This example runs a simulated
+day (1440 time units) of sinusoidally modulated arrivals through the online
+simulator with several policies and reports how acceptance and edge
+utilization evolve between the night trough and the evening peak — the
+workload the paper's "geo-distributed edge" framing is really about.
+
+Run with::
+
+    python examples/diurnal_operator_day.py [--episodes 60]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    DQNConfig,
+    EnvConfig,
+    GreedyLeastLoadedPolicy,
+    ManagerConfig,
+    NFVSimulation,
+    SimulationConfig,
+    TrainingConfig,
+    VNFManager,
+    ViterbiPlacementPolicy,
+)
+from repro.workloads.scenarios import diurnal_scenario
+
+
+def peak_and_trough_acceptance(result, period: float = 1440.0):
+    """Split request outcomes into day (peak) and night (trough) halves."""
+    peak, trough = [], []
+    for outcome in result.collector.outcomes:
+        phase = (outcome.arrival_time % period) / period
+        (peak if phase < 0.5 else trough).append(outcome.accepted)
+    ratio = lambda xs: float(np.mean(xs)) if xs else 0.0
+    return ratio(peak), ratio(trough)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=60)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    scenario = diurnal_scenario(base_rate=0.7, num_edge_nodes=8, horizon=1440.0, seed=args.seed)
+    print(f"scenario: {scenario.name} — one simulated day of diurnal traffic")
+
+    manager = VNFManager(
+        scenario,
+        config=ManagerConfig(
+            training=TrainingConfig(num_episodes=args.episodes, evaluation_interval=20),
+            env=EnvConfig(requests_per_episode=40),
+            dqn=DQNConfig(hidden_layers=(64, 64), epsilon_decay_steps=args.episodes * 100),
+        ),
+        seed=args.seed,
+    )
+    manager.train(verbose=True)
+
+    requests = scenario.generate_requests()
+    print(f"generated {len(requests)} requests over the simulated day")
+    config = SimulationConfig(horizon=1440.0, monitoring_interval=60.0)
+
+    policies = {"greedy_least_loaded": GreedyLeastLoadedPolicy(), "viterbi": ViterbiPlacementPolicy(cost_weight=0.2, load_weight=0.2)}
+    results = {}
+    drl_network = scenario.build_network()
+    results["drl"] = NFVSimulation(drl_network, manager.build_policy(drl_network), config).run(requests)
+    for name, policy in policies.items():
+        results[name] = NFVSimulation(scenario.build_network(), policy, config).run(requests)
+
+    print(f"\n{'policy':<22} {'accept':>8} {'peak':>7} {'trough':>8} {'mean util':>10} {'profit':>10}")
+    for name, result in results.items():
+        summary = result.summary
+        peak, trough = peak_and_trough_acceptance(result)
+        print(
+            f"{name:<22} {summary.acceptance_ratio:>8.3f} {peak:>7.3f} {trough:>8.3f} "
+            f"{summary.mean_edge_utilization:>10.3f} {summary.profit:>10.1f}"
+        )
+
+    print(
+        "\nExpected shape: every policy accepts nearly everything in the night"
+        " trough; the gap between policies opens at the daytime peak, where"
+        " edge capacity is scarce and placement decisions matter."
+    )
+
+
+if __name__ == "__main__":
+    main()

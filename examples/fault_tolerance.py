@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Evaluating placement policies under edge-node failures.
+
+Geo-distributed edge sites are far less reliable than a hardened cloud
+datacenter.  This example runs the online simulation with exponential node
+failure/repair processes injected (``repro.sim.failures``) and compares how
+different placement strategies cope: policies that concentrate chains on few
+nearby nodes lose more accepted services when a node dies; policies that keep
+some traffic in the (reliable) cloud are disrupted less.
+
+Run with::
+
+    python examples/fault_tolerance.py [--episodes 60] [--mttf 150]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    CloudOnlyPolicy,
+    DQNConfig,
+    EnvConfig,
+    GreedyNearestPolicy,
+    ManagerConfig,
+    SimulationConfig,
+    TrainingConfig,
+    ViterbiPlacementPolicy,
+    VNFManager,
+    reference_scenario,
+)
+from repro.sim.failures import FailureConfig, FaultyNFVSimulation
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=60, help="DRL training episodes")
+    parser.add_argument("--mttf", type=float, default=150.0, help="mean time to failure per edge node")
+    parser.add_argument("--mttr", type=float, default=20.0, help="mean time to repair")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    scenario = reference_scenario(arrival_rate=0.9, num_edge_nodes=8, horizon=400.0, seed=args.seed)
+    failure_config = FailureConfig(
+        mean_time_to_failure=args.mttf, mean_time_to_repair=args.mttr, seed=args.seed
+    )
+    print(
+        f"scenario: {scenario.name}; per-edge-node steady-state availability "
+        f"{failure_config.steady_state_availability:.3f}"
+    )
+
+    manager = VNFManager(
+        scenario,
+        config=ManagerConfig(
+            training=TrainingConfig(num_episodes=args.episodes, evaluation_interval=20),
+            env=EnvConfig(requests_per_episode=40),
+            dqn=DQNConfig(hidden_layers=(64, 64), epsilon_decay_steps=args.episodes * 100),
+        ),
+        seed=args.seed,
+    )
+    manager.train(verbose=True)
+
+    requests = scenario.generate_requests()
+    simulation_config = SimulationConfig(horizon=scenario.workload_config.horizon)
+
+    runs = {}
+    drl_network = scenario.build_network()
+    runs["drl"] = FaultyNFVSimulation(
+        drl_network, manager.build_policy(drl_network), simulation_config, failure_config
+    )
+    runs["greedy_nearest"] = FaultyNFVSimulation(
+        scenario.build_network(), GreedyNearestPolicy(), simulation_config, failure_config
+    )
+    runs["viterbi"] = FaultyNFVSimulation(
+        scenario.build_network(),
+        ViterbiPlacementPolicy(cost_weight=0.2, load_weight=0.2),
+        simulation_config,
+        failure_config,
+    )
+    runs["cloud_only"] = FaultyNFVSimulation(
+        scenario.build_network(), CloudOnlyPolicy(), simulation_config, failure_config
+    )
+
+    print(f"\n{'policy':<16} {'accept':>8} {'failures':>9} {'disrupted':>10} {'disruption ratio':>17}")
+    for name, simulation in runs.items():
+        result = simulation.run(requests)
+        report = simulation.report
+        ratio = report.disruption_ratio(result.summary.accepted_requests)
+        print(
+            f"{name:<16} {result.summary.acceptance_ratio:>8.3f} "
+            f"{report.failure_events:>9d} {report.disrupted_requests:>10d} {ratio:>17.3f}"
+        )
+
+    print(
+        "\nExpected shape: cloud_only is never disrupted (the cloud does not fail"
+        " in this model) but accepts the least latency-critical traffic;"
+        " edge-packing policies see the most disruptions; the DRL controller"
+        " lands in between — high acceptance with moderate disruption."
+    )
+
+
+if __name__ == "__main__":
+    main()

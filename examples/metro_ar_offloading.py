@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Latency-critical AR/VR offloading in a metro edge deployment.
+
+The scenario the paper's introduction motivates: augmented-reality clients
+offload rendering pipelines (firewall → load balancer → transcoder) with a
+10-25 ms end-to-end budget.  The central cloud cannot meet that budget, so
+the controller has to ration scarce edge capacity between AR traffic and the
+background service mix.
+
+The example compares three strategies on an AR-heavy workload:
+
+* the trained DRL controller,
+* ``cloud_only`` (shows why the cloud alone fails latency-critical classes),
+* ``greedy_nearest`` (shows how naive edge-packing collapses under load).
+
+Run with::
+
+    python examples/metro_ar_offloading.py [--episodes 80]
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+
+from repro import (
+    CloudOnlyPolicy,
+    DQNConfig,
+    EnvConfig,
+    GreedyNearestPolicy,
+    ManagerConfig,
+    NFVSimulation,
+    SimulationConfig,
+    TrainingConfig,
+    VNFManager,
+    default_catalog,
+    default_chain_templates,
+    reference_scenario,
+)
+
+
+def ar_heavy_scenario(seed: int = 0, arrival_rate: float = 1.2):
+    """The reference scenario with the class mix skewed towards AR/VR."""
+    scenario = reference_scenario(
+        arrival_rate=arrival_rate, num_edge_nodes=8, horizon=300.0, seed=seed
+    )
+    templates = []
+    for template in default_chain_templates():
+        if template.name == "ar_vr_offload":
+            templates.append(replace(template, weight=0.45))
+        elif template.name == "voip":
+            templates.append(replace(template, weight=0.25))
+        else:
+            templates.append(replace(template, weight=0.10))
+    return replace(scenario, name="ar-heavy-metro", templates=templates, catalog=default_catalog())
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=80)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    scenario = ar_heavy_scenario(seed=args.seed)
+    print(f"scenario: {scenario.name} (AR/VR + VoIP ≈ 70% of requests)")
+
+    manager = VNFManager(
+        scenario,
+        config=ManagerConfig(
+            training=TrainingConfig(num_episodes=args.episodes, evaluation_interval=20),
+            env=EnvConfig(requests_per_episode=40),
+            dqn=DQNConfig(hidden_layers=(64, 64), epsilon_decay_steps=args.episodes * 100),
+        ),
+        seed=args.seed,
+    )
+    manager.train(verbose=True)
+
+    requests = scenario.generate_requests()
+    config = SimulationConfig(horizon=scenario.workload_config.horizon)
+
+    results = {}
+    drl_network = scenario.build_network()
+    results["drl"] = NFVSimulation(
+        drl_network, manager.build_policy(drl_network), config
+    ).run(requests)
+    results["cloud_only"] = NFVSimulation(
+        scenario.build_network(), CloudOnlyPolicy(), config
+    ).run(requests)
+    results["greedy_nearest"] = NFVSimulation(
+        scenario.build_network(), GreedyNearestPolicy(), config
+    ).run(requests)
+
+    print(f"\n{'policy':<16} {'overall accept':>14} {'AR accept':>10} {'VoIP accept':>12} {'latency':>9}")
+    for name, result in results.items():
+        summary = result.summary
+        by_class = summary.acceptance_by_class
+        print(
+            f"{name:<16} {summary.acceptance_ratio:>14.3f} "
+            f"{by_class.get('ar_vr_offload', 0.0):>10.3f} "
+            f"{by_class.get('voip', 0.0):>12.3f} "
+            f"{summary.mean_latency_ms:>9.2f}"
+        )
+    print(
+        "\nExpected shape: cloud_only accepts almost no AR/VR traffic (WAN latency"
+        " blows the 10-25 ms budget); the DRL controller keeps AR acceptance high"
+        " by reserving nearby edge capacity and pushing tolerant classes outward."
+    )
+
+
+if __name__ == "__main__":
+    main()

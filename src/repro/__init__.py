@@ -1,0 +1,144 @@
+"""repro — Deep Reinforcement Learning Based VNF Management in Geo-distributed Edge Computing.
+
+A from-scratch Python reproduction of the ICDCS 2019 system: a geo-distributed
+edge/cloud substrate simulator, an NFV service-chain model, a discrete-event
+online placement simulator, pure-numpy deep RL agents (DQN family, REINFORCE,
+A2C), the VNF-placement MDP, classical baselines, and a benchmark harness that
+regenerates every table and figure of the reconstructed evaluation.
+
+Quickstart
+----------
+>>> from repro import VNFManager, reference_scenario
+>>> scenario = reference_scenario(arrival_rate=0.8, num_edge_nodes=8)
+>>> manager = VNFManager(scenario)
+>>> history = manager.train()          # learn a placement policy
+>>> result = manager.evaluate_online() # evaluate in the online simulator
+>>> result.summary.acceptance_ratio    # doctest: +SKIP
+"""
+
+from repro.agents import (
+    A2CConfig,
+    ActorCriticAgent,
+    Agent,
+    DQNAgent,
+    DQNConfig,
+    ReinforceAgent,
+    ReinforceConfig,
+    TabularQLearningAgent,
+    make_dqn_variant,
+)
+from repro.baselines import (
+    BestFitPolicy,
+    BruteForceOptimalPolicy,
+    CloudOnlyPolicy,
+    EdgeOnlyPolicy,
+    FirstFitPolicy,
+    GreedyLeastLoadedPolicy,
+    GreedyNearestPolicy,
+    RandomPlacementPolicy,
+    ViterbiPlacementPolicy,
+    standard_baselines,
+)
+from repro.core import (
+    DRLPlacementPolicy,
+    EnvConfig,
+    ManagerConfig,
+    RewardConfig,
+    StateEncoder,
+    Trainer,
+    TrainingConfig,
+    VNFManager,
+    VNFPlacementEnv,
+)
+from repro.experiments import ExperimentConfig
+from repro.nfv import (
+    Placement,
+    SFCRequest,
+    ServiceFunctionChain,
+    ServiceLevelAgreement,
+    VNFCatalog,
+    VNFType,
+    default_catalog,
+    default_chain_templates,
+)
+from repro.sim import (
+    NFVSimulation,
+    PlacementPolicy,
+    PoissonProcess,
+    SimulationConfig,
+    SimulationResult,
+)
+from repro.substrate import (
+    ComputeNode,
+    GeoPoint,
+    ResourceVector,
+    SubstrateNetwork,
+    TopologyConfig,
+    metro_edge_cloud_topology,
+)
+from repro.workloads import (
+    RequestGenerator,
+    Scenario,
+    WorkloadConfig,
+    reference_scenario,
+    scalability_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "A2CConfig",
+    "ActorCriticAgent",
+    "Agent",
+    "DQNAgent",
+    "DQNConfig",
+    "ReinforceAgent",
+    "ReinforceConfig",
+    "TabularQLearningAgent",
+    "make_dqn_variant",
+    "BestFitPolicy",
+    "BruteForceOptimalPolicy",
+    "CloudOnlyPolicy",
+    "EdgeOnlyPolicy",
+    "FirstFitPolicy",
+    "GreedyLeastLoadedPolicy",
+    "GreedyNearestPolicy",
+    "RandomPlacementPolicy",
+    "ViterbiPlacementPolicy",
+    "standard_baselines",
+    "DRLPlacementPolicy",
+    "EnvConfig",
+    "ManagerConfig",
+    "RewardConfig",
+    "StateEncoder",
+    "Trainer",
+    "TrainingConfig",
+    "VNFManager",
+    "VNFPlacementEnv",
+    "ExperimentConfig",
+    "Placement",
+    "SFCRequest",
+    "ServiceFunctionChain",
+    "ServiceLevelAgreement",
+    "VNFCatalog",
+    "VNFType",
+    "default_catalog",
+    "default_chain_templates",
+    "NFVSimulation",
+    "PlacementPolicy",
+    "PoissonProcess",
+    "SimulationConfig",
+    "SimulationResult",
+    "ComputeNode",
+    "GeoPoint",
+    "ResourceVector",
+    "SubstrateNetwork",
+    "TopologyConfig",
+    "metro_edge_cloud_topology",
+    "RequestGenerator",
+    "Scenario",
+    "WorkloadConfig",
+    "reference_scenario",
+    "scalability_scenario",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Reinforcement learning agents (deep and tabular)."""
+
+from repro.agents.actor_critic import A2CConfig, ActorCriticAgent
+from repro.agents.base import Agent
+from repro.agents.dqn import DQNAgent, DQNConfig, make_dqn_variant
+from repro.agents.exploration import (
+    BoltzmannExploration,
+    ConstantSchedule,
+    EpsilonGreedy,
+    ExplorationSchedule,
+    ExponentialDecaySchedule,
+    LinearDecaySchedule,
+)
+from repro.agents.policy_gradient import ReinforceAgent, ReinforceConfig
+from repro.agents.qlearning import TabularQLearningAgent
+from repro.agents.replay import (
+    PrioritizedReplayBuffer,
+    ReplayBuffer,
+    Transition,
+    TransitionBatch,
+)
+
+__all__ = [
+    "A2CConfig",
+    "ActorCriticAgent",
+    "Agent",
+    "DQNAgent",
+    "DQNConfig",
+    "make_dqn_variant",
+    "BoltzmannExploration",
+    "ConstantSchedule",
+    "EpsilonGreedy",
+    "ExplorationSchedule",
+    "ExponentialDecaySchedule",
+    "LinearDecaySchedule",
+    "ReinforceAgent",
+    "ReinforceConfig",
+    "TabularQLearningAgent",
+    "PrioritizedReplayBuffer",
+    "ReplayBuffer",
+    "Transition",
+    "TransitionBatch",
+]

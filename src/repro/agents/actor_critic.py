@@ -1,0 +1,220 @@
+"""Advantage actor-critic (A2C) with n-step bootstrapped advantages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.agents.base import Agent
+from repro.nn.activations import log_softmax, softmax
+from repro.nn.network import MLP
+from repro.nn.optimizers import Adam, clip_gradients
+from repro.utils.rng import RandomState, derive_seed, new_rng
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass
+class A2CConfig:
+    """Hyperparameters for the advantage actor-critic agent."""
+
+    hidden_layers: Sequence[int] = (128, 128)
+    actor_learning_rate: float = 7e-4
+    critic_learning_rate: float = 1e-3
+    discount: float = 0.95
+    n_steps: int = 8
+    entropy_coefficient: float = 0.01
+    gradient_clip_norm: float = 10.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.actor_learning_rate, "actor_learning_rate")
+        check_positive(self.critic_learning_rate, "critic_learning_rate")
+        check_probability(self.discount, "discount")
+        check_positive(self.n_steps, "n_steps")
+        if self.entropy_coefficient < 0:
+            raise ValueError("entropy_coefficient must be >= 0")
+
+
+class ActorCriticAgent(Agent):
+    """Synchronous advantage actor-critic.
+
+    Transitions accumulate in a rollout buffer; every ``n_steps`` transitions
+    (or at episode end) the agent bootstraps the tail value from the critic,
+    computes n-step advantages and applies one actor and one critic update.
+    """
+
+    name = "a2c"
+
+    def __init__(
+        self,
+        state_dim: int,
+        num_actions: int,
+        config: Optional[A2CConfig] = None,
+        seed: RandomState = None,
+    ) -> None:
+        super().__init__(state_dim, num_actions)
+        self.config = config or A2CConfig()
+        self.actor_network = MLP(
+            [state_dim, *self.config.hidden_layers, num_actions],
+            seed=derive_seed(seed, "actor"),
+        )
+        self.critic_network = MLP(
+            [state_dim, *self.config.hidden_layers, 1],
+            seed=derive_seed(seed, "critic"),
+        )
+        self.actor_optimizer = Adam(self.config.actor_learning_rate)
+        self.critic_optimizer = Adam(self.config.critic_learning_rate)
+        self._rng = new_rng(derive_seed(seed, "sampling"))
+        self._rollout: List[Dict] = []
+        self.last_actor_loss: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Acting
+    # ------------------------------------------------------------------ #
+    def action_probabilities(
+        self, state: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Masked softmax policy probabilities for a single state."""
+        state = self._validate_state(state)
+        logits = self.actor_network.predict(state).ravel().copy()
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool).ravel()
+            if not mask.any():
+                raise ValueError("action mask excludes every action")
+            logits[~mask] = -1e9
+        return softmax(logits)
+
+    def state_value(self, state: np.ndarray) -> float:
+        """The critic's value estimate for a single state."""
+        return float(self.critic_network.predict(self._validate_state(state)).ravel()[0])
+
+    def select_action(
+        self,
+        state: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        greedy: bool = False,
+    ) -> int:
+        probabilities = self.action_probabilities(state, mask)
+        if greedy:
+            return int(np.argmax(probabilities))
+        return int(self._rng.choice(self.num_actions, p=probabilities))
+
+    # ------------------------------------------------------------------ #
+    # Learning
+    # ------------------------------------------------------------------ #
+    def observe(
+        self,
+        state: np.ndarray,
+        action: int,
+        reward: float,
+        next_state: np.ndarray,
+        done: bool,
+        next_mask: Optional[np.ndarray] = None,
+    ) -> None:
+        self._rollout.append(
+            {
+                "state": self._validate_state(state),
+                "action": self._validate_action(action),
+                "reward": float(reward),
+                "next_state": self._validate_state(next_state),
+                "done": bool(done),
+            }
+        )
+
+    def update(self) -> Dict[str, float]:
+        """Learn once the rollout buffer holds ``n_steps`` transitions."""
+        if len(self._rollout) < self.config.n_steps:
+            return {}
+        return self._learn_from_rollout()
+
+    def end_episode(self) -> Dict[str, float]:
+        """Flush whatever remains in the rollout buffer at episode end."""
+        if not self._rollout:
+            return {}
+        return self._learn_from_rollout()
+
+    def _learn_from_rollout(self) -> Dict[str, float]:
+        rollout = self._rollout
+        self._rollout = []
+        self.training_steps += 1
+
+        states = np.stack([step["state"] for step in rollout])
+        actions = np.array([step["action"] for step in rollout], dtype=int)
+        rewards = np.array([step["reward"] for step in rollout], dtype=float)
+        dones = np.array([step["done"] for step in rollout], dtype=bool)
+
+        # Bootstrapped n-step returns computed backwards from the tail value.
+        tail_value = 0.0
+        if not dones[-1]:
+            tail_value = float(
+                self.critic_network.predict(rollout[-1]["next_state"]).ravel()[0]
+            )
+        returns = np.zeros_like(rewards)
+        running = tail_value
+        for index in range(len(rollout) - 1, -1, -1):
+            if dones[index]:
+                running = 0.0
+            running = rewards[index] + self.config.discount * running
+            returns[index] = running
+
+        values = self.critic_network.predict(states).ravel()
+        advantages = returns - values
+
+        actor_loss = self._actor_step(states, actions, advantages)
+        critic_loss = self.critic_network.fit_batch(
+            states,
+            returns.reshape(-1, 1),
+            optimizer=self.critic_optimizer,
+            max_grad_norm=self.config.gradient_clip_norm,
+        )
+        self.last_actor_loss = actor_loss
+        return {
+            "actor_loss": actor_loss,
+            "critic_loss": float(critic_loss),
+            "mean_advantage": float(advantages.mean()),
+        }
+
+    def _actor_step(
+        self, states: np.ndarray, actions: np.ndarray, advantages: np.ndarray
+    ) -> float:
+        logits = self.actor_network.forward(states, training=True)
+        logits = np.atleast_2d(logits)
+        probabilities = softmax(logits, axis=1)
+        log_probs = log_softmax(logits, axis=1)
+        batch = len(actions)
+        rows = np.arange(batch)
+
+        entropy = -np.sum(probabilities * log_probs, axis=1)
+        loss = -float(
+            np.mean(
+                log_probs[rows, actions] * advantages
+                + self.config.entropy_coefficient * entropy
+            )
+        )
+
+        one_hot = np.zeros_like(probabilities)
+        one_hot[rows, actions] = 1.0
+        grad_logits = (probabilities - one_hot) * advantages[:, None]
+        grad_entropy = probabilities * (log_probs + entropy[:, None])
+        grad_logits += self.config.entropy_coefficient * grad_entropy
+        grad_logits /= batch
+
+        self.actor_network.zero_grad()
+        self.actor_network.backward(grad_logits)
+        groups = self.actor_network.parameter_groups()
+        clip_gradients(groups, self.config.gradient_clip_norm)
+        self.actor_optimizer.step(groups)
+        return loss
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: Union[str, Path]) -> Path:
+        """Save the actor network weights to ``path`` (``.npz``)."""
+        return self.actor_network.save(path)
+
+    def load(self, path: Union[str, Path]) -> None:
+        """Load actor network weights."""
+        self.actor_network = MLP.load(path)

@@ -1,0 +1,105 @@
+"""The agent interface shared by all learning algorithms."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+
+class Agent(ABC):
+    """Interface for value- and policy-based agents.
+
+    The training loop in :mod:`repro.core.training` drives agents through a
+    simple contract:
+
+    * :meth:`select_action` — pick an action for the current state, masked to
+      the set of valid actions;
+    * :meth:`observe` — ingest the resulting transition;
+    * :meth:`update` — perform (at most) one learning step, returning
+      diagnostic scalars;
+    * :meth:`end_episode` — hook called at episode boundaries (used by Monte
+      Carlo style learners).
+    """
+
+    #: Human-readable name used in result tables and ablation figures.
+    name: str = "agent"
+
+    def __init__(self, state_dim: int, num_actions: int) -> None:
+        if state_dim <= 0:
+            raise ValueError(f"state_dim must be positive, got {state_dim}")
+        if num_actions <= 0:
+            raise ValueError(f"num_actions must be positive, got {num_actions}")
+        self.state_dim = state_dim
+        self.num_actions = num_actions
+        self.training_steps = 0
+
+    # ------------------------------------------------------------------ #
+    # Acting
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def select_action(
+        self,
+        state: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        greedy: bool = False,
+    ) -> int:
+        """Choose an action index for ``state``.
+
+        ``mask`` is an optional boolean validity mask over actions; ``greedy``
+        disables exploration (used during evaluation).
+        """
+
+    # ------------------------------------------------------------------ #
+    # Learning
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def observe(
+        self,
+        state: np.ndarray,
+        action: int,
+        reward: float,
+        next_state: np.ndarray,
+        done: bool,
+        next_mask: Optional[np.ndarray] = None,
+    ) -> None:
+        """Record one environment transition."""
+
+    @abstractmethod
+    def update(self) -> Dict[str, float]:
+        """Perform one learning step; returns diagnostics (may be empty)."""
+
+    def end_episode(self) -> Dict[str, float]:
+        """Hook called once per episode; returns diagnostics (may be empty)."""
+        return {}
+
+    # ------------------------------------------------------------------ #
+    # Persistence (optional)
+    # ------------------------------------------------------------------ #
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist learnable parameters; subclasses override when supported."""
+        raise NotImplementedError(f"{type(self).__name__} does not support save()")
+
+    def load(self, path: Union[str, Path]) -> None:
+        """Restore learnable parameters; subclasses override when supported."""
+        raise NotImplementedError(f"{type(self).__name__} does not support load()")
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _validate_state(self, state: np.ndarray) -> np.ndarray:
+        state = np.asarray(state, dtype=float).ravel()
+        if state.shape[0] != self.state_dim:
+            raise ValueError(
+                f"state has width {state.shape[0]}, expected {self.state_dim}"
+            )
+        return state
+
+    def _validate_action(self, action: int) -> int:
+        if not 0 <= action < self.num_actions:
+            raise ValueError(
+                f"action {action} outside the action space [0, {self.num_actions})"
+            )
+        return int(action)

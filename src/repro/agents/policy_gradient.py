@@ -1,0 +1,224 @@
+"""REINFORCE (Monte Carlo policy gradient) with an optional value baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.agents.base import Agent
+from repro.nn.activations import log_softmax, softmax
+from repro.nn.network import MLP
+from repro.nn.optimizers import Adam, clip_gradients
+from repro.utils.rng import RandomState, derive_seed, new_rng
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass
+class ReinforceConfig:
+    """Hyperparameters for the REINFORCE agent."""
+
+    hidden_layers: Sequence[int] = (128, 128)
+    learning_rate: float = 1e-3
+    baseline_learning_rate: float = 1e-3
+    discount: float = 0.95
+    entropy_coefficient: float = 0.01
+    use_baseline: bool = True
+    gradient_clip_norm: float = 10.0
+    normalize_returns: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive(self.learning_rate, "learning_rate")
+        check_positive(self.baseline_learning_rate, "baseline_learning_rate")
+        check_probability(self.discount, "discount")
+        if self.entropy_coefficient < 0:
+            raise ValueError("entropy_coefficient must be >= 0")
+
+
+class ReinforceAgent(Agent):
+    """Episodic Monte Carlo policy gradient.
+
+    Transitions are buffered within an episode; :meth:`end_episode` computes
+    discounted returns, subtracts the learned state-value baseline and takes
+    one gradient step on the policy (and one on the baseline).
+    """
+
+    name = "reinforce"
+
+    def __init__(
+        self,
+        state_dim: int,
+        num_actions: int,
+        config: Optional[ReinforceConfig] = None,
+        seed: RandomState = None,
+    ) -> None:
+        super().__init__(state_dim, num_actions)
+        self.config = config or ReinforceConfig()
+        self.policy_network = MLP(
+            [state_dim, *self.config.hidden_layers, num_actions],
+            seed=derive_seed(seed, "policy"),
+        )
+        self.baseline_network = MLP(
+            [state_dim, *self.config.hidden_layers, 1],
+            seed=derive_seed(seed, "baseline"),
+        )
+        self.policy_optimizer = Adam(self.config.learning_rate)
+        self.baseline_optimizer = Adam(self.config.baseline_learning_rate)
+        self._rng = new_rng(derive_seed(seed, "sampling"))
+        self._episode: List[Dict] = []
+        self.last_policy_loss: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Acting
+    # ------------------------------------------------------------------ #
+    def action_probabilities(
+        self, state: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Masked softmax policy probabilities for a single state."""
+        state = self._validate_state(state)
+        logits = self.policy_network.predict(state)
+        return self._masked_softmax(logits, mask)
+
+    def _masked_softmax(
+        self, logits: np.ndarray, mask: Optional[np.ndarray]
+    ) -> np.ndarray:
+        logits = np.asarray(logits, dtype=float).ravel().copy()
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool).ravel()
+            if not mask.any():
+                raise ValueError("action mask excludes every action")
+            logits[~mask] = -1e9
+        return softmax(logits)
+
+    def select_action(
+        self,
+        state: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        greedy: bool = False,
+    ) -> int:
+        probabilities = self.action_probabilities(state, mask)
+        if greedy:
+            return int(np.argmax(probabilities))
+        return int(self._rng.choice(self.num_actions, p=probabilities))
+
+    # ------------------------------------------------------------------ #
+    # Learning
+    # ------------------------------------------------------------------ #
+    def observe(
+        self,
+        state: np.ndarray,
+        action: int,
+        reward: float,
+        next_state: np.ndarray,
+        done: bool,
+        next_mask: Optional[np.ndarray] = None,
+    ) -> None:
+        self._episode.append(
+            {
+                "state": self._validate_state(state),
+                "action": self._validate_action(action),
+                "reward": float(reward),
+            }
+        )
+
+    def update(self) -> Dict[str, float]:
+        """REINFORCE learns only at episode boundaries; per-step update is a no-op."""
+        return {}
+
+    def end_episode(self) -> Dict[str, float]:
+        """Compute returns and apply one policy-gradient step."""
+        if not self._episode:
+            return {}
+        states = np.stack([step["state"] for step in self._episode])
+        actions = np.array([step["action"] for step in self._episode], dtype=int)
+        rewards = np.array([step["reward"] for step in self._episode], dtype=float)
+        self._episode.clear()
+        self.training_steps += 1
+
+        returns = self._discounted_returns(rewards)
+        baselines = self.baseline_network.predict(states).ravel()
+        advantages = returns - baselines if self.config.use_baseline else returns.copy()
+        if self.config.normalize_returns and advantages.size > 1:
+            std = advantages.std()
+            if std > 1e-8:
+                advantages = (advantages - advantages.mean()) / std
+
+        policy_loss = self._policy_step(states, actions, advantages)
+        baseline_loss = self._baseline_step(states, returns)
+        self.last_policy_loss = policy_loss
+        return {
+            "policy_loss": policy_loss,
+            "baseline_loss": baseline_loss,
+            "mean_return": float(returns.mean()),
+        }
+
+    def _discounted_returns(self, rewards: np.ndarray) -> np.ndarray:
+        returns = np.zeros_like(rewards)
+        running = 0.0
+        for index in range(len(rewards) - 1, -1, -1):
+            running = rewards[index] + self.config.discount * running
+            returns[index] = running
+        return returns
+
+    def _policy_step(
+        self, states: np.ndarray, actions: np.ndarray, advantages: np.ndarray
+    ) -> float:
+        logits = self.policy_network.forward(states, training=True)
+        logits = np.atleast_2d(logits)
+        probabilities = softmax(logits, axis=1)
+        log_probs = log_softmax(logits, axis=1)
+        batch = len(actions)
+        rows = np.arange(batch)
+
+        selected_log_probs = log_probs[rows, actions]
+        entropy = -np.sum(probabilities * log_probs, axis=1)
+        loss = -float(
+            np.mean(
+                selected_log_probs * advantages
+                + self.config.entropy_coefficient * entropy
+            )
+        )
+
+        # Gradient of the loss w.r.t. the logits:
+        #   d(-log πₐ · A)/d logits = (π − onehot(a)) · A
+        #   d(-entropy)/d logits = π · (log π + entropy)
+        one_hot = np.zeros_like(probabilities)
+        one_hot[rows, actions] = 1.0
+        grad_logits = (probabilities - one_hot) * advantages[:, None]
+        grad_entropy = probabilities * (log_probs + entropy[:, None])
+        grad_logits += self.config.entropy_coefficient * grad_entropy
+        grad_logits /= batch
+
+        self.policy_network.zero_grad()
+        self.policy_network.backward(grad_logits)
+        groups = self.policy_network.parameter_groups()
+        clip_gradients(groups, self.config.gradient_clip_norm)
+        self.policy_optimizer.step(groups)
+        return loss
+
+    def _baseline_step(self, states: np.ndarray, returns: np.ndarray) -> float:
+        if not self.config.use_baseline:
+            return 0.0
+        return self.policy_baseline_fit(states, returns)
+
+    def policy_baseline_fit(self, states: np.ndarray, returns: np.ndarray) -> float:
+        """One MSE regression step of the value baseline towards returns."""
+        return self.baseline_network.fit_batch(
+            states,
+            returns.reshape(-1, 1),
+            optimizer=self.baseline_optimizer,
+            max_grad_norm=self.config.gradient_clip_norm,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: Union[str, Path]) -> Path:
+        """Save the policy network weights to ``path`` (``.npz``)."""
+        return self.policy_network.save(path)
+
+    def load(self, path: Union[str, Path]) -> None:
+        """Load policy network weights."""
+        self.policy_network = MLP.load(path)

@@ -1,0 +1,128 @@
+"""Tabular Q-learning over a discretized state space.
+
+The tabular agent is the "shallow RL" ablation baseline: it discretizes the
+continuous state vector into coarse bins and learns a lookup-table Q
+function.  On small topologies it is competitive; its collapse on larger
+state spaces is precisely the motivation for the deep agent.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.agents.base import Agent
+from repro.agents.exploration import EpsilonGreedy, ExplorationSchedule
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_positive, check_probability
+
+
+class TabularQLearningAgent(Agent):
+    """Q-learning with state discretization.
+
+    Parameters
+    ----------
+    bins_per_feature:
+        Number of quantization bins per state feature.  State features are
+        assumed to be roughly in [0, 1] (which the state encoder guarantees);
+        values outside are clipped.
+    learning_rate, discount:
+        Standard Q-learning step size and discount factor.
+    """
+
+    name = "tabular_q"
+
+    def __init__(
+        self,
+        state_dim: int,
+        num_actions: int,
+        bins_per_feature: int = 4,
+        learning_rate: float = 0.1,
+        discount: float = 0.95,
+        exploration: Optional[ExplorationSchedule] = None,
+        seed: RandomState = None,
+    ) -> None:
+        super().__init__(state_dim, num_actions)
+        check_positive(bins_per_feature, "bins_per_feature")
+        check_probability(discount, "discount")
+        check_positive(learning_rate, "learning_rate")
+        self.bins_per_feature = int(bins_per_feature)
+        self.learning_rate = learning_rate
+        self.discount = discount
+        self._policy = EpsilonGreedy(exploration, seed=seed)
+        self._q_table: Dict[Tuple[int, ...], np.ndarray] = defaultdict(
+            lambda: np.zeros(self.num_actions)
+        )
+        self._pending: Optional[Tuple] = None
+
+    # ------------------------------------------------------------------ #
+    # Discretization
+    # ------------------------------------------------------------------ #
+    def discretize(self, state: np.ndarray) -> Tuple[int, ...]:
+        """Map a continuous state vector to a tuple of bin indices."""
+        state = self._validate_state(state)
+        clipped = np.clip(state, 0.0, 1.0)
+        bins = np.minimum(
+            (clipped * self.bins_per_feature).astype(int), self.bins_per_feature - 1
+        )
+        return tuple(int(b) for b in bins)
+
+    @property
+    def table_size(self) -> int:
+        """Number of distinct states visited so far."""
+        return len(self._q_table)
+
+    def q_values(self, state: np.ndarray) -> np.ndarray:
+        """Q-values of the discretized state (zeros if unseen)."""
+        return self._q_table[self.discretize(state)].copy()
+
+    # ------------------------------------------------------------------ #
+    # Agent interface
+    # ------------------------------------------------------------------ #
+    def select_action(
+        self,
+        state: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        greedy: bool = False,
+    ) -> int:
+        q_values = self._q_table[self.discretize(state)]
+        return self._policy.select(q_values, self.training_steps, mask, greedy)
+
+    def observe(
+        self,
+        state: np.ndarray,
+        action: int,
+        reward: float,
+        next_state: np.ndarray,
+        done: bool,
+        next_mask: Optional[np.ndarray] = None,
+    ) -> None:
+        self._pending = (
+            self.discretize(state),
+            self._validate_action(action),
+            float(reward),
+            self.discretize(next_state),
+            bool(done),
+            next_mask,
+        )
+
+    def update(self) -> Dict[str, float]:
+        """Apply the one-step Q-learning update for the last transition."""
+        if self._pending is None:
+            return {}
+        state_key, action, reward, next_key, done, next_mask = self._pending
+        self._pending = None
+        self.training_steps += 1
+
+        next_q = self._q_table[next_key]
+        if next_mask is not None:
+            masked = np.where(np.asarray(next_mask, dtype=bool), next_q, -np.inf)
+            best_next = 0.0 if not np.isfinite(masked).any() else float(masked.max())
+        else:
+            best_next = float(next_q.max())
+        target = reward if done else reward + self.discount * best_next
+        td_error = target - self._q_table[state_key][action]
+        self._q_table[state_key][action] += self.learning_rate * td_error
+        return {"td_error": float(td_error), "table_size": float(self.table_size)}

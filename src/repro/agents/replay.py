@@ -1,0 +1,178 @@
+"""Experience replay buffers.
+
+:class:`ReplayBuffer` is the uniform buffer used by vanilla DQN;
+:class:`PrioritizedReplayBuffer` samples transitions proportionally to their
+last TD error, with importance-sampling weights to keep the update unbiased.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomState, new_rng
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One (s, a, r, s', done) tuple, with an optional next-state action mask."""
+
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: np.ndarray
+    done: bool
+    next_mask: Optional[np.ndarray] = None
+
+
+@dataclass
+class TransitionBatch:
+    """A stacked batch of transitions ready for vectorized updates."""
+
+    states: np.ndarray
+    actions: np.ndarray
+    rewards: np.ndarray
+    next_states: np.ndarray
+    dones: np.ndarray
+    next_masks: Optional[np.ndarray]
+    indices: np.ndarray
+    weights: np.ndarray
+
+    def __len__(self) -> int:
+        return self.states.shape[0]
+
+
+def _stack_batch(
+    transitions: List[Transition], indices: np.ndarray, weights: np.ndarray
+) -> TransitionBatch:
+    """Stack a list of transitions into contiguous arrays."""
+    next_masks = None
+    if all(t.next_mask is not None for t in transitions):
+        next_masks = np.stack([np.asarray(t.next_mask, dtype=bool) for t in transitions])
+    return TransitionBatch(
+        states=np.stack([np.asarray(t.state, dtype=float) for t in transitions]),
+        actions=np.array([t.action for t in transitions], dtype=int),
+        rewards=np.array([t.reward for t in transitions], dtype=float),
+        next_states=np.stack(
+            [np.asarray(t.next_state, dtype=float) for t in transitions]
+        ),
+        dones=np.array([t.done for t in transitions], dtype=bool),
+        next_masks=next_masks,
+        indices=indices,
+        weights=weights,
+    )
+
+
+class ReplayBuffer:
+    """A fixed-capacity FIFO buffer with uniform sampling."""
+
+    def __init__(self, capacity: int = 50_000, seed: RandomState = None) -> None:
+        check_positive(capacity, "capacity")
+        self.capacity = int(capacity)
+        self._storage: List[Transition] = []
+        self._next_slot = 0
+        self._rng = new_rng(seed)
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    @property
+    def is_full(self) -> bool:
+        """True once the buffer has reached capacity."""
+        return len(self._storage) >= self.capacity
+
+    def add(self, transition: Transition) -> None:
+        """Insert a transition, evicting the oldest when full."""
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._next_slot] = transition
+            self._next_slot = (self._next_slot + 1) % self.capacity
+
+    def sample(self, batch_size: int) -> TransitionBatch:
+        """Sample ``batch_size`` transitions uniformly with replacement."""
+        check_positive(batch_size, "batch_size")
+        if not self._storage:
+            raise ValueError("cannot sample from an empty replay buffer")
+        indices = self._rng.integers(0, len(self._storage), size=batch_size)
+        transitions = [self._storage[i] for i in indices]
+        weights = np.ones(batch_size, dtype=float)
+        return _stack_batch(transitions, indices, weights)
+
+    def update_priorities(self, indices: np.ndarray, priorities: np.ndarray) -> None:
+        """No-op for the uniform buffer (keeps the agent code uniform)."""
+
+    def clear(self) -> None:
+        """Drop every stored transition."""
+        self._storage.clear()
+        self._next_slot = 0
+
+
+class PrioritizedReplayBuffer(ReplayBuffer):
+    """Proportional prioritized replay (Schaul et al., 2016).
+
+    Priorities default to the maximum priority seen so far so new transitions
+    are replayed at least once.  Sampling probability is ``p_i^alpha / Σ
+    p^alpha``; importance-sampling weights use exponent ``beta`` annealed
+    externally if desired.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 50_000,
+        alpha: float = 0.6,
+        beta: float = 0.4,
+        epsilon: float = 1e-3,
+        seed: RandomState = None,
+    ) -> None:
+        super().__init__(capacity, seed=seed)
+        check_probability(alpha, "alpha")
+        check_probability(beta, "beta")
+        check_positive(epsilon, "epsilon")
+        self.alpha = alpha
+        self.beta = beta
+        self.epsilon = epsilon
+        self._priorities: List[float] = []
+        self._max_priority = 1.0
+
+    def add(self, transition: Transition) -> None:
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+            self._priorities.append(self._max_priority)
+        else:
+            self._storage[self._next_slot] = transition
+            self._priorities[self._next_slot] = self._max_priority
+            self._next_slot = (self._next_slot + 1) % self.capacity
+
+    def sample(self, batch_size: int) -> TransitionBatch:
+        check_positive(batch_size, "batch_size")
+        if not self._storage:
+            raise ValueError("cannot sample from an empty replay buffer")
+        priorities = np.asarray(self._priorities, dtype=float) ** self.alpha
+        probabilities = priorities / priorities.sum()
+        indices = self._rng.choice(
+            len(self._storage), size=batch_size, p=probabilities, replace=True
+        )
+        transitions = [self._storage[i] for i in indices]
+        # Importance-sampling weights, normalized so the largest weight is 1.
+        sampled_probs = probabilities[indices]
+        weights = (len(self._storage) * sampled_probs) ** (-self.beta)
+        weights = weights / weights.max()
+        return _stack_batch(transitions, indices, weights.astype(float))
+
+    def update_priorities(self, indices: np.ndarray, priorities: np.ndarray) -> None:
+        """Set new priorities (absolute TD errors) for sampled transitions."""
+        priorities = np.abs(np.asarray(priorities, dtype=float)) + self.epsilon
+        for index, priority in zip(np.asarray(indices, dtype=int), priorities):
+            if index < 0 or index >= len(self._priorities):
+                raise IndexError(f"priority index {index} out of range")
+            self._priorities[index] = float(priority)
+            self._max_priority = max(self._max_priority, float(priority))
+
+    def clear(self) -> None:
+        super().clear()
+        self._priorities.clear()
+        self._max_priority = 1.0

@@ -1,0 +1,51 @@
+"""Shared helpers for the heuristic placement baselines."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.nfv.placement import Placement
+from repro.nfv.sfc import SFCRequest
+from repro.substrate.network import NoRouteError, SubstrateNetwork
+
+
+def build_if_feasible(
+    request: SFCRequest,
+    assignment: Sequence[int],
+    network: SubstrateNetwork,
+) -> Optional[Placement]:
+    """Route ``assignment`` and return the placement only if it is feasible."""
+    try:
+        placement = Placement.build(request, assignment, network)
+    except NoRouteError:
+        return None
+    if not placement.is_feasible(network):
+        return None
+    return placement
+
+
+def hosting_candidates(
+    request: SFCRequest,
+    vnf_index: int,
+    network: SubstrateNetwork,
+    node_ids: Optional[Iterable[int]] = None,
+) -> List[int]:
+    """Nodes with enough free capacity for VNF ``vnf_index`` of ``request``."""
+    demand = request.chain.vnf_at(vnf_index).demand_for(request.bandwidth_mbps)
+    pool = list(node_ids) if node_ids is not None else network.node_ids
+    return [node_id for node_id in pool if network.node(node_id).can_host(demand)]
+
+
+def latency_of_partial(
+    request: SFCRequest,
+    assignment: Sequence[int],
+    network: SubstrateNetwork,
+) -> float:
+    """Propagation + processing latency of a (possibly partial) assignment."""
+    total = 0.0
+    anchor = request.source_node_id
+    for index, node_id in enumerate(assignment):
+        total += network.latency_between(anchor, node_id)
+        total += request.chain.vnf_at(index).processing_delay_ms
+        anchor = node_id
+    return total

@@ -1,0 +1,110 @@
+"""Bin-packing style baselines: first fit, best fit, and tier-restricted.
+
+First fit and best fit treat nodes as bins ordered by id (first fit) or by
+remaining slack after the allocation (best fit).  The tier-restricted
+policies — cloud-only and edge-only — bound the comparison from the two
+extremes of the geo-distribution trade-off: cloud-only has effectively
+infinite capacity but pays the WAN latency on every chain; edge-only has the
+best latency but saturates quickly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines.common import build_if_feasible, hosting_candidates
+from repro.nfv.placement import Placement
+from repro.nfv.sfc import SFCRequest
+from repro.sim.simulation import PlacementPolicy
+from repro.substrate.network import SubstrateNetwork
+
+
+class FirstFitPolicy(PlacementPolicy):
+    """Place each VNF on the first (lowest-id) node with enough capacity."""
+
+    name = "first_fit"
+
+    def place(
+        self, request: SFCRequest, network: SubstrateNetwork
+    ) -> Optional[Placement]:
+        assignment: List[int] = []
+        for vnf_index in range(request.num_vnfs):
+            candidates = hosting_candidates(request, vnf_index, network)
+            if not candidates:
+                return None
+            assignment.append(candidates[0])
+        return build_if_feasible(request, assignment, network)
+
+
+class BestFitPolicy(PlacementPolicy):
+    """Place each VNF on the feasible node left with the least slack.
+
+    Classic best-fit packing: consolidating load onto already-busy nodes
+    keeps other nodes free for large future requests, at the price of
+    latency-agnostic choices.
+    """
+
+    name = "best_fit"
+
+    def place(
+        self, request: SFCRequest, network: SubstrateNetwork
+    ) -> Optional[Placement]:
+        assignment: List[int] = []
+        for vnf_index in range(request.num_vnfs):
+            candidates = hosting_candidates(request, vnf_index, network)
+            if not candidates:
+                return None
+            demand = request.chain.vnf_at(vnf_index).demand_for(request.bandwidth_mbps)
+
+            def remaining_slack(node_id: int) -> float:
+                node = network.node(node_id)
+                return (node.available - demand).total()
+
+            assignment.append(min(candidates, key=remaining_slack))
+        return build_if_feasible(request, assignment, network)
+
+
+class CloudOnlyPolicy(PlacementPolicy):
+    """Host every VNF in the central cloud (latency-worst, capacity-best)."""
+
+    name = "cloud_only"
+
+    def place(
+        self, request: SFCRequest, network: SubstrateNetwork
+    ) -> Optional[Placement]:
+        cloud_ids = network.cloud_node_ids
+        if not cloud_ids:
+            return None
+        assignment: List[int] = []
+        for vnf_index in range(request.num_vnfs):
+            candidates = hosting_candidates(request, vnf_index, network, cloud_ids)
+            if not candidates:
+                return None
+            assignment.append(candidates[0])
+        return build_if_feasible(request, assignment, network)
+
+
+class EdgeOnlyPolicy(PlacementPolicy):
+    """Host every VNF on edge nodes near the ingress (latency-best, scarce)."""
+
+    name = "edge_only"
+
+    def place(
+        self, request: SFCRequest, network: SubstrateNetwork
+    ) -> Optional[Placement]:
+        edge_ids = network.edge_node_ids
+        if not edge_ids:
+            return None
+        assignment: List[int] = []
+        anchor = request.source_node_id
+        for vnf_index in range(request.num_vnfs):
+            candidates = hosting_candidates(request, vnf_index, network, edge_ids)
+            if not candidates:
+                return None
+            best = min(
+                candidates,
+                key=lambda node_id: network.latency_between(anchor, node_id),
+            )
+            assignment.append(best)
+            anchor = best
+        return build_if_feasible(request, assignment, network)

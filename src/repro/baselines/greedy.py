@@ -1,0 +1,91 @@
+"""Greedy placement heuristics.
+
+Two standard greedy rules appear in virtually every VNF-placement evaluation:
+
+* **greedy-nearest** — host each VNF on the feasible node with the lowest
+  latency from the current anchor (latency-first, ignores load), and
+* **greedy-least-loaded** — host each VNF on the feasible node with the most
+  free capacity (load-first, ignores latency).
+
+Both are strong at one end of the latency/utilization trade-off and weak at
+the other, which is exactly the gap the learned policy closes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.common import build_if_feasible, hosting_candidates
+from repro.nfv.placement import Placement
+from repro.nfv.sfc import SFCRequest
+from repro.sim.simulation import PlacementPolicy
+from repro.substrate.network import SubstrateNetwork
+
+
+class GreedyNearestPolicy(PlacementPolicy):
+    """Latency-greedy: pick the closest feasible node for every VNF."""
+
+    name = "greedy_nearest"
+
+    def place(
+        self, request: SFCRequest, network: SubstrateNetwork
+    ) -> Optional[Placement]:
+        assignment = []
+        anchor = request.source_node_id
+        for vnf_index in range(request.num_vnfs):
+            candidates = hosting_candidates(request, vnf_index, network)
+            if not candidates:
+                return None
+            best = min(
+                candidates,
+                key=lambda node_id: network.latency_between(anchor, node_id),
+            )
+            assignment.append(best)
+            anchor = best
+        return build_if_feasible(request, assignment, network)
+
+
+class GreedyLeastLoadedPolicy(PlacementPolicy):
+    """Load-greedy: pick the feasible node with the lowest utilization."""
+
+    name = "greedy_least_loaded"
+
+    def place(
+        self, request: SFCRequest, network: SubstrateNetwork
+    ) -> Optional[Placement]:
+        assignment = []
+        for vnf_index in range(request.num_vnfs):
+            candidates = hosting_candidates(request, vnf_index, network)
+            if not candidates:
+                return None
+            best = min(
+                candidates,
+                key=lambda node_id: network.node(node_id).max_utilization(),
+            )
+            assignment.append(best)
+        return build_if_feasible(request, assignment, network)
+
+
+class GreedyCheapestPolicy(PlacementPolicy):
+    """Cost-greedy: pick the feasible node with the lowest hosting cost."""
+
+    name = "greedy_cheapest"
+
+    def place(
+        self, request: SFCRequest, network: SubstrateNetwork
+    ) -> Optional[Placement]:
+        assignment = []
+        for vnf_index in range(request.num_vnfs):
+            candidates = hosting_candidates(request, vnf_index, network)
+            if not candidates:
+                return None
+            vnf = request.chain.vnf_at(vnf_index)
+            demand = vnf.demand_for(request.bandwidth_mbps)
+            best = min(
+                candidates,
+                key=lambda node_id: network.node(node_id).hosting_cost(
+                    demand, request.holding_time
+                ),
+            )
+            assignment.append(best)
+        return build_if_feasible(request, assignment, network)

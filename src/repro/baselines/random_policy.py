@@ -1,0 +1,48 @@
+"""Uniform-random placement: the weakest baseline in every comparison."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.common import build_if_feasible, hosting_candidates
+from repro.nfv.placement import Placement
+from repro.nfv.sfc import SFCRequest
+from repro.sim.simulation import PlacementPolicy
+from repro.substrate.network import SubstrateNetwork
+from repro.utils.rng import RandomState, new_rng
+
+
+class RandomPlacementPolicy(PlacementPolicy):
+    """Place each VNF on a uniformly random node that can host it.
+
+    The policy retries a few complete assignments before giving up, which
+    keeps its acceptance at low load from being pathologically bad while
+    still ignoring latency and cost entirely.
+    """
+
+    name = "random"
+
+    def __init__(self, max_attempts: int = 5, seed: RandomState = None) -> None:
+        if max_attempts <= 0:
+            raise ValueError("max_attempts must be positive")
+        self.max_attempts = max_attempts
+        self._rng = new_rng(seed)
+
+    def place(
+        self, request: SFCRequest, network: SubstrateNetwork
+    ) -> Optional[Placement]:
+        for _ in range(self.max_attempts):
+            assignment = []
+            feasible = True
+            for vnf_index in range(request.num_vnfs):
+                candidates = hosting_candidates(request, vnf_index, network)
+                if not candidates:
+                    feasible = False
+                    break
+                assignment.append(int(self._rng.choice(candidates)))
+            if not feasible:
+                return None
+            placement = build_if_feasible(request, assignment, network)
+            if placement is not None:
+                return placement
+        return None

@@ -1,0 +1,112 @@
+"""Dynamic-programming (Viterbi-style) chain embedding.
+
+For one request the chain-embedding problem over latency decomposes by VNF
+position, so the minimum-latency assignment can be computed exactly with a
+Viterbi pass over (VNF position × candidate node).  A configurable node cost
+term trades latency against hosting cost and load, which makes this the
+strongest non-learning baseline in the comparison — it optimizes each request
+exactly, but myopically (it never sacrifices the current request for future
+ones, which is precisely what the DRL policy learns to do).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.common import build_if_feasible, hosting_candidates
+from repro.nfv.placement import Placement
+from repro.nfv.sfc import SFCRequest
+from repro.sim.simulation import PlacementPolicy
+from repro.substrate.network import SubstrateNetwork
+from repro.utils.validation import check_non_negative
+
+
+class ViterbiPlacementPolicy(PlacementPolicy):
+    """Per-request optimal chain embedding by dynamic programming.
+
+    The per-transition weight is ``latency(u → v) + processing_delay`` plus
+    ``cost_weight`` times the hosting cost of the VNF on ``v`` (normalized)
+    plus ``load_weight`` times the utilization of ``v``.
+    """
+
+    name = "viterbi"
+
+    def __init__(
+        self,
+        cost_weight: float = 0.0,
+        load_weight: float = 0.0,
+        cost_normalizer: float = 200.0,
+    ) -> None:
+        check_non_negative(cost_weight, "cost_weight")
+        check_non_negative(load_weight, "load_weight")
+        if cost_normalizer <= 0:
+            raise ValueError("cost_normalizer must be positive")
+        self.cost_weight = cost_weight
+        self.load_weight = load_weight
+        self.cost_normalizer = cost_normalizer
+
+    def _node_cost(
+        self, request: SFCRequest, vnf_index: int, node_id: int, network: SubstrateNetwork
+    ) -> float:
+        if self.cost_weight == 0.0 and self.load_weight == 0.0:
+            return 0.0
+        node = network.node(node_id)
+        vnf = request.chain.vnf_at(vnf_index)
+        hosting = node.hosting_cost(
+            vnf.demand_for(request.bandwidth_mbps), request.holding_time
+        )
+        return (
+            self.cost_weight * hosting / self.cost_normalizer * request.sla.max_latency_ms
+            + self.load_weight * node.max_utilization() * request.sla.max_latency_ms
+        )
+
+    def place(
+        self, request: SFCRequest, network: SubstrateNetwork
+    ) -> Optional[Placement]:
+        candidate_sets: List[List[int]] = []
+        for vnf_index in range(request.num_vnfs):
+            candidates = hosting_candidates(request, vnf_index, network)
+            if not candidates:
+                return None
+            candidate_sets.append(candidates)
+
+        # Viterbi forward pass: best[k][j] = minimum accumulated weight of
+        # placing VNFs 0..k with VNF k on candidate_sets[k][j].
+        first = candidate_sets[0]
+        best = np.array(
+            [
+                network.latency_between(request.source_node_id, node_id)
+                + request.chain.vnf_at(0).processing_delay_ms
+                + self._node_cost(request, 0, node_id, network)
+                for node_id in first
+            ]
+        )
+        backpointers: List[np.ndarray] = []
+
+        for vnf_index in range(1, request.num_vnfs):
+            current = candidate_sets[vnf_index]
+            previous = candidate_sets[vnf_index - 1]
+            transition = np.empty((len(previous), len(current)))
+            for i, prev_node in enumerate(previous):
+                for j, node_id in enumerate(current):
+                    transition[i, j] = (
+                        network.latency_between(prev_node, node_id)
+                        + request.chain.vnf_at(vnf_index).processing_delay_ms
+                        + self._node_cost(request, vnf_index, node_id, network)
+                    )
+            totals = best[:, None] + transition
+            backpointers.append(np.argmin(totals, axis=0))
+            best = np.min(totals, axis=0)
+
+        # Backtrack the minimizing assignment.
+        last_index = int(np.argmin(best))
+        assignment_indices = [last_index]
+        for pointer in reversed(backpointers):
+            assignment_indices.append(int(pointer[assignment_indices[-1]]))
+        assignment_indices.reverse()
+        assignment = [
+            candidate_sets[k][idx] for k, idx in enumerate(assignment_indices)
+        ]
+        return build_if_feasible(request, assignment, network)

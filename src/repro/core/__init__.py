@@ -1,0 +1,41 @@
+"""The paper's core contribution: the DRL VNF-management MDP and controller."""
+
+from repro.core.action import ActionSpace
+from repro.core.env import EnvConfig, EpisodeStats, VNFPlacementEnv
+from repro.core.manager import ManagerConfig, VNFManager
+from repro.core.policy import DRLPlacementPolicy
+from repro.core.reward import (
+    RewardCalculator,
+    RewardConfig,
+    acceptance_focused_config,
+    cost_focused_config,
+    latency_focused_config,
+)
+from repro.core.state import EncoderConfig, StateEncoder
+from repro.core.training import (
+    EvaluationResult,
+    Trainer,
+    TrainingConfig,
+    TrainingHistory,
+)
+
+__all__ = [
+    "ActionSpace",
+    "EnvConfig",
+    "EpisodeStats",
+    "VNFPlacementEnv",
+    "ManagerConfig",
+    "VNFManager",
+    "DRLPlacementPolicy",
+    "RewardCalculator",
+    "RewardConfig",
+    "acceptance_focused_config",
+    "cost_focused_config",
+    "latency_focused_config",
+    "EncoderConfig",
+    "StateEncoder",
+    "EvaluationResult",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+]

@@ -1,0 +1,294 @@
+"""The VNF-placement reinforcement-learning environment.
+
+:class:`VNFPlacementEnv` exposes the online placement problem with the usual
+``reset`` / ``step`` interface:
+
+* an **episode** processes ``requests_per_episode`` SFC requests drawn from a
+  workload generator;
+* a **step** places one VNF of the current request on a substrate node (or
+  rejects the request);
+* when the last VNF of a request is placed the environment attempts to commit
+  the full placement — success yields the acceptance reward and reserves
+  resources until the request's departure time, failure yields the
+  infeasibility penalty;
+* between requests the environment advances simulated time and releases the
+  resources of departed requests, so the agent experiences realistic load
+  dynamics.
+
+The environment follows the Gym calling convention
+``step(action) -> (next_state, reward, done, info)`` with an additional
+``valid_action_mask()`` accessor used for masked exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.action import ActionSpace
+from repro.core.reward import RewardCalculator, RewardConfig
+from repro.core.state import EncoderConfig, StateEncoder
+from repro.nfv.catalog import VNFCatalog, default_catalog
+from repro.nfv.placement import Placement, PlacementError
+from repro.nfv.sfc import SFCRequest
+from repro.substrate.network import NoRouteError, SubstrateNetwork
+from repro.utils.validation import check_positive
+from repro.workloads.generator import RequestGenerator
+
+
+@dataclass
+class EnvConfig:
+    """Environment-level configuration."""
+
+    requests_per_episode: int = 50
+    latency_mask_check: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive(self.requests_per_episode, "requests_per_episode")
+
+
+@dataclass
+class EpisodeStats:
+    """Statistics accumulated over one episode."""
+
+    requests_seen: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    infeasible: int = 0
+    total_reward: float = 0.0
+    total_latency_ms: float = 0.0
+    total_cost: float = 0.0
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Fraction of this episode's requests that were accepted."""
+        return self.accepted / self.requests_seen if self.requests_seen else 0.0
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean end-to-end latency over accepted requests."""
+        return self.total_latency_ms / self.accepted if self.accepted else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-friendly view of the episode statistics."""
+        return {
+            "requests_seen": self.requests_seen,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "infeasible": self.infeasible,
+            "total_reward": self.total_reward,
+            "acceptance_ratio": self.acceptance_ratio,
+            "mean_latency_ms": self.mean_latency_ms,
+            "total_cost": self.total_cost,
+        }
+
+
+class VNFPlacementEnv:
+    """Sequential per-VNF placement environment over a stream of requests."""
+
+    def __init__(
+        self,
+        network: SubstrateNetwork,
+        generator: RequestGenerator,
+        catalog: Optional[VNFCatalog] = None,
+        reward_config: Optional[RewardConfig] = None,
+        encoder_config: Optional[EncoderConfig] = None,
+        config: Optional[EnvConfig] = None,
+    ) -> None:
+        self.network = network
+        self.generator = generator
+        self.catalog = catalog or generator.catalog or default_catalog()
+        self.config = config or EnvConfig()
+        self.encoder = StateEncoder(network, self.catalog, encoder_config)
+        self.actions = ActionSpace(network, node_order=self.encoder.node_order)
+        self.rewards = RewardCalculator(reward_config)
+
+        self._requests: List[SFCRequest] = []
+        self._request_index = 0
+        self._current_request: Optional[SFCRequest] = None
+        self._vnf_index = 0
+        self._partial_assignment: List[int] = []
+        self._partial_latency = 0.0
+        self._active: List[Tuple[float, Placement]] = []
+        self._episode_done = True
+        self.stats = EpisodeStats()
+
+    # ------------------------------------------------------------------ #
+    # Gym-style dimensions
+    # ------------------------------------------------------------------ #
+    @property
+    def state_dim(self) -> int:
+        """Width of observation vectors."""
+        return self.encoder.state_dim
+
+    @property
+    def num_actions(self) -> int:
+        """Number of discrete actions."""
+        return self.actions.num_actions
+
+    @property
+    def current_request(self) -> Optional[SFCRequest]:
+        """The request currently being placed (None between episodes)."""
+        return self._current_request
+
+    # ------------------------------------------------------------------ #
+    # Episode lifecycle
+    # ------------------------------------------------------------------ #
+    def reset(self) -> np.ndarray:
+        """Start a new episode with a fresh request batch and empty substrate."""
+        self.network.reset()
+        self._active.clear()
+        self._requests = self.generator.generate_batch(self.config.requests_per_episode)
+        self._request_index = 0
+        self.stats = EpisodeStats()
+        self._episode_done = False
+        self._begin_next_request()
+        return self._observe()
+
+    def _begin_next_request(self) -> None:
+        """Advance to the next request, releasing departed placements first."""
+        if self._request_index >= len(self._requests):
+            self._current_request = None
+            self._episode_done = True
+            return
+        request = self._requests[self._request_index]
+        self._request_index += 1
+        self._release_departed(request.arrival_time)
+        self._current_request = request
+        self._vnf_index = 0
+        self._partial_assignment = []
+        self._partial_latency = 0.0
+        self.stats.requests_seen += 1
+
+    def _release_departed(self, now: float) -> None:
+        still_active: List[Tuple[float, Placement]] = []
+        for departure_time, placement in self._active:
+            if departure_time <= now and placement.is_committed:
+                placement.release(self.network)
+            else:
+                still_active.append((departure_time, placement))
+        self._active = still_active
+
+    # ------------------------------------------------------------------ #
+    # Observations and masks
+    # ------------------------------------------------------------------ #
+    def _observe(self) -> np.ndarray:
+        if self._current_request is None:
+            return np.zeros(self.state_dim, dtype=float)
+        return self.encoder.encode(
+            self._current_request,
+            self._vnf_index,
+            self._partial_assignment,
+            self._partial_latency,
+        )
+
+    def valid_action_mask(self) -> np.ndarray:
+        """Boolean mask of currently valid actions (reject always valid)."""
+        if self._current_request is None:
+            mask = np.zeros(self.num_actions, dtype=bool)
+            mask[self.actions.reject_action] = True
+            return mask
+        return self.actions.valid_mask(
+            self._current_request,
+            self._vnf_index,
+            self._partial_assignment,
+            self._partial_latency,
+            latency_check=self.config.latency_mask_check,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Stepping
+    # ------------------------------------------------------------------ #
+    def step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict[str, object]]:
+        """Apply one placement decision.
+
+        Returns ``(next_state, reward, done, info)`` where ``done`` marks the
+        end of the *episode* (all requests processed); ``info["request_done"]``
+        marks the end of the current request's decision sequence.
+        """
+        if self._episode_done or self._current_request is None:
+            raise RuntimeError("step() called on a finished episode; call reset()")
+        if not 0 <= action < self.num_actions:
+            raise ValueError(f"action {action} outside the action space")
+
+        request = self._current_request
+        info: Dict[str, object] = {"request_id": request.request_id, "request_done": False}
+
+        if self.actions.is_reject(action):
+            reward = self.rewards.rejection_penalty(request)
+            self.stats.rejected += 1
+            info["outcome"] = "rejected"
+            info["request_done"] = True
+            self._begin_next_request()
+        else:
+            node_id = self.actions.node_for_action(action)
+            reward, request_done, outcome = self._place_vnf(request, node_id)
+            info["outcome"] = outcome
+            info["request_done"] = request_done
+            if request_done:
+                self._begin_next_request()
+
+        self.stats.total_reward += reward
+        done = self._episode_done
+        next_state = self._observe()
+        info["episode_stats"] = self.stats.as_dict() if done else None
+        return next_state, reward, done, info
+
+    def _place_vnf(
+        self, request: SFCRequest, node_id: int
+    ) -> Tuple[float, bool, str]:
+        """Place the current VNF on ``node_id``; commit when the chain completes."""
+        anchor = self.encoder.anchor_node(request, self._partial_assignment)
+        try:
+            added_latency = (
+                self.network.latency_between(anchor, node_id)
+                + request.chain.vnf_at(self._vnf_index).processing_delay_ms
+            )
+        except NoRouteError:
+            self.stats.infeasible += 1
+            return self.rewards.infeasibility_penalty(request), True, "no_route"
+
+        reward = self.rewards.step_reward(
+            request, self.network, node_id, added_latency, self._vnf_index
+        )
+        self._partial_assignment.append(node_id)
+        self._partial_latency += added_latency
+        self._vnf_index += 1
+
+        if self._vnf_index < request.num_vnfs:
+            return reward, False, "placed"
+
+        # Chain complete: attempt to commit the full placement.
+        try:
+            placement = Placement.build(request, self._partial_assignment, self.network)
+        except NoRouteError:
+            self.stats.infeasible += 1
+            return (
+                reward + self.rewards.infeasibility_penalty(request),
+                True,
+                "no_route",
+            )
+        if not placement.is_feasible(self.network):
+            self.stats.infeasible += 1
+            return (
+                reward + self.rewards.infeasibility_penalty(request),
+                True,
+                "infeasible",
+            )
+        try:
+            placement.commit(self.network)
+        except PlacementError:
+            self.stats.infeasible += 1
+            return (
+                reward + self.rewards.infeasibility_penalty(request),
+                True,
+                "commit_failed",
+            )
+        self._active.append((request.departure_time, placement))
+        self.stats.accepted += 1
+        self.stats.total_latency_ms += placement.end_to_end_latency_ms()
+        self.stats.total_cost += placement.total_cost(self.network)
+        terminal = self.rewards.acceptance_reward(request, placement, self.network)
+        return reward + terminal, True, "accepted"

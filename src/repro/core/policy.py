@@ -1,0 +1,84 @@
+"""Plugging a trained agent into the online simulator.
+
+:class:`DRLPlacementPolicy` replays the environment's per-VNF decision
+process greedily with a trained agent, but against the *live* substrate the
+discrete-event simulator maintains.  This is how the learned controller is
+compared against the heuristic baselines: all of them implement
+:class:`~repro.sim.simulation.PlacementPolicy` and are evaluated by the same
+:class:`~repro.sim.simulation.NFVSimulation`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.agents.base import Agent
+from repro.core.action import ActionSpace
+from repro.core.reward import RewardCalculator, RewardConfig
+from repro.core.state import EncoderConfig, StateEncoder
+from repro.nfv.catalog import VNFCatalog
+from repro.nfv.placement import Placement
+from repro.nfv.sfc import SFCRequest
+from repro.sim.simulation import PlacementPolicy
+from repro.substrate.network import NoRouteError, SubstrateNetwork
+
+
+class DRLPlacementPolicy(PlacementPolicy):
+    """Greedy rollout of a trained agent as an online placement policy."""
+
+    def __init__(
+        self,
+        agent: Agent,
+        network: SubstrateNetwork,
+        catalog: VNFCatalog,
+        encoder_config: Optional[EncoderConfig] = None,
+        latency_mask_check: bool = True,
+        name: Optional[str] = None,
+    ) -> None:
+        self.agent = agent
+        self.catalog = catalog
+        self.encoder = StateEncoder(network, catalog, encoder_config)
+        self.actions = ActionSpace(network, node_order=self.encoder.node_order)
+        self.latency_mask_check = latency_mask_check
+        self.name = name or f"drl_{agent.name}"
+
+    def place(
+        self, request: SFCRequest, network: SubstrateNetwork
+    ) -> Optional[Placement]:
+        """Greedily roll the agent through the request's per-VNF decisions."""
+        # The policy's encoder/action space were built over the same topology
+        # object the simulation mutates, so utilizations reflect live state.
+        partial_assignment: List[int] = []
+        partial_latency = 0.0
+        for vnf_index in range(request.num_vnfs):
+            state = self.encoder.encode(
+                request, vnf_index, partial_assignment, partial_latency
+            )
+            mask = self.actions.valid_mask(
+                request,
+                vnf_index,
+                partial_assignment,
+                partial_latency,
+                latency_check=self.latency_mask_check,
+            )
+            action = self.agent.select_action(state, mask=mask, greedy=True)
+            if self.actions.is_reject(action):
+                return None
+            node_id = self.actions.node_for_action(action)
+            anchor = self.encoder.anchor_node(request, partial_assignment)
+            try:
+                partial_latency += (
+                    network.latency_between(anchor, node_id)
+                    + request.chain.vnf_at(vnf_index).processing_delay_ms
+                )
+            except NoRouteError:
+                return None
+            partial_assignment.append(node_id)
+
+        try:
+            placement = Placement.build(request, partial_assignment, network)
+        except NoRouteError:
+            return None
+        if not placement.is_feasible(network):
+            return None
+        return placement

@@ -1,0 +1,185 @@
+"""Training and evaluation loops for placement agents."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.agents.base import Agent
+from repro.core.env import VNFPlacementEnv
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class TrainingConfig:
+    """Configuration of the episodic training loop."""
+
+    num_episodes: int = 200
+    max_steps_per_episode: int = 2000
+    evaluation_interval: int = 25
+    evaluation_episodes: int = 3
+    log_window: int = 10
+
+    def __post_init__(self) -> None:
+        check_positive(self.num_episodes, "num_episodes")
+        check_positive(self.max_steps_per_episode, "max_steps_per_episode")
+        check_positive(self.evaluation_interval, "evaluation_interval")
+        check_positive(self.evaluation_episodes, "evaluation_episodes")
+        check_positive(self.log_window, "log_window")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-episode training curves (the data behind the convergence figure)."""
+
+    episode_rewards: List[float] = field(default_factory=list)
+    episode_acceptance: List[float] = field(default_factory=list)
+    episode_latency: List[float] = field(default_factory=list)
+    episode_losses: List[float] = field(default_factory=list)
+    evaluation_rewards: List[float] = field(default_factory=list)
+    evaluation_episodes_at: List[int] = field(default_factory=list)
+
+    def moving_average_reward(self, window: int = 10) -> List[float]:
+        """Smoothed reward curve used in the convergence figure."""
+        rewards = self.episode_rewards
+        if not rewards:
+            return []
+        smoothed: List[float] = []
+        for index in range(len(rewards)):
+            start = max(0, index - window + 1)
+            smoothed.append(float(np.mean(rewards[start : index + 1])))
+        return smoothed
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly view of the full history."""
+        return {
+            "episode_rewards": list(self.episode_rewards),
+            "episode_acceptance": list(self.episode_acceptance),
+            "episode_latency": list(self.episode_latency),
+            "episode_losses": list(self.episode_losses),
+            "evaluation_rewards": list(self.evaluation_rewards),
+            "evaluation_episodes_at": list(self.evaluation_episodes_at),
+        }
+
+
+@dataclass
+class EvaluationResult:
+    """Aggregate greedy-policy performance over a handful of episodes."""
+
+    mean_reward: float
+    mean_acceptance: float
+    mean_latency_ms: float
+    episodes: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-friendly view of the evaluation result."""
+        return {
+            "mean_reward": self.mean_reward,
+            "mean_acceptance": self.mean_acceptance,
+            "mean_latency_ms": self.mean_latency_ms,
+            "episodes": self.episodes,
+        }
+
+
+class Trainer:
+    """Episodic trainer driving one agent through one environment."""
+
+    def __init__(
+        self,
+        env: VNFPlacementEnv,
+        agent: Agent,
+        config: Optional[TrainingConfig] = None,
+    ) -> None:
+        if agent.state_dim != env.state_dim:
+            raise ValueError(
+                f"agent expects state_dim={agent.state_dim} but the environment "
+                f"produces {env.state_dim}"
+            )
+        if agent.num_actions != env.num_actions:
+            raise ValueError(
+                f"agent expects num_actions={agent.num_actions} but the environment "
+                f"has {env.num_actions}"
+            )
+        self.env = env
+        self.agent = agent
+        self.config = config or TrainingConfig()
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def run_episode(self, learn: bool = True, greedy: bool = False) -> Dict[str, float]:
+        """Run one episode; returns the episode's summary statistics."""
+        state = self.env.reset()
+        episode_losses: List[float] = []
+        for _ in range(self.config.max_steps_per_episode):
+            mask = self.env.valid_action_mask()
+            action = self.agent.select_action(state, mask=mask, greedy=greedy)
+            next_state, reward, done, info = self.env.step(action)
+            if learn:
+                next_mask = self.env.valid_action_mask()
+                self.agent.observe(
+                    state, action, reward, next_state, done, next_mask=next_mask
+                )
+                diagnostics = self.agent.update()
+                if diagnostics and "loss" in diagnostics:
+                    episode_losses.append(diagnostics["loss"])
+            state = next_state
+            if done:
+                break
+        if learn:
+            self.agent.end_episode()
+        stats = self.env.stats
+        return {
+            "reward": stats.total_reward,
+            "acceptance": stats.acceptance_ratio,
+            "latency": stats.mean_latency_ms,
+            "loss": float(np.mean(episode_losses)) if episode_losses else 0.0,
+        }
+
+    def train(self, verbose: bool = False) -> TrainingHistory:
+        """Run the full training schedule and return the learning curves."""
+        for episode in range(1, self.config.num_episodes + 1):
+            summary = self.run_episode(learn=True, greedy=False)
+            self.history.episode_rewards.append(summary["reward"])
+            self.history.episode_acceptance.append(summary["acceptance"])
+            self.history.episode_latency.append(summary["latency"])
+            self.history.episode_losses.append(summary["loss"])
+
+            if episode % self.config.evaluation_interval == 0:
+                evaluation = self.evaluate(self.config.evaluation_episodes)
+                self.history.evaluation_rewards.append(evaluation.mean_reward)
+                self.history.evaluation_episodes_at.append(episode)
+                if verbose:
+                    window = self.config.log_window
+                    recent = self.history.episode_rewards[-window:]
+                    print(
+                        f"episode {episode:4d} | "
+                        f"reward(avg {window}) {np.mean(recent):8.2f} | "
+                        f"eval reward {evaluation.mean_reward:8.2f} | "
+                        f"eval acceptance {evaluation.mean_acceptance:5.2f}"
+                    )
+        return self.history
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, episodes: Optional[int] = None) -> EvaluationResult:
+        """Run greedy (no-exploration, no-learning) episodes."""
+        episodes = episodes or self.config.evaluation_episodes
+        rewards: List[float] = []
+        acceptances: List[float] = []
+        latencies: List[float] = []
+        for _ in range(episodes):
+            summary = self.run_episode(learn=False, greedy=True)
+            rewards.append(summary["reward"])
+            acceptances.append(summary["acceptance"])
+            latencies.append(summary["latency"])
+        return EvaluationResult(
+            mean_reward=float(np.mean(rewards)),
+            mean_acceptance=float(np.mean(acceptances)),
+            mean_latency_ms=float(np.mean(latencies)),
+            episodes=episodes,
+        )

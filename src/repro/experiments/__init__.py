@@ -1,0 +1,64 @@
+"""Experiment harness: figure and table reproduction."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    figure_acceptance_vs_arrival,
+    figure_acceptance_vs_edges,
+    figure_agent_ablation,
+    figure_cost_vs_arrival,
+    figure_latency_vs_arrival,
+    figure_reward_ablation,
+    figure_sla_sensitivity,
+    figure_training_convergence,
+    figure_utilization,
+)
+from repro.experiments.reporting import (
+    format_series,
+    format_table,
+    print_figure,
+    print_table,
+)
+from repro.experiments.runner import (
+    build_reference_scenario,
+    evaluate_drl_and_baselines,
+    evaluate_policies,
+    results_to_rows,
+    train_manager,
+)
+from repro.experiments.stats import (
+    MetricSummary,
+    compare_policies,
+    replicate,
+    summarize_metric,
+    summarize_replications,
+)
+from repro.experiments.tables import table_simulation_settings, table_summary_comparison
+
+__all__ = [
+    "ExperimentConfig",
+    "figure_acceptance_vs_arrival",
+    "figure_acceptance_vs_edges",
+    "figure_agent_ablation",
+    "figure_cost_vs_arrival",
+    "figure_latency_vs_arrival",
+    "figure_reward_ablation",
+    "figure_sla_sensitivity",
+    "figure_training_convergence",
+    "figure_utilization",
+    "format_series",
+    "format_table",
+    "print_figure",
+    "print_table",
+    "build_reference_scenario",
+    "evaluate_drl_and_baselines",
+    "evaluate_policies",
+    "results_to_rows",
+    "train_manager",
+    "MetricSummary",
+    "compare_policies",
+    "replicate",
+    "summarize_metric",
+    "summarize_replications",
+    "table_simulation_settings",
+    "table_summary_comparison",
+]

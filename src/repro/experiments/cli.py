@@ -1,0 +1,189 @@
+"""Command-line interface for the experiment harness.
+
+Run any reproduced table or figure without writing Python::
+
+    python -m repro.experiments.cli list
+    python -m repro.experiments.cli run fig2 --preset fast
+    python -m repro.experiments.cli run table2 --preset smoke --output results/table2.json
+    python -m repro.experiments.cli run all --preset fast --output-dir results/
+
+The ``fast`` preset matches the pytest benchmarks; ``paper`` runs the
+full-scale settings; ``smoke`` finishes in seconds and exists for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    figure_acceptance_vs_arrival,
+    figure_acceptance_vs_edges,
+    figure_agent_ablation,
+    figure_cost_vs_arrival,
+    figure_latency_vs_arrival,
+    figure_reward_ablation,
+    figure_sla_sensitivity,
+    figure_training_convergence,
+    figure_utilization,
+)
+from repro.experiments.reporting import print_figure, print_table
+from repro.experiments.tables import table_simulation_settings, table_summary_comparison
+from repro.utils.serialization import save_json
+
+#: Experiment id -> (runner, kind) registry used by ``run`` and ``list``.
+EXPERIMENTS: Dict[str, Dict[str, object]] = {
+    "table1": {
+        "runner": table_simulation_settings,
+        "kind": "table",
+        "description": "Table I — simulation settings",
+    },
+    "table2": {
+        "runner": table_summary_comparison,
+        "kind": "table",
+        "description": "Table II — policy comparison at reference load",
+    },
+    "fig1": {
+        "runner": figure_training_convergence,
+        "kind": "figure",
+        "description": "Fig. 1 — training convergence",
+    },
+    "fig2": {
+        "runner": figure_acceptance_vs_arrival,
+        "kind": "figure",
+        "description": "Fig. 2 — acceptance ratio vs arrival rate",
+    },
+    "fig3": {
+        "runner": figure_latency_vs_arrival,
+        "kind": "figure",
+        "description": "Fig. 3 — mean latency vs arrival rate",
+    },
+    "fig4": {
+        "runner": figure_cost_vs_arrival,
+        "kind": "figure",
+        "description": "Fig. 4 — cost per accepted request vs arrival rate",
+    },
+    "fig5": {
+        "runner": figure_acceptance_vs_edges,
+        "kind": "figure",
+        "description": "Fig. 5 — acceptance ratio vs number of edge nodes",
+    },
+    "fig6": {
+        "runner": figure_sla_sensitivity,
+        "kind": "figure",
+        "description": "Fig. 6 — sensitivity to SLA strictness",
+    },
+    "fig7": {
+        "runner": figure_utilization,
+        "kind": "figure",
+        "description": "Fig. 7 — edge utilization and load balance",
+    },
+    "ablation-reward": {
+        "runner": figure_reward_ablation,
+        "kind": "figure",
+        "description": "Ablation A — reward-weight variants",
+    },
+    "ablation-agents": {
+        "runner": figure_agent_ablation,
+        "kind": "figure",
+        "description": "Ablation B — DQN variants",
+    },
+}
+
+
+def resolve_config(preset: str) -> ExperimentConfig:
+    """Map a preset name to an :class:`ExperimentConfig`."""
+    presets: Dict[str, Callable[[], ExperimentConfig]] = {
+        "paper": ExperimentConfig.paper,
+        "fast": ExperimentConfig.fast,
+        "smoke": ExperimentConfig.smoke,
+    }
+    if preset not in presets:
+        raise ValueError(f"unknown preset {preset!r}; choose from {sorted(presets)}")
+    return presets[preset]()
+
+
+def run_experiment(
+    experiment_id: str,
+    config: ExperimentConfig,
+    output: Optional[Path] = None,
+    quiet: bool = False,
+) -> Dict[str, object]:
+    """Run one experiment, print its result, optionally persist JSON."""
+    if experiment_id not in EXPERIMENTS:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    entry = EXPERIMENTS[experiment_id]
+    start = time.time()
+    data = entry["runner"](config)
+    elapsed = time.time() - start
+    if not quiet:
+        if entry["kind"] == "table":
+            print_table(data)
+        else:
+            print_figure(data)
+        print(f"[{experiment_id}] completed in {elapsed:.1f}s")
+    if output is not None:
+        save_json(data, output)
+        if not quiet:
+            print(f"[{experiment_id}] wrote {output}")
+    return data
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments", description="Reproduce the paper's tables and figures."
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id (see 'list'), or 'all'")
+    run_parser.add_argument(
+        "--preset", default="fast", choices=("paper", "fast", "smoke"),
+        help="experiment scale preset",
+    )
+    run_parser.add_argument("--output", type=Path, default=None, help="write JSON result here")
+    run_parser.add_argument(
+        "--output-dir", type=Path, default=None,
+        help="with 'all': directory receiving one JSON file per experiment",
+    )
+    run_parser.add_argument("--quiet", action="store_true", help="suppress table/series output")
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(key) for key in EXPERIMENTS)
+        for key, entry in EXPERIMENTS.items():
+            print(f"{key.ljust(width)}  {entry['description']}")
+        return 0
+
+    config = resolve_config(args.preset)
+    if args.experiment == "all":
+        for key in EXPERIMENTS:
+            output = None
+            if args.output_dir is not None:
+                output = Path(args.output_dir) / f"{key}.json"
+            run_experiment(key, config, output=output, quiet=args.quiet)
+        return 0
+
+    try:
+        run_experiment(args.experiment, config, output=args.output, quiet=args.quiet)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Configuration of the reproduction experiments.
+
+Two presets are provided:
+
+* :meth:`ExperimentConfig.paper` — the full-scale settings matching the
+  reconstructed evaluation (16 edge nodes, hundreds of training episodes,
+  dense sweeps).  Running every figure at this scale takes a few hours on a
+  laptop.
+* :meth:`ExperimentConfig.fast` — a scaled-down preset used by the pytest
+  benchmarks and CI: the same code paths and the same qualitative shapes, at
+  a fraction of the runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.agents.dqn import DQNConfig
+from repro.core.env import EnvConfig
+from repro.core.manager import ManagerConfig
+from repro.core.reward import RewardConfig
+from repro.core.training import TrainingConfig
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class ExperimentConfig:
+    """Shared knobs of the experiment harness."""
+
+    num_edge_nodes: int = 16
+    training_episodes: int = 200
+    requests_per_episode: int = 50
+    hidden_layers: Sequence[int] = (128, 128)
+    evaluation_horizon: float = 600.0
+    arrival_rates: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0, 1.2)
+    edge_node_sweep: Sequence[int] = (8, 12, 16, 24, 32)
+    sla_scales: Sequence[float] = (0.5, 0.75, 1.0, 1.5, 2.0)
+    reference_arrival_rate: float = 0.8
+    seed: int = 0
+    epsilon_decay_steps: int = 20_000
+
+    def __post_init__(self) -> None:
+        check_positive(self.num_edge_nodes, "num_edge_nodes")
+        check_positive(self.training_episodes, "training_episodes")
+        check_positive(self.requests_per_episode, "requests_per_episode")
+        check_positive(self.evaluation_horizon, "evaluation_horizon")
+        check_positive(self.reference_arrival_rate, "reference_arrival_rate")
+        if not self.arrival_rates:
+            raise ValueError("arrival_rates must not be empty")
+        if not self.edge_node_sweep:
+            raise ValueError("edge_node_sweep must not be empty")
+
+    # ------------------------------------------------------------------ #
+    # Presets
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def paper(cls) -> "ExperimentConfig":
+        """Full-scale settings (hours of laptop time across all figures)."""
+        return cls()
+
+    @classmethod
+    def fast(cls) -> "ExperimentConfig":
+        """Scaled-down settings used by the pytest benchmarks.
+
+        Sweeps keep at least three points so crossover shapes remain visible;
+        network and training sizes are reduced by roughly an order of
+        magnitude.
+        """
+        return cls(
+            num_edge_nodes=8,
+            training_episodes=60,
+            requests_per_episode=30,
+            hidden_layers=(64, 64),
+            evaluation_horizon=200.0,
+            arrival_rates=(0.4, 0.8, 1.2),
+            edge_node_sweep=(6, 10, 14),
+            sla_scales=(0.5, 1.0, 2.0),
+            reference_arrival_rate=1.0,
+            seed=0,
+            epsilon_decay_steps=5000,
+        )
+
+    @classmethod
+    def smoke(cls) -> "ExperimentConfig":
+        """Minimal settings for unit tests: seconds, not minutes."""
+        return cls(
+            num_edge_nodes=6,
+            training_episodes=4,
+            requests_per_episode=8,
+            hidden_layers=(16, 16),
+            evaluation_horizon=60.0,
+            arrival_rates=(0.5, 1.0),
+            edge_node_sweep=(4, 6),
+            sla_scales=(0.5, 1.5),
+            reference_arrival_rate=0.8,
+            seed=0,
+            epsilon_decay_steps=300,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Derived configurations
+    # ------------------------------------------------------------------ #
+    def manager_config(self, reward: RewardConfig | None = None) -> ManagerConfig:
+        """The :class:`ManagerConfig` implied by this experiment preset."""
+        return ManagerConfig(
+            training=TrainingConfig(
+                num_episodes=self.training_episodes,
+                evaluation_interval=max(5, self.training_episodes // 4),
+                evaluation_episodes=2,
+            ),
+            env=EnvConfig(requests_per_episode=self.requests_per_episode),
+            reward=reward or RewardConfig(),
+            dqn=DQNConfig(
+                hidden_layers=tuple(self.hidden_layers),
+                epsilon_decay_steps=self.epsilon_decay_steps,
+                min_replay_size=min(500, self.requests_per_episode * 10),
+                batch_size=min(64, max(16, self.requests_per_episode)),
+            ),
+        )
+
+    def dqn_config(self) -> DQNConfig:
+        """A stand-alone DQN configuration matching :meth:`manager_config`."""
+        return self.manager_config().dqn

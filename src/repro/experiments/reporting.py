@@ -1,0 +1,76 @@
+"""Plain-text rendering of figure series and table rows.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that output readable without pulling in a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] = ()) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) or list(rows[0].keys())
+    rendered_rows = [
+        [_format_cell(row.get(column, "")) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(row[i]) for row in rendered_rows))
+        for i, column in enumerate(columns)
+    ]
+    header = " | ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    divider = "-+-".join("-" * w for w in widths)
+    body = "\n".join(
+        " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in rendered_rows
+    )
+    return f"{header}\n{divider}\n{body}"
+
+
+def format_series(figure_data: Mapping[str, object], precision: int = 4) -> str:
+    """Render a ``figure_*`` result as an x-by-series text table."""
+    x_values = list(figure_data.get("x", []))
+    series: Dict[str, List[float]] = dict(figure_data.get("series", {}))
+    rows: List[Dict[str, object]] = []
+    for index, x in enumerate(x_values):
+        row: Dict[str, object] = {str(figure_data.get("x_label", "x")): x}
+        for name, values in series.items():
+            if index < len(values):
+                row[name] = _round(values[index], precision)
+        rows.append(row)
+    title = figure_data.get("figure", "figure")
+    return f"== {title} ==\n" + format_table(rows)
+
+
+def print_figure(figure_data: Mapping[str, object]) -> None:
+    """Print a figure's series to stdout (used by the benchmark harness)."""
+    print(format_series(figure_data))
+
+
+def print_table(table_data: Mapping[str, object]) -> None:
+    """Print a table's rows to stdout (used by the benchmark harness)."""
+    title = table_data.get("table", "table")
+    rows = table_data.get("rows")
+    print(f"== {title} ==")
+    if isinstance(rows, list) and rows:
+        print(format_table(rows))
+    else:
+        for key, value in table_data.items():
+            if key == "table":
+                continue
+            print(f"{key}: {value}")
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def _round(value: object, precision: int) -> object:
+    if isinstance(value, float):
+        return round(value, precision)
+    return value

@@ -1,0 +1,122 @@
+"""Shared runners used by the figure/table reproduction functions."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines import standard_baselines
+from repro.core.manager import VNFManager
+from repro.core.reward import RewardConfig
+from repro.experiments.config import ExperimentConfig
+from repro.sim.simulation import (
+    PlacementPolicy,
+    SimulationConfig,
+    SimulationResult,
+    run_policy_comparison,
+)
+from repro.utils.rng import derive_seed
+from repro.workloads.scenarios import Scenario, reference_scenario
+
+
+def build_reference_scenario(
+    config: ExperimentConfig, arrival_rate: Optional[float] = None
+) -> Scenario:
+    """The reference scenario at the experiment's scale and (optional) load."""
+    return reference_scenario(
+        arrival_rate=arrival_rate or config.reference_arrival_rate,
+        num_edge_nodes=config.num_edge_nodes,
+        horizon=config.evaluation_horizon,
+        seed=config.seed,
+    )
+
+
+def train_manager(
+    scenario: Scenario,
+    config: ExperimentConfig,
+    reward: Optional[RewardConfig] = None,
+    verbose: bool = False,
+) -> VNFManager:
+    """Train a DQN-based manager on ``scenario`` with the experiment settings."""
+    manager = VNFManager(
+        scenario,
+        config=config.manager_config(reward),
+        seed=derive_seed(config.seed, "manager", scenario.name),
+    )
+    manager.train(verbose=verbose)
+    return manager
+
+
+def evaluate_policies(
+    scenario: Scenario,
+    policies: Sequence[PlacementPolicy],
+    horizon: Optional[float] = None,
+) -> List[SimulationResult]:
+    """Run every policy over the scenario's trace on fresh substrate copies."""
+    requests = scenario.generate_requests(horizon=horizon)
+    simulation_config = SimulationConfig(
+        horizon=horizon or scenario.workload_config.horizon
+    )
+    return run_policy_comparison(
+        network_factory=scenario.build_network,
+        policies=list(policies),
+        requests=requests,
+        config=simulation_config,
+    )
+
+
+def evaluate_drl_and_baselines(
+    scenario: Scenario,
+    manager: VNFManager,
+    config: ExperimentConfig,
+    include_baselines: bool = True,
+) -> Dict[str, SimulationResult]:
+    """Evaluate the trained DRL policy and the standard baselines.
+
+    The DRL policy needs its encoder bound to the *same network object* the
+    simulation mutates, so it is constructed per evaluation via a small
+    adapter around :meth:`VNFManager.build_policy`.
+    """
+    requests = scenario.generate_requests()
+    simulation_config = SimulationConfig(horizon=scenario.workload_config.horizon)
+    results: Dict[str, SimulationResult] = {}
+
+    # DRL policy: build network first, bind the policy to it, then simulate.
+    from repro.sim.simulation import NFVSimulation
+
+    drl_network = scenario.build_network()
+    drl_policy = manager.build_policy(drl_network)
+    drl_result = NFVSimulation(drl_network, drl_policy, simulation_config).run(requests)
+    results[drl_policy.name] = drl_result
+
+    if include_baselines:
+        baselines = standard_baselines(seed=derive_seed(config.seed, "baselines"))
+        baseline_results = run_policy_comparison(
+            network_factory=scenario.build_network,
+            policies=baselines,
+            requests=requests,
+            config=simulation_config,
+        )
+        for policy, result in zip(baselines, baseline_results):
+            results[policy.name] = result
+    return results
+
+
+def results_to_rows(results: Dict[str, SimulationResult]) -> List[Dict[str, object]]:
+    """Flatten named simulation results into table rows."""
+    rows: List[Dict[str, object]] = []
+    for name, result in results.items():
+        summary = result.summary
+        rows.append(
+            {
+                "policy": name,
+                "acceptance_ratio": round(summary.acceptance_ratio, 4),
+                "mean_latency_ms": round(summary.mean_latency_ms, 3),
+                "sla_violation_ratio": round(summary.sla_violation_ratio, 4),
+                "total_cost": round(summary.total_cost, 2),
+                "total_revenue": round(summary.total_revenue, 2),
+                "profit": round(summary.profit, 2),
+                "mean_edge_utilization": round(summary.mean_edge_utilization, 4),
+                "utilization_imbalance": round(summary.mean_utilization_imbalance, 4),
+            }
+        )
+    return rows

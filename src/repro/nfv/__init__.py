@@ -1,0 +1,49 @@
+"""VNF, service-chain, SLA and placement models."""
+
+from repro.nfv.catalog import (
+    ChainTemplate,
+    UnknownVNFTypeError,
+    VNFCatalog,
+    default_catalog,
+    default_chain_templates,
+    validate_templates,
+)
+from repro.nfv.placement import (
+    Placement,
+    PlacementError,
+    PlacementSegment,
+)
+from repro.nfv.sfc import (
+    SFCRequest,
+    ServiceFunctionChain,
+    chain_summary,
+    reset_request_counter,
+)
+from repro.nfv.sla import (
+    DEFAULT_NODE_AVAILABILITY,
+    ServiceLevelAgreement,
+    placement_availability,
+)
+from repro.nfv.vnf import VNFInstance, VNFType, make_vnf_type
+
+__all__ = [
+    "ChainTemplate",
+    "UnknownVNFTypeError",
+    "VNFCatalog",
+    "default_catalog",
+    "default_chain_templates",
+    "validate_templates",
+    "Placement",
+    "PlacementError",
+    "PlacementSegment",
+    "SFCRequest",
+    "ServiceFunctionChain",
+    "chain_summary",
+    "reset_request_counter",
+    "DEFAULT_NODE_AVAILABILITY",
+    "ServiceLevelAgreement",
+    "placement_availability",
+    "VNFInstance",
+    "VNFType",
+    "make_vnf_type",
+]

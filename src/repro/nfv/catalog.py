@@ -1,0 +1,245 @@
+"""The standard VNF catalog and the service chains built from it.
+
+The catalog mirrors the VNF mixes commonly used in NFV placement evaluations:
+firewall, NAT, IDS/IPS, load balancer, WAN optimizer, video transcoder and a
+lightweight traffic monitor.  Service chain templates assemble these into the
+service classes the workload generator draws from (web service, VoIP, video
+streaming, IoT analytics, AR/VR offloading).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.nfv.vnf import VNFType, make_vnf_type
+
+
+class UnknownVNFTypeError(KeyError):
+    """Raised when a chain references a VNF type not in the catalog."""
+
+
+class VNFCatalog:
+    """A registry of VNF types keyed by name."""
+
+    def __init__(self, types: Sequence[VNFType] = ()) -> None:
+        self._types: Dict[str, VNFType] = {}
+        for vnf_type in types:
+            self.register(vnf_type)
+
+    def register(self, vnf_type: VNFType) -> None:
+        """Add a type to the catalog; names must be unique."""
+        if vnf_type.name in self._types:
+            raise ValueError(f"VNF type {vnf_type.name!r} already registered")
+        self._types[vnf_type.name] = vnf_type
+
+    def get(self, name: str) -> VNFType:
+        """Look up a type by name."""
+        try:
+            return self._types[name]
+        except KeyError as exc:
+            raise UnknownVNFTypeError(
+                f"unknown VNF type {name!r}; known types: {sorted(self._types)}"
+            ) from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    @property
+    def names(self) -> List[str]:
+        """All registered type names in registration order."""
+        return list(self._types.keys())
+
+    def types(self) -> List[VNFType]:
+        """All registered types in registration order."""
+        return list(self._types.values())
+
+    def index_of(self, name: str) -> int:
+        """Stable index of a type name (used for one-hot state encoding)."""
+        try:
+            return self.names.index(name)
+        except ValueError as exc:
+            raise UnknownVNFTypeError(f"unknown VNF type {name!r}") from exc
+
+
+def default_catalog() -> VNFCatalog:
+    """The standard seven-type catalog used by all reference experiments."""
+    return VNFCatalog(
+        [
+            make_vnf_type(
+                "firewall",
+                cpu=2.0,
+                memory=2.0,
+                storage=4.0,
+                cpu_per_mbps=0.004,
+                processing_delay_ms=0.6,
+                license_cost=1.0,
+            ),
+            make_vnf_type(
+                "nat",
+                cpu=1.0,
+                memory=1.0,
+                storage=2.0,
+                cpu_per_mbps=0.002,
+                processing_delay_ms=0.3,
+                license_cost=0.5,
+            ),
+            make_vnf_type(
+                "ids",
+                cpu=4.0,
+                memory=6.0,
+                storage=16.0,
+                cpu_per_mbps=0.010,
+                memory_per_mbps=0.004,
+                processing_delay_ms=1.2,
+                license_cost=2.0,
+            ),
+            make_vnf_type(
+                "load_balancer",
+                cpu=1.5,
+                memory=2.0,
+                storage=2.0,
+                cpu_per_mbps=0.003,
+                processing_delay_ms=0.4,
+                license_cost=0.8,
+            ),
+            make_vnf_type(
+                "wan_optimizer",
+                cpu=3.0,
+                memory=4.0,
+                storage=32.0,
+                cpu_per_mbps=0.006,
+                memory_per_mbps=0.002,
+                processing_delay_ms=0.9,
+                license_cost=1.5,
+            ),
+            make_vnf_type(
+                "transcoder",
+                cpu=6.0,
+                memory=8.0,
+                storage=8.0,
+                cpu_per_mbps=0.015,
+                memory_per_mbps=0.006,
+                processing_delay_ms=2.0,
+                license_cost=2.5,
+            ),
+            make_vnf_type(
+                "monitor",
+                cpu=0.5,
+                memory=1.0,
+                storage=8.0,
+                cpu_per_mbps=0.001,
+                processing_delay_ms=0.2,
+                license_cost=0.2,
+            ),
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class ChainTemplate:
+    """A named service class: an ordered VNF sequence plus traffic parameters.
+
+    ``bandwidth_range`` and ``latency_sla_range`` bound the values the
+    workload generator samples uniformly for each request; ``revenue_per_mbps``
+    scales the reward/revenue of accepting a request of this class.
+    """
+
+    name: str
+    vnf_sequence: Tuple[str, ...]
+    bandwidth_range: Tuple[float, float]
+    latency_sla_range_ms: Tuple[float, float]
+    mean_holding_time: float
+    revenue_per_mbps: float = 1.0
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.vnf_sequence:
+            raise ValueError(f"chain template {self.name!r} must contain >= 1 VNF")
+        lo, hi = self.bandwidth_range
+        if not 0 < lo <= hi:
+            raise ValueError(f"invalid bandwidth_range {self.bandwidth_range}")
+        lo, hi = self.latency_sla_range_ms
+        if not 0 < lo <= hi:
+            raise ValueError(f"invalid latency_sla_range_ms {self.latency_sla_range_ms}")
+        if self.mean_holding_time <= 0:
+            raise ValueError("mean_holding_time must be positive")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+
+    @property
+    def length(self) -> int:
+        """Number of VNFs in the chain."""
+        return len(self.vnf_sequence)
+
+
+def default_chain_templates() -> List[ChainTemplate]:
+    """The five service classes used by the reference workload mix.
+
+    The classes deliberately span the latency-sensitivity spectrum: AR/VR and
+    VoIP have tight SLAs that effectively force edge placement, while web and
+    IoT analytics tolerate the cloud round trip.
+    """
+    return [
+        ChainTemplate(
+            name="web_service",
+            vnf_sequence=("firewall", "nat", "load_balancer"),
+            bandwidth_range=(20.0, 120.0),
+            latency_sla_range_ms=(40.0, 80.0),
+            mean_holding_time=60.0,
+            revenue_per_mbps=1.0,
+            weight=0.30,
+        ),
+        ChainTemplate(
+            name="voip",
+            vnf_sequence=("nat", "firewall", "monitor"),
+            bandwidth_range=(5.0, 30.0),
+            latency_sla_range_ms=(15.0, 30.0),
+            mean_holding_time=120.0,
+            revenue_per_mbps=2.0,
+            weight=0.20,
+        ),
+        ChainTemplate(
+            name="video_streaming",
+            vnf_sequence=("firewall", "transcoder", "wan_optimizer"),
+            bandwidth_range=(80.0, 400.0),
+            latency_sla_range_ms=(50.0, 100.0),
+            mean_holding_time=180.0,
+            revenue_per_mbps=0.8,
+            weight=0.25,
+        ),
+        ChainTemplate(
+            name="iot_analytics",
+            vnf_sequence=("nat", "ids", "monitor"),
+            bandwidth_range=(10.0, 60.0),
+            latency_sla_range_ms=(60.0, 150.0),
+            mean_holding_time=300.0,
+            revenue_per_mbps=1.2,
+            weight=0.15,
+        ),
+        ChainTemplate(
+            name="ar_vr_offload",
+            vnf_sequence=("firewall", "load_balancer", "transcoder"),
+            bandwidth_range=(50.0, 200.0),
+            latency_sla_range_ms=(10.0, 25.0),
+            mean_holding_time=45.0,
+            revenue_per_mbps=3.0,
+            weight=0.10,
+        ),
+    ]
+
+
+def validate_templates(
+    templates: Sequence[ChainTemplate], catalog: VNFCatalog
+) -> None:
+    """Ensure every VNF referenced by the templates exists in the catalog."""
+    for template in templates:
+        for vnf_name in template.vnf_sequence:
+            if vnf_name not in catalog:
+                raise UnknownVNFTypeError(
+                    f"chain template {template.name!r} references unknown VNF "
+                    f"type {vnf_name!r}"
+                )

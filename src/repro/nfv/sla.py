@@ -1,0 +1,91 @@
+"""Service level agreements for SFC requests.
+
+The model used in the reproduction is latency-centric — the SLA of a request
+is primarily a maximum end-to-end latency — with an optional minimum
+availability term that penalizes placements concentrating every VNF of a
+chain on a single node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.utils.validation import check_non_negative, check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class ServiceLevelAgreement:
+    """The contract attached to an SFC request.
+
+    Parameters
+    ----------
+    max_latency_ms:
+        End-to-end latency budget (propagation + VNF processing).
+    min_availability:
+        Minimum availability target in [0, 1].  The placement-level
+        availability estimate is a simple series-system product of per-node
+        availabilities, so spreading a chain over fewer distinct failure
+        domains lowers it.
+    violation_penalty:
+        Monetary penalty charged when an accepted request later violates the
+        SLA (used by the cost metric and the reward function).
+    """
+
+    max_latency_ms: float
+    min_availability: float = 0.0
+    violation_penalty: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.max_latency_ms, "max_latency_ms")
+        check_probability(self.min_availability, "min_availability")
+        check_non_negative(self.violation_penalty, "violation_penalty")
+
+    def latency_satisfied(self, latency_ms: float, tol: float = 1e-9) -> bool:
+        """True when ``latency_ms`` is within the budget."""
+        return latency_ms <= self.max_latency_ms + tol
+
+    def availability_satisfied(self, availability: float) -> bool:
+        """True when the placement availability meets the target."""
+        return availability + 1e-12 >= self.min_availability
+
+    def is_satisfied(self, latency_ms: float, availability: float = 1.0) -> bool:
+        """True when both the latency and availability terms are met."""
+        return self.latency_satisfied(latency_ms) and self.availability_satisfied(
+            availability
+        )
+
+    def latency_headroom_ms(self, latency_ms: float) -> float:
+        """Remaining latency budget (negative when violated)."""
+        return self.max_latency_ms - latency_ms
+
+    def latency_fraction_used(self, latency_ms: float) -> float:
+        """Fraction of the latency budget consumed (can exceed 1.0)."""
+        return latency_ms / self.max_latency_ms
+
+    def snapshot(self) -> Dict[str, float]:
+        """A JSON-friendly summary of the SLA."""
+        return {
+            "max_latency_ms": self.max_latency_ms,
+            "min_availability": self.min_availability,
+            "violation_penalty": self.violation_penalty,
+        }
+
+
+#: Per-node availability figures used by the series-system estimate.  Edge
+#: sites are assumed slightly less reliable than a hardened cloud datacenter.
+DEFAULT_NODE_AVAILABILITY = {"edge": 0.995, "cloud": 0.9999}
+
+
+def placement_availability(node_tiers: Dict[int, str]) -> float:
+    """Series-system availability of a placement.
+
+    ``node_tiers`` maps each *distinct* node hosting part of the chain to its
+    tier ("edge" or "cloud").  Availability multiplies across distinct nodes:
+    more distinct nodes means more components that can fail, which is the
+    standard series-system assumption for chained functions.
+    """
+    availability = 1.0
+    for tier in node_tiers.values():
+        availability *= DEFAULT_NODE_AVAILABILITY.get(tier, 0.99)
+    return availability

@@ -1,0 +1,48 @@
+"""A minimal pure-numpy neural network library used by the DRL agents."""
+
+from repro.nn.activations import (
+    Activation,
+    Identity,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    get_activation,
+    log_softmax,
+    softmax,
+)
+from repro.nn.layers import DenseLayer
+from repro.nn.losses import HuberLoss, Loss, MSELoss, get_loss
+from repro.nn.network import MLP
+from repro.nn.optimizers import (
+    Adam,
+    Optimizer,
+    RMSProp,
+    SGD,
+    clip_gradients,
+    get_optimizer,
+)
+
+__all__ = [
+    "Activation",
+    "Identity",
+    "LeakyReLU",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "get_activation",
+    "log_softmax",
+    "softmax",
+    "DenseLayer",
+    "HuberLoss",
+    "Loss",
+    "MSELoss",
+    "get_loss",
+    "MLP",
+    "Adam",
+    "Optimizer",
+    "RMSProp",
+    "SGD",
+    "clip_gradients",
+    "get_optimizer",
+]

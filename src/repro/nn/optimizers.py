@@ -1,0 +1,166 @@
+"""First-order optimizers operating on parameter/gradient dictionaries.
+
+Optimizers are decoupled from network classes: they receive the list of
+``(parameters, gradients)`` dictionaries produced by
+:meth:`repro.nn.network.MLP.parameter_groups` and update the parameter arrays
+in place.  Per-parameter optimizer state (momenta, second moments) is keyed
+by ``(group index, parameter name)``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative, check_positive
+
+ParameterGroup = Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]
+
+
+class Optimizer(ABC):
+    """Interface of all optimizers."""
+
+    def __init__(self, learning_rate: float) -> None:
+        check_positive(learning_rate, "learning_rate")
+        self.learning_rate = learning_rate
+        self.steps = 0
+
+    @abstractmethod
+    def _update_parameter(
+        self, key: Tuple[int, str], parameter: np.ndarray, gradient: np.ndarray
+    ) -> None:
+        """Apply one update to a single parameter array in place."""
+
+    def step(self, groups: List[ParameterGroup]) -> None:
+        """Apply one optimization step over all parameter groups."""
+        self.steps += 1
+        for index, (parameters, gradients) in enumerate(groups):
+            for name, parameter in parameters.items():
+                gradient = gradients[name]
+                self._update_parameter((index, name), parameter, gradient)
+
+    def state_size(self) -> int:
+        """Number of per-parameter state arrays held (used in tests)."""
+        return 0
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent, optionally with momentum."""
+
+    def __init__(self, learning_rate: float = 1e-2, momentum: float = 0.0) -> None:
+        super().__init__(learning_rate)
+        check_non_negative(momentum, "momentum")
+        if momentum >= 1.0:
+            raise ValueError(f"momentum must be < 1, got {momentum}")
+        self.momentum = momentum
+        self._velocity: Dict[Tuple[int, str], np.ndarray] = {}
+
+    def _update_parameter(self, key, parameter, gradient) -> None:
+        if self.momentum > 0.0:
+            velocity = self._velocity.setdefault(key, np.zeros_like(parameter))
+            velocity *= self.momentum
+            velocity -= self.learning_rate * gradient
+            parameter += velocity
+        else:
+            parameter -= self.learning_rate * gradient
+
+    def state_size(self) -> int:
+        return len(self._velocity)
+
+
+class RMSProp(Optimizer):
+    """RMSProp: scale updates by a running average of squared gradients."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        decay: float = 0.99,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 < decay < 1.0:
+            raise ValueError(f"decay must be in (0, 1), got {decay}")
+        check_positive(epsilon, "epsilon")
+        self.decay = decay
+        self.epsilon = epsilon
+        self._square_avg: Dict[Tuple[int, str], np.ndarray] = {}
+
+    def _update_parameter(self, key, parameter, gradient) -> None:
+        square_avg = self._square_avg.setdefault(key, np.zeros_like(parameter))
+        square_avg *= self.decay
+        square_avg += (1.0 - self.decay) * gradient**2
+        parameter -= self.learning_rate * gradient / (np.sqrt(square_avg) + self.epsilon)
+
+    def state_size(self) -> int:
+        return len(self._square_avg)
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first and second moment estimates."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0:
+            raise ValueError(f"beta1 must be in [0, 1), got {beta1}")
+        if not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"beta2 must be in [0, 1), got {beta2}")
+        check_positive(epsilon, "epsilon")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._first_moment: Dict[Tuple[int, str], np.ndarray] = {}
+        self._second_moment: Dict[Tuple[int, str], np.ndarray] = {}
+
+    def _update_parameter(self, key, parameter, gradient) -> None:
+        first = self._first_moment.setdefault(key, np.zeros_like(parameter))
+        second = self._second_moment.setdefault(key, np.zeros_like(parameter))
+        first *= self.beta1
+        first += (1.0 - self.beta1) * gradient
+        second *= self.beta2
+        second += (1.0 - self.beta2) * gradient**2
+        # Bias correction uses the global step count, which is incremented in
+        # step() before parameter updates, so it is always >= 1 here.
+        first_hat = first / (1.0 - self.beta1**self.steps)
+        second_hat = second / (1.0 - self.beta2**self.steps)
+        parameter -= self.learning_rate * first_hat / (np.sqrt(second_hat) + self.epsilon)
+
+    def state_size(self) -> int:
+        return len(self._first_moment) + len(self._second_moment)
+
+
+def get_optimizer(name: str, learning_rate: float = 1e-3, **kwargs) -> Optimizer:
+    """Look up an optimizer by name (``sgd``, ``rmsprop``, ``adam``)."""
+    name = name.lower()
+    if name == "sgd":
+        return SGD(learning_rate, **kwargs)
+    if name == "rmsprop":
+        return RMSProp(learning_rate, **kwargs)
+    if name == "adam":
+        return Adam(learning_rate, **kwargs)
+    raise ValueError(
+        f"unknown optimizer {name!r}; available: ['sgd', 'rmsprop', 'adam']"
+    )
+
+
+def clip_gradients(groups: List[ParameterGroup], max_norm: float) -> float:
+    """Globally clip gradients to ``max_norm`` (L2) and return the raw norm."""
+    check_positive(max_norm, "max_norm")
+    total = 0.0
+    for _, gradients in groups:
+        for gradient in gradients.values():
+            total += float(np.sum(gradient**2))
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for _, gradients in groups:
+            for gradient in gradients.values():
+                gradient *= scale
+    return norm

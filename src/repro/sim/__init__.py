@@ -1,0 +1,70 @@
+"""Discrete-event simulation of online VNF placement."""
+
+from repro.sim.arrivals import (
+    ArrivalProcess,
+    DeterministicProcess,
+    DiurnalProcess,
+    MMPPProcess,
+    PoissonProcess,
+    make_arrival_process,
+)
+from repro.sim.engine import EventEngine, SimulationClockError
+from repro.sim.failures import (
+    DisruptionReport,
+    FailureConfig,
+    FailureEvent,
+    FailureInjector,
+    FaultyNFVSimulation,
+)
+from repro.sim.events import (
+    Event,
+    EventType,
+    arrival_event,
+    departure_event,
+    end_event,
+    monitoring_event,
+)
+from repro.sim.metrics import (
+    MetricsCollector,
+    MetricsSummary,
+    RequestOutcome,
+    UtilizationSample,
+)
+from repro.sim.simulation import (
+    NFVSimulation,
+    PlacementPolicy,
+    SimulationConfig,
+    SimulationResult,
+    run_policy_comparison,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "DeterministicProcess",
+    "DiurnalProcess",
+    "MMPPProcess",
+    "PoissonProcess",
+    "make_arrival_process",
+    "EventEngine",
+    "SimulationClockError",
+    "DisruptionReport",
+    "FailureConfig",
+    "FailureEvent",
+    "FailureInjector",
+    "FaultyNFVSimulation",
+    "Event",
+    "EventType",
+    "arrival_event",
+    "departure_event",
+    "end_event",
+    "monitoring_event",
+    "MetricsCollector",
+    "MetricsSummary",
+    "RequestOutcome",
+    "UtilizationSample",
+    "NFVSimulation",
+    "PlacementPolicy",
+    "SimulationConfig",
+    "SimulationResult",
+    "run_policy_comparison",
+]

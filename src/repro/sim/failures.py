@@ -1,0 +1,236 @@
+"""Node failure injection for availability / fault-tolerance evaluation.
+
+The base :class:`~repro.sim.simulation.NFVSimulation` assumes a fault-free
+substrate.  This module adds the failure model used by availability
+experiments:
+
+* :class:`FailureConfig` / :class:`FailureInjector` — generate a reproducible
+  failure/recovery schedule per node (exponential time-to-failure and
+  time-to-repair), and
+* :class:`FaultyNFVSimulation` — an :class:`NFVSimulation` subclass that
+  injects those events into the run: when a node fails, every active placement
+  hosting a VNF on it is torn down and counted as *disrupted*, and the node is
+  fenced off (its remaining capacity is reserved under a failure handle) so no
+  policy can place onto it until it recovers.
+
+Disruptions are reported separately from rejections: a disrupted request was
+admitted and then lost service, which is the quantity availability SLAs care
+about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.nfv.placement import Placement
+from repro.sim.events import Event, EventType
+from repro.sim.simulation import NFVSimulation, PlacementPolicy, SimulationConfig, SimulationResult
+from repro.substrate.network import SubstrateNetwork
+from repro.utils.rng import RandomState, new_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class FailureConfig:
+    """Parameters of the per-node failure/repair process.
+
+    Each node fails independently with exponentially distributed time to
+    failure and time to repair, i.e. a two-state Markov availability model
+    with steady-state availability ``MTTF / (MTTF + MTTR)``.
+    """
+
+    mean_time_to_failure: float = 500.0
+    mean_time_to_repair: float = 25.0
+    edge_only: bool = True
+    seed: RandomState = None
+
+    def __post_init__(self) -> None:
+        check_positive(self.mean_time_to_failure, "mean_time_to_failure")
+        check_positive(self.mean_time_to_repair, "mean_time_to_repair")
+
+    @property
+    def steady_state_availability(self) -> float:
+        """Long-run fraction of time a node is up under this model."""
+        return self.mean_time_to_failure / (
+            self.mean_time_to_failure + self.mean_time_to_repair
+        )
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled failure or recovery of a node."""
+
+    time: float
+    node_id: int
+    is_failure: bool
+
+
+class FailureInjector:
+    """Generates a reproducible failure/recovery schedule for a substrate."""
+
+    def __init__(self, config: Optional[FailureConfig] = None) -> None:
+        self.config = config or FailureConfig()
+
+    def schedule(
+        self, network: SubstrateNetwork, horizon: float
+    ) -> List[FailureEvent]:
+        """Alternating failure/recovery events per node up to ``horizon``.
+
+        Events for each node alternate FAIL → RECOVER → FAIL → ...; the whole
+        schedule is returned time-sorted.
+        """
+        check_positive(horizon, "horizon")
+        rng = new_rng(self.config.seed)
+        node_ids = (
+            network.edge_node_ids if self.config.edge_only else network.node_ids
+        )
+        events: List[FailureEvent] = []
+        for node_id in node_ids:
+            time = 0.0
+            while True:
+                time += float(rng.exponential(self.config.mean_time_to_failure))
+                if time > horizon:
+                    break
+                events.append(FailureEvent(time=time, node_id=node_id, is_failure=True))
+                time += float(rng.exponential(self.config.mean_time_to_repair))
+                if time > horizon:
+                    break
+                events.append(FailureEvent(time=time, node_id=node_id, is_failure=False))
+        events.sort(key=lambda e: e.time)
+        return events
+
+
+@dataclass
+class DisruptionReport:
+    """Fault-tolerance statistics of one faulty simulation run."""
+
+    failure_events: int = 0
+    recovery_events: int = 0
+    disrupted_requests: int = 0
+    disrupted_request_ids: List[int] = field(default_factory=list)
+
+    def disruption_ratio(self, accepted_requests: int) -> float:
+        """Fraction of accepted requests whose service was disrupted."""
+        if accepted_requests <= 0:
+            return 0.0
+        return self.disrupted_requests / accepted_requests
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly view."""
+        return {
+            "failure_events": self.failure_events,
+            "recovery_events": self.recovery_events,
+            "disrupted_requests": self.disrupted_requests,
+        }
+
+
+class FaultyNFVSimulation(NFVSimulation):
+    """An online simulation with node failures and recoveries.
+
+    On failure, the node is *fenced*: its free capacity is allocated under a
+    failure handle so no subsequent placement can use it, and every active
+    placement with a VNF on the node is released and counted as disrupted.
+    On recovery the fence is removed.
+    """
+
+    _FENCE_PREFIX = "fence:node:"
+
+    def __init__(
+        self,
+        network: SubstrateNetwork,
+        policy: PlacementPolicy,
+        config: Optional[SimulationConfig] = None,
+        failure_config: Optional[FailureConfig] = None,
+    ) -> None:
+        super().__init__(network, policy, config)
+        self.failure_config = failure_config or FailureConfig()
+        self.injector = FailureInjector(self.failure_config)
+        self.report = DisruptionReport()
+        self._failed_nodes: set[int] = set()
+        self.engine.on(EventType.NODE_FAILURE, self._handle_failure)
+        self.engine.on(EventType.NODE_RECOVERY, self._handle_recovery)
+
+    # ------------------------------------------------------------------ #
+    # Failure handling
+    # ------------------------------------------------------------------ #
+    @property
+    def failed_nodes(self) -> List[int]:
+        """Node ids currently fenced due to failure."""
+        return sorted(self._failed_nodes)
+
+    def _fence_handle(self, node_id: int) -> str:
+        return f"{self._FENCE_PREFIX}{node_id}"
+
+    def _handle_failure(self, event: Event) -> None:
+        node_id: int = event.payload
+        if node_id in self._failed_nodes:
+            return
+        self._failed_nodes.add(node_id)
+        self.report.failure_events += 1
+        self._evict_placements_on(node_id)
+        # Fence the node: consume whatever capacity remains so that placement
+        # feasibility checks reject it until recovery.
+        node = self.network.node(node_id)
+        remaining = node.available
+        if not remaining.is_zero():
+            node.allocate(self._fence_handle(node_id), remaining)
+
+    def _handle_recovery(self, event: Event) -> None:
+        node_id: int = event.payload
+        if node_id not in self._failed_nodes:
+            return
+        self._failed_nodes.discard(node_id)
+        self.report.recovery_events += 1
+        node = self.network.node(node_id)
+        if node.holds(self._fence_handle(node_id)):
+            node.release(self._fence_handle(node_id))
+
+    def _evict_placements_on(self, node_id: int) -> None:
+        """Tear down every active placement hosting a VNF on ``node_id``."""
+        victims: List[Tuple[int, Placement]] = [
+            (request_id, placement)
+            for request_id, placement in self._active_placements.items()
+            if node_id in placement.node_assignment
+        ]
+        for request_id, placement in victims:
+            if placement.is_committed:
+                placement.release(self.network)
+            del self._active_placements[request_id]
+            self.report.disrupted_requests += 1
+            self.report.disrupted_request_ids.append(request_id)
+
+    # ------------------------------------------------------------------ #
+    # Run
+    # ------------------------------------------------------------------ #
+    def run(self, requests) -> SimulationResult:
+        """Run the simulation with failure/recovery events injected."""
+        # Pre-generate the failure schedule so that a fresh engine (reset in
+        # the parent run()) can be populated before arrivals are processed.
+        schedule = self.injector.schedule(self.network, self.config.horizon)
+        self.report = DisruptionReport()
+        self._failed_nodes.clear()
+        # The parent run() resets the engine before scheduling arrivals, so the
+        # failure schedule is injected right after that reset by temporarily
+        # wrapping the engine's reset method.
+        original_reset = self.engine.reset
+
+        def reset_and_inject() -> None:
+            original_reset()
+            for failure in schedule:
+                self.engine.schedule(
+                    Event.create(
+                        failure.time,
+                        EventType.NODE_FAILURE
+                        if failure.is_failure
+                        else EventType.NODE_RECOVERY,
+                        payload=failure.node_id,
+                    )
+                )
+
+        self.engine.reset = reset_and_inject  # type: ignore[method-assign]
+        try:
+            result = super().run(requests)
+        finally:
+            self.engine.reset = original_reset  # type: ignore[method-assign]
+        return result

@@ -1,0 +1,240 @@
+"""Metric collection for online placement simulations.
+
+The :class:`MetricsCollector` accumulates per-request outcomes and periodic
+substrate samples, and reduces them into the summary statistics reported by
+the paper-style figures: acceptance ratio, mean end-to-end latency, SLA
+violation rate, operational cost, revenue, and edge utilization / balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class RequestOutcome:
+    """Outcome of a single request's admission decision."""
+
+    request_id: int
+    service_class: str
+    accepted: bool
+    arrival_time: float
+    latency_ms: Optional[float] = None
+    sla_satisfied: Optional[bool] = None
+    cost: float = 0.0
+    revenue: float = 0.0
+    edge_fraction: Optional[float] = None
+    rejected_reason: Optional[str] = None
+
+
+@dataclass
+class UtilizationSample:
+    """A periodic sample of substrate utilization."""
+
+    time: float
+    mean_edge_utilization: float
+    utilization_imbalance: float
+    cost_rate: float
+    active_requests: int
+
+
+@dataclass
+class MetricsSummary:
+    """Reduced metrics over one simulation run."""
+
+    total_requests: int
+    accepted_requests: int
+    rejected_requests: int
+    acceptance_ratio: float
+    mean_latency_ms: float
+    p95_latency_ms: float
+    sla_violation_ratio: float
+    total_cost: float
+    total_revenue: float
+    profit: float
+    mean_cost_per_accepted: float
+    mean_edge_utilization: float
+    peak_edge_utilization: float
+    mean_utilization_imbalance: float
+    mean_edge_fraction: float
+    acceptance_by_class: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return the summary as a plain dictionary."""
+        return {
+            "total_requests": self.total_requests,
+            "accepted_requests": self.accepted_requests,
+            "rejected_requests": self.rejected_requests,
+            "acceptance_ratio": self.acceptance_ratio,
+            "mean_latency_ms": self.mean_latency_ms,
+            "p95_latency_ms": self.p95_latency_ms,
+            "sla_violation_ratio": self.sla_violation_ratio,
+            "total_cost": self.total_cost,
+            "total_revenue": self.total_revenue,
+            "profit": self.profit,
+            "mean_cost_per_accepted": self.mean_cost_per_accepted,
+            "mean_edge_utilization": self.mean_edge_utilization,
+            "peak_edge_utilization": self.peak_edge_utilization,
+            "mean_utilization_imbalance": self.mean_utilization_imbalance,
+            "mean_edge_fraction": self.mean_edge_fraction,
+            "acceptance_by_class": dict(self.acceptance_by_class),
+        }
+
+
+class MetricsCollector:
+    """Accumulates request outcomes and utilization samples."""
+
+    def __init__(self) -> None:
+        self.outcomes: List[RequestOutcome] = []
+        self.samples: List[UtilizationSample] = []
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record_acceptance(
+        self,
+        request,
+        latency_ms: float,
+        sla_satisfied: bool,
+        cost: float,
+        revenue: float,
+        edge_fraction: float,
+    ) -> None:
+        """Record an accepted request and its placement quality."""
+        self.outcomes.append(
+            RequestOutcome(
+                request_id=request.request_id,
+                service_class=request.service_class,
+                accepted=True,
+                arrival_time=request.arrival_time,
+                latency_ms=latency_ms,
+                sla_satisfied=sla_satisfied,
+                cost=cost,
+                revenue=revenue,
+                edge_fraction=edge_fraction,
+            )
+        )
+
+    def record_rejection(self, request, reason: str = "no_feasible_placement") -> None:
+        """Record a rejected request."""
+        self.outcomes.append(
+            RequestOutcome(
+                request_id=request.request_id,
+                service_class=request.service_class,
+                accepted=False,
+                arrival_time=request.arrival_time,
+                rejected_reason=reason,
+            )
+        )
+
+    def record_utilization(
+        self,
+        time: float,
+        mean_edge_utilization: float,
+        utilization_imbalance: float,
+        cost_rate: float,
+        active_requests: int,
+    ) -> None:
+        """Record one periodic substrate sample."""
+        self.samples.append(
+            UtilizationSample(
+                time=time,
+                mean_edge_utilization=mean_edge_utilization,
+                utilization_imbalance=utilization_imbalance,
+                cost_rate=cost_rate,
+                active_requests=active_requests,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Reduction
+    # ------------------------------------------------------------------ #
+    @property
+    def total_requests(self) -> int:
+        """Number of requests whose outcome was recorded."""
+        return len(self.outcomes)
+
+    @property
+    def accepted(self) -> List[RequestOutcome]:
+        """Outcomes of accepted requests."""
+        return [o for o in self.outcomes if o.accepted]
+
+    @property
+    def rejected(self) -> List[RequestOutcome]:
+        """Outcomes of rejected requests."""
+        return [o for o in self.outcomes if not o.accepted]
+
+    def acceptance_ratio(self) -> float:
+        """Fraction of requests accepted (0 when no requests were seen)."""
+        if not self.outcomes:
+            return 0.0
+        return len(self.accepted) / len(self.outcomes)
+
+    def acceptance_by_class(self) -> Dict[str, float]:
+        """Per-service-class acceptance ratios."""
+        totals: Dict[str, int] = {}
+        accepted: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            totals[outcome.service_class] = totals.get(outcome.service_class, 0) + 1
+            if outcome.accepted:
+                accepted[outcome.service_class] = (
+                    accepted.get(outcome.service_class, 0) + 1
+                )
+        return {
+            cls: accepted.get(cls, 0) / count for cls, count in sorted(totals.items())
+        }
+
+    def summary(self) -> MetricsSummary:
+        """Reduce everything recorded so far into a :class:`MetricsSummary`."""
+        accepted = self.accepted
+        latencies = np.array(
+            [o.latency_ms for o in accepted if o.latency_ms is not None], dtype=float
+        )
+        total_cost = float(sum(o.cost for o in accepted))
+        total_revenue = float(sum(o.revenue for o in accepted))
+        sla_violations = sum(1 for o in accepted if o.sla_satisfied is False)
+        edge_fractions = [
+            o.edge_fraction for o in accepted if o.edge_fraction is not None
+        ]
+        utilizations = [s.mean_edge_utilization for s in self.samples]
+        imbalances = [s.utilization_imbalance for s in self.samples]
+        return MetricsSummary(
+            total_requests=self.total_requests,
+            accepted_requests=len(accepted),
+            rejected_requests=len(self.rejected),
+            acceptance_ratio=self.acceptance_ratio(),
+            mean_latency_ms=float(latencies.mean()) if latencies.size else 0.0,
+            p95_latency_ms=(
+                float(np.percentile(latencies, 95)) if latencies.size else 0.0
+            ),
+            sla_violation_ratio=(
+                sla_violations / len(accepted) if accepted else 0.0
+            ),
+            total_cost=total_cost,
+            total_revenue=total_revenue,
+            profit=total_revenue - total_cost,
+            mean_cost_per_accepted=(
+                total_cost / len(accepted) if accepted else 0.0
+            ),
+            mean_edge_utilization=(
+                float(np.mean(utilizations)) if utilizations else 0.0
+            ),
+            peak_edge_utilization=(
+                float(np.max(utilizations)) if utilizations else 0.0
+            ),
+            mean_utilization_imbalance=(
+                float(np.mean(imbalances)) if imbalances else 0.0
+            ),
+            mean_edge_fraction=(
+                float(np.mean(edge_fractions)) if edge_fractions else 0.0
+            ),
+            acceptance_by_class=self.acceptance_by_class(),
+        )
+
+    def reset(self) -> None:
+        """Clear everything recorded so far."""
+        self.outcomes.clear()
+        self.samples.clear()

@@ -1,0 +1,208 @@
+"""Online NFV simulation: arrivals, admission, departures, metrics.
+
+:class:`NFVSimulation` wires a :class:`SubstrateNetwork`, a stream of
+:class:`~repro.nfv.sfc.SFCRequest` objects and a :class:`PlacementPolicy`
+into the discrete-event engine.  Every policy — learned or heuristic — is
+evaluated through exactly the same admission loop, which is what makes the
+cross-policy comparisons in the benchmark harness fair.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.nfv.placement import Placement, PlacementError
+from repro.nfv.sfc import SFCRequest
+from repro.sim.engine import EventEngine
+from repro.sim.events import (
+    Event,
+    EventType,
+    arrival_event,
+    departure_event,
+    monitoring_event,
+)
+from repro.sim.metrics import MetricsCollector, MetricsSummary
+from repro.substrate.network import SubstrateNetwork
+from repro.substrate.node import NodeTier
+from repro.utils.validation import check_positive
+
+
+class PlacementPolicy(ABC):
+    """Interface every online placement policy implements.
+
+    A policy receives one request at a time together with the *current*
+    substrate state and returns either a routed :class:`Placement` to commit
+    or ``None`` to reject the request.  Policies must not mutate the network;
+    the simulation commits the returned placement itself.
+    """
+
+    #: Human-readable name used in result tables.
+    name: str = "policy"
+
+    @abstractmethod
+    def place(
+        self, request: SFCRequest, network: SubstrateNetwork
+    ) -> Optional[Placement]:
+        """Return a feasible placement for ``request`` or ``None`` to reject."""
+
+    def on_departure(self, request_id: int, network: SubstrateNetwork) -> None:
+        """Hook invoked when an accepted request departs (optional)."""
+
+    def reset(self) -> None:
+        """Hook invoked at the start of every simulation run (optional)."""
+
+
+@dataclass
+class SimulationConfig:
+    """Configuration of one online simulation run."""
+
+    horizon: float = 1000.0
+    monitoring_interval: float = 25.0
+    revenue_per_mbps: float = 1.0
+    commit_placements: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive(self.horizon, "horizon")
+        check_positive(self.monitoring_interval, "monitoring_interval")
+
+
+@dataclass
+class SimulationResult:
+    """The outcome of one simulation run."""
+
+    policy_name: str
+    summary: MetricsSummary
+    collector: MetricsCollector
+    processed_events: int
+    horizon: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly view used by the experiment harness."""
+        data = self.summary.as_dict()
+        data["policy"] = self.policy_name
+        data["processed_events"] = self.processed_events
+        data["horizon"] = self.horizon
+        return data
+
+
+class NFVSimulation:
+    """Drives one placement policy over one request trace."""
+
+    def __init__(
+        self,
+        network: SubstrateNetwork,
+        policy: PlacementPolicy,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        self.network = network
+        self.policy = policy
+        self.config = config or SimulationConfig()
+        self.engine = EventEngine()
+        self.collector = MetricsCollector()
+        self._active_placements: Dict[int, Placement] = {}
+        self._register_handlers()
+
+    # ------------------------------------------------------------------ #
+    # Event handlers
+    # ------------------------------------------------------------------ #
+    def _register_handlers(self) -> None:
+        self.engine.on(EventType.REQUEST_ARRIVAL, self._handle_arrival)
+        self.engine.on(EventType.REQUEST_DEPARTURE, self._handle_departure)
+        self.engine.on(EventType.MONITORING, self._handle_monitoring)
+
+    def _handle_arrival(self, event: Event) -> None:
+        request: SFCRequest = event.payload
+        placement = self.policy.place(request, self.network)
+        if placement is None:
+            self.collector.record_rejection(request, reason="policy_rejected")
+            return
+        if not placement.is_feasible(self.network):
+            self.collector.record_rejection(request, reason="infeasible_placement")
+            return
+        if self.config.commit_placements:
+            try:
+                placement.commit(self.network)
+            except PlacementError:
+                self.collector.record_rejection(request, reason="commit_failed")
+                return
+            self._active_placements[request.request_id] = placement
+            self.engine.schedule(
+                departure_event(request.departure_time, request.request_id)
+            )
+        self.collector.record_acceptance(
+            request,
+            latency_ms=placement.end_to_end_latency_ms(),
+            sla_satisfied=placement.satisfies_sla(self.network),
+            cost=placement.total_cost(self.network),
+            revenue=request.revenue(self.config.revenue_per_mbps),
+            edge_fraction=placement.edge_fraction(self.network),
+        )
+
+    def _handle_departure(self, event: Event) -> None:
+        request_id: int = event.payload
+        placement = self._active_placements.pop(request_id, None)
+        if placement is not None and placement.is_committed:
+            placement.release(self.network)
+        self.policy.on_departure(request_id, self.network)
+
+    def _handle_monitoring(self, event: Event) -> None:
+        self.collector.record_utilization(
+            time=event.time,
+            mean_edge_utilization=self.network.mean_node_utilization(NodeTier.EDGE),
+            utilization_imbalance=self.network.utilization_imbalance(NodeTier.EDGE),
+            cost_rate=self.network.compute_cost_rate(),
+            active_requests=len(self._active_placements),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Run
+    # ------------------------------------------------------------------ #
+    def run(self, requests: Iterable[SFCRequest]) -> SimulationResult:
+        """Simulate the policy over ``requests`` and return reduced metrics."""
+        self.network.reset()
+        self.engine.reset()
+        self.collector.reset()
+        self._active_placements.clear()
+        self.policy.reset()
+
+        request_list = sorted(requests, key=lambda r: r.arrival_time)
+        for request in request_list:
+            self.engine.schedule(arrival_event(request.arrival_time, request))
+
+        time = self.config.monitoring_interval
+        while time <= self.config.horizon:
+            self.engine.schedule(monitoring_event(time))
+            time += self.config.monitoring_interval
+
+        processed = self.engine.run(until=self.config.horizon)
+        # Drain departures scheduled past the horizon so allocations release.
+        processed += self.engine.run()
+
+        return SimulationResult(
+            policy_name=self.policy.name,
+            summary=self.collector.summary(),
+            collector=self.collector,
+            processed_events=processed,
+            horizon=self.config.horizon,
+        )
+
+
+def run_policy_comparison(
+    network_factory,
+    policies: Sequence[PlacementPolicy],
+    requests: Sequence[SFCRequest],
+    config: Optional[SimulationConfig] = None,
+) -> List[SimulationResult]:
+    """Evaluate several policies on identical traces and fresh substrates.
+
+    ``network_factory`` is called once per policy so allocations made by one
+    policy can never leak into another policy's run.
+    """
+    results: List[SimulationResult] = []
+    for policy in policies:
+        network = network_factory()
+        simulation = NFVSimulation(network, policy, config)
+        results.append(simulation.run(list(requests)))
+    return results

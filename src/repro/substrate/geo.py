@@ -1,0 +1,155 @@
+"""Geographic coordinates and propagation-latency modelling.
+
+Geo-distributed edge computing derives its latency structure from physical
+distance: an edge cluster co-located with a base station is sub-millisecond
+away, a metro aggregation site a few milliseconds, and the central cloud tens
+of milliseconds.  This module provides the coordinate arithmetic and the
+distance-to-latency model used by the substrate network.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.utils.rng import RandomState, new_rng
+from repro.utils.validation import check_in_range, check_positive
+
+#: Mean Earth radius in kilometres, used by the haversine formula.
+EARTH_RADIUS_KM = 6371.0
+
+#: Speed of light in fibre is roughly 2/3 of c; about 5 microseconds per km.
+FIBER_LATENCY_MS_PER_KM = 0.005
+
+#: Fixed per-hop switching/queueing latency added on top of propagation.
+DEFAULT_HOP_OVERHEAD_MS = 0.35
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A latitude/longitude pair in decimal degrees."""
+
+    latitude: float
+    longitude: float
+
+    def __post_init__(self) -> None:
+        check_in_range(self.latitude, -90.0, 90.0, "latitude")
+        check_in_range(self.longitude, -180.0, 180.0, "longitude")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle distance to ``other`` using the haversine formula."""
+        return haversine_km(self, other)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return (latitude, longitude)."""
+        return (self.latitude, self.longitude)
+
+
+def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points in kilometres."""
+    lat1, lon1 = math.radians(a.latitude), math.radians(a.longitude)
+    lat2, lon2 = math.radians(b.latitude), math.radians(b.longitude)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(
+        dlon / 2.0
+    ) ** 2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+def propagation_latency_ms(
+    a: GeoPoint,
+    b: GeoPoint,
+    ms_per_km: float = FIBER_LATENCY_MS_PER_KM,
+    hop_overhead_ms: float = DEFAULT_HOP_OVERHEAD_MS,
+    path_stretch: float = 1.3,
+) -> float:
+    """Estimate one-way latency between two geographic points.
+
+    Parameters
+    ----------
+    ms_per_km:
+        Propagation delay per kilometre of fibre.
+    hop_overhead_ms:
+        Fixed switching/queueing overhead added per link.
+    path_stretch:
+        Fibre paths are never great circles; the stretch factor inflates the
+        geodesic distance to approximate real routed distance.
+    """
+    check_positive(path_stretch, "path_stretch")
+    distance = haversine_km(a, b) * path_stretch
+    return distance * ms_per_km + hop_overhead_ms
+
+
+#: A small catalogue of metro areas used by the topology presets.  The exact
+#: cities are not important; the spread of pairwise distances (a few km within
+#: a metro, hundreds to thousands of km towards the cloud region) is what the
+#: placement problem is sensitive to.
+CITY_COORDINATES: Dict[str, GeoPoint] = {
+    "new_york": GeoPoint(40.7128, -74.0060),
+    "newark": GeoPoint(40.7357, -74.1724),
+    "philadelphia": GeoPoint(39.9526, -75.1652),
+    "boston": GeoPoint(42.3601, -71.0589),
+    "washington": GeoPoint(38.9072, -77.0369),
+    "chicago": GeoPoint(41.8781, -87.6298),
+    "atlanta": GeoPoint(33.7490, -84.3880),
+    "dallas": GeoPoint(32.7767, -96.7970),
+    "denver": GeoPoint(39.7392, -104.9903),
+    "seattle": GeoPoint(47.6062, -122.3321),
+    "san_francisco": GeoPoint(37.7749, -122.4194),
+    "los_angeles": GeoPoint(34.0522, -118.2437),
+    "miami": GeoPoint(25.7617, -80.1918),
+    "toronto": GeoPoint(43.6532, -79.3832),
+    "london": GeoPoint(51.5074, -0.1278),
+    "frankfurt": GeoPoint(50.1109, 8.6821),
+}
+
+
+def random_points_near(
+    center: GeoPoint,
+    count: int,
+    radius_km: float,
+    seed: RandomState = None,
+) -> List[GeoPoint]:
+    """Scatter ``count`` points uniformly within ``radius_km`` of ``center``.
+
+    Used to generate edge-site locations around a metro centre.  The sampling
+    is uniform over the disk area (not the radius) so that sites do not
+    cluster artificially near the centre.
+    """
+    check_positive(radius_km, "radius_km")
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    rng = new_rng(seed)
+    points: List[GeoPoint] = []
+    for _ in range(count):
+        # Uniform over the disk: radius ~ sqrt(U) * R.
+        distance = radius_km * math.sqrt(rng.uniform())
+        bearing = rng.uniform(0.0, 2.0 * math.pi)
+        # Small-distance approximation of moving `distance` along `bearing`.
+        dlat = (distance / EARTH_RADIUS_KM) * math.cos(bearing)
+        dlon = (
+            (distance / EARTH_RADIUS_KM)
+            * math.sin(bearing)
+            / max(1e-9, math.cos(math.radians(center.latitude)))
+        )
+        points.append(
+            GeoPoint(
+                latitude=max(-90.0, min(90.0, center.latitude + math.degrees(dlat))),
+                longitude=max(
+                    -180.0, min(180.0, center.longitude + math.degrees(dlon))
+                ),
+            )
+        )
+    return points
+
+
+def centroid(points: Sequence[GeoPoint]) -> GeoPoint:
+    """Arithmetic centroid of a set of points (adequate at metro scale)."""
+    if not points:
+        raise ValueError("cannot compute the centroid of zero points")
+    return GeoPoint(
+        latitude=sum(p.latitude for p in points) / len(points),
+        longitude=sum(p.longitude for p in points) / len(points),
+    )

@@ -1,0 +1,141 @@
+"""Capacitated, latency-weighted links between substrate nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class InsufficientBandwidthError(RuntimeError):
+    """Raised when a bandwidth reservation exceeds a link's free capacity."""
+
+
+class UnknownReservationError(KeyError):
+    """Raised when releasing a bandwidth reservation a link does not hold."""
+
+
+def canonical_endpoints(u: int, v: int) -> Tuple[int, int]:
+    """Return link endpoints in canonical (sorted) order.
+
+    Substrate links are undirected; storing them keyed by the sorted endpoint
+    pair lets lookups succeed regardless of traversal direction.
+    """
+    if u == v:
+        raise ValueError(f"links must connect distinct nodes, got ({u}, {v})")
+    return (u, v) if u < v else (v, u)
+
+
+@dataclass
+class Link:
+    """An undirected link with bandwidth capacity and propagation latency.
+
+    Parameters
+    ----------
+    endpoints:
+        Canonical (smaller id, larger id) node pair.
+    bandwidth_capacity:
+        Capacity in Mbps.
+    latency_ms:
+        One-way propagation plus switching latency in milliseconds.
+    cost_per_mbps:
+        Price per reserved Mbps per time unit, used by the cost metric.
+    """
+
+    endpoints: Tuple[int, int]
+    bandwidth_capacity: float
+    latency_ms: float
+    cost_per_mbps: float = 0.0005
+
+    _reservations: Dict[str, float] = field(default_factory=dict, repr=False)
+    _used: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        self.endpoints = canonical_endpoints(*self.endpoints)
+        check_positive(self.bandwidth_capacity, "bandwidth_capacity")
+        check_non_negative(self.latency_ms, "latency_ms")
+        check_non_negative(self.cost_per_mbps, "cost_per_mbps")
+
+    # ------------------------------------------------------------------ #
+    # Capacity queries
+    # ------------------------------------------------------------------ #
+    @property
+    def used_bandwidth(self) -> float:
+        """Bandwidth currently reserved on this link (Mbps)."""
+        return self._used
+
+    @property
+    def available_bandwidth(self) -> float:
+        """Bandwidth still free on this link (Mbps)."""
+        return max(0.0, self.bandwidth_capacity - self._used)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of capacity currently reserved."""
+        return self._used / self.bandwidth_capacity
+
+    def can_carry(self, bandwidth: float) -> bool:
+        """True when ``bandwidth`` Mbps fits in the free capacity."""
+        return bandwidth <= self.available_bandwidth + 1e-9
+
+    # ------------------------------------------------------------------ #
+    # Reservation lifecycle
+    # ------------------------------------------------------------------ #
+    def reserve(self, handle: str, bandwidth: float) -> None:
+        """Reserve ``bandwidth`` Mbps under ``handle``."""
+        check_non_negative(bandwidth, "bandwidth")
+        if handle in self._reservations:
+            raise ValueError(
+                f"reservation handle {handle!r} already exists on link {self.endpoints}"
+            )
+        if not self.can_carry(bandwidth):
+            raise InsufficientBandwidthError(
+                f"link {self.endpoints} cannot carry {bandwidth} Mbps "
+                f"(available {self.available_bandwidth:.3f} Mbps)"
+            )
+        self._reservations[handle] = bandwidth
+        self._used += bandwidth
+
+    def release(self, handle: str) -> float:
+        """Free the reservation stored under ``handle`` and return it."""
+        if handle not in self._reservations:
+            raise UnknownReservationError(
+                f"link {self.endpoints} holds no reservation {handle!r}"
+            )
+        bandwidth = self._reservations.pop(handle)
+        self._used = max(0.0, self._used - bandwidth)
+        return bandwidth
+
+    def holds(self, handle: str) -> bool:
+        """True if the link currently holds a reservation for ``handle``."""
+        return handle in self._reservations
+
+    def reset(self) -> None:
+        """Drop all reservations (start of an episode)."""
+        self._reservations.clear()
+        self._used = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Cost and introspection
+    # ------------------------------------------------------------------ #
+    def usage_cost_rate(self) -> float:
+        """Cost per unit time of the link's current reservations."""
+        return self._used * self.cost_per_mbps
+
+    def transport_cost(self, bandwidth: float, duration: float) -> float:
+        """Cost of carrying ``bandwidth`` Mbps for ``duration`` time units."""
+        check_non_negative(bandwidth, "bandwidth")
+        check_non_negative(duration, "duration")
+        return bandwidth * self.cost_per_mbps * duration
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-friendly summary of the link's state."""
+        return {
+            "endpoints": list(self.endpoints),
+            "bandwidth_capacity": self.bandwidth_capacity,
+            "used_bandwidth": self._used,
+            "latency_ms": self.latency_ms,
+            "utilization": self.utilization,
+            "reservations": len(self._reservations),
+        }

@@ -1,0 +1,255 @@
+"""Compute nodes of the geo-distributed substrate.
+
+Two node tiers exist in the model:
+
+* **Edge nodes** — small clusters co-located with access networks.  Low
+  latency to nearby users, scarce capacity, moderate unit cost.
+* **Cloud nodes** — large centralized datacenters.  Effectively unconstrained
+  capacity and low unit cost, but tens of milliseconds away.
+
+The tension between these two tiers is what makes VNF placement a non-trivial
+sequential decision problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+from repro.substrate.geo import GeoPoint
+from repro.substrate.resources import ResourceVector
+from repro.utils.validation import check_non_negative
+
+
+class NodeTier(Enum):
+    """Placement tier of a substrate node."""
+
+    EDGE = "edge"
+    CLOUD = "cloud"
+
+
+class InsufficientCapacityError(RuntimeError):
+    """Raised when an allocation does not fit in a node's free capacity."""
+
+
+class UnknownAllocationError(KeyError):
+    """Raised when releasing an allocation handle the node does not hold."""
+
+
+@dataclass
+class ComputeNode:
+    """A capacitated compute site with allocation bookkeeping.
+
+    Parameters
+    ----------
+    node_id:
+        Unique identifier within a :class:`~repro.substrate.network.SubstrateNetwork`.
+    location:
+        Geographic position used by the latency model.
+    capacity:
+        Total resources of the site.
+    tier:
+        Edge or cloud.
+    cost_per_unit:
+        Price per consumed resource unit per time unit; the operational-cost
+        metric multiplies allocations by these weights.
+    activation_cost:
+        Fixed cost charged whenever the node goes from idle to hosting at
+        least one VNF instance (models powering on servers).
+    name:
+        Optional human-readable label (e.g. the metro it belongs to).
+    """
+
+    node_id: int
+    location: GeoPoint
+    capacity: ResourceVector
+    tier: NodeTier = NodeTier.EDGE
+    cost_per_unit: ResourceVector = field(
+        default_factory=lambda: ResourceVector(0.05, 0.025, 0.005)
+    )
+    activation_cost: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.activation_cost, "activation_cost")
+        self._used = ResourceVector.zero()
+        self._allocations: Dict[str, ResourceVector] = {}
+        self._peak_used = ResourceVector.zero()
+
+    # ------------------------------------------------------------------ #
+    # Capacity queries
+    # ------------------------------------------------------------------ #
+    @property
+    def used(self) -> ResourceVector:
+        """Resources currently allocated on this node."""
+        return self._used
+
+    @property
+    def available(self) -> ResourceVector:
+        """Resources still free on this node."""
+        return self.capacity - self._used
+
+    @property
+    def peak_used(self) -> ResourceVector:
+        """High-water mark of usage since construction or :meth:`reset`."""
+        return self._peak_used
+
+    @property
+    def is_edge(self) -> bool:
+        """True for edge-tier nodes."""
+        return self.tier is NodeTier.EDGE
+
+    @property
+    def is_cloud(self) -> bool:
+        """True for cloud-tier nodes."""
+        return self.tier is NodeTier.CLOUD
+
+    @property
+    def is_active(self) -> bool:
+        """True when the node hosts at least one allocation."""
+        return bool(self._allocations)
+
+    @property
+    def allocation_count(self) -> int:
+        """Number of live allocations (VNF instances) on the node."""
+        return len(self._allocations)
+
+    def can_host(self, demand: ResourceVector) -> bool:
+        """True when ``demand`` fits in the currently free capacity."""
+        return demand.fits_within(self.available)
+
+    def utilization(self) -> Dict[str, float]:
+        """Per-dimension utilization ratios."""
+        return self._used.utilization_against(self.capacity)
+
+    def max_utilization(self) -> float:
+        """The bottleneck utilization ratio (largest dimension)."""
+        return self._used.max_utilization_against(self.capacity)
+
+    def mean_utilization(self) -> float:
+        """Average utilization ratio across dimensions."""
+        return self._used.mean_utilization_against(self.capacity)
+
+    # ------------------------------------------------------------------ #
+    # Allocation lifecycle
+    # ------------------------------------------------------------------ #
+    def allocate(self, handle: str, demand: ResourceVector) -> None:
+        """Reserve ``demand`` under ``handle``.
+
+        Raises
+        ------
+        InsufficientCapacityError
+            If the demand does not fit in the free capacity.
+        ValueError
+            If the handle is already in use (allocations must be unique so
+            that release is unambiguous).
+        """
+        if handle in self._allocations:
+            raise ValueError(f"allocation handle {handle!r} already exists on node {self.node_id}")
+        if not self.can_host(demand):
+            deficit = (self._used + demand).deficit_against(self.capacity)
+            raise InsufficientCapacityError(
+                f"node {self.node_id} cannot host demand {demand.as_dict()}; "
+                f"deficit {deficit.as_dict()}"
+            )
+        self._allocations[handle] = demand
+        self._used = self._used + demand
+        self._peak_used = self._peak_used.elementwise_max(self._used)
+
+    def release(self, handle: str) -> ResourceVector:
+        """Free the allocation stored under ``handle`` and return it."""
+        if handle not in self._allocations:
+            raise UnknownAllocationError(
+                f"node {self.node_id} holds no allocation {handle!r}"
+            )
+        demand = self._allocations.pop(handle)
+        self._used = self._used - demand
+        return demand
+
+    def holds(self, handle: str) -> bool:
+        """True if the node currently holds an allocation for ``handle``."""
+        return handle in self._allocations
+
+    def reset(self) -> None:
+        """Drop all allocations and usage statistics (start of an episode)."""
+        self._allocations.clear()
+        self._used = ResourceVector.zero()
+        self._peak_used = ResourceVector.zero()
+
+    # ------------------------------------------------------------------ #
+    # Cost model
+    # ------------------------------------------------------------------ #
+    def usage_cost_rate(self) -> float:
+        """Cost per unit time of the node's current allocations."""
+        cost = self._used.dot(self.cost_per_unit)
+        if self.is_active:
+            cost += self.activation_cost
+        return cost
+
+    def hosting_cost(self, demand: ResourceVector, duration: float) -> float:
+        """Cost of hosting ``demand`` for ``duration`` time units."""
+        check_non_negative(duration, "duration")
+        return demand.dot(self.cost_per_unit) * duration
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-friendly summary of the node's state."""
+        return {
+            "node_id": self.node_id,
+            "name": self.name,
+            "tier": self.tier.value,
+            "capacity": self.capacity.as_dict(),
+            "used": self._used.as_dict(),
+            "available": self.available.as_dict(),
+            "allocations": len(self._allocations),
+            "max_utilization": self.max_utilization(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ComputeNode(id={self.node_id}, tier={self.tier.value}, "
+            f"used={self._used.as_tuple()}, cap={self.capacity.as_tuple()})"
+        )
+
+
+def make_edge_node(
+    node_id: int,
+    location: GeoPoint,
+    cpu: float = 32.0,
+    memory: float = 64.0,
+    storage: float = 500.0,
+    cost_per_unit: Optional[ResourceVector] = None,
+    name: str = "",
+) -> ComputeNode:
+    """Convenience constructor for a typical edge cluster."""
+    return ComputeNode(
+        node_id=node_id,
+        location=location,
+        capacity=ResourceVector(cpu, memory, storage),
+        tier=NodeTier.EDGE,
+        cost_per_unit=cost_per_unit or ResourceVector(0.05, 0.025, 0.0025),
+        name=name or f"edge-{node_id}",
+    )
+
+
+def make_cloud_node(
+    node_id: int,
+    location: GeoPoint,
+    cpu: float = 2048.0,
+    memory: float = 8192.0,
+    storage: float = 100_000.0,
+    cost_per_unit: Optional[ResourceVector] = None,
+    name: str = "",
+) -> ComputeNode:
+    """Convenience constructor for a central cloud datacenter."""
+    return ComputeNode(
+        node_id=node_id,
+        location=location,
+        capacity=ResourceVector(cpu, memory, storage),
+        tier=NodeTier.CLOUD,
+        cost_per_unit=cost_per_unit or ResourceVector(0.02, 0.01, 0.0005),
+        name=name or f"cloud-{node_id}",
+    )

@@ -1,0 +1,25 @@
+"""Shared utilities: seeding, validation and serialization helpers."""
+
+from repro.utils.rng import RandomState, new_rng, spawn_rngs
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_in_range,
+    check_type,
+)
+from repro.utils.serialization import to_jsonable, save_json, load_json
+
+__all__ = [
+    "RandomState",
+    "new_rng",
+    "spawn_rngs",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+    "check_type",
+    "to_jsonable",
+    "save_json",
+    "load_json",
+]

@@ -1,0 +1,59 @@
+"""JSON-friendly serialization helpers.
+
+Experiment results (figure series, table rows, agent checkpoints' metadata)
+are persisted as plain JSON so that downstream plotting or analysis does not
+depend on this package being importable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from enum import Enum
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-serializable builtins.
+
+    Handles numpy scalars and arrays, dataclasses, enums, mappings, sets and
+    sequences.  Unknown objects fall back to ``str``.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, Enum):
+        return obj.value
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: to_jsonable(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(key): to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in obj]
+    return str(obj)
+
+
+def save_json(obj: Any, path: Union[str, Path], indent: int = 2) -> Path:
+    """Serialize ``obj`` to JSON at ``path`` (parent dirs created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(to_jsonable(obj), handle, indent=indent, sort_keys=False)
+    return path
+
+
+def load_json(path: Union[str, Path]) -> Any:
+    """Load JSON content from ``path``."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)

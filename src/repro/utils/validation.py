@@ -1,0 +1,69 @@
+"""Lightweight argument validation helpers.
+
+These helpers centralize the error messages used across the library so that
+misconfigured experiments fail fast with actionable messages instead of
+producing silently wrong simulation results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+
+def check_positive(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value`` is >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value`` lies in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: float, low: float, high: float, name: str, inclusive: bool = True
+) -> float:
+    """Raise ``ValueError`` unless ``value`` lies in the given range."""
+    if inclusive:
+        ok = low <= value <= high
+        bounds = f"[{low}, {high}]"
+    else:
+        ok = low < value < high
+        bounds = f"({low}, {high})"
+    if not ok:
+        raise ValueError(f"{name} must be in {bounds}, got {value!r}")
+    return value
+
+
+def check_type(
+    value: Any, expected: Union[Type, Tuple[Type, ...]], name: str
+) -> Any:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``expected``."""
+    if not isinstance(value, expected):
+        exp_name = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " or ".join(t.__name__ for t in expected)
+        )
+        raise TypeError(
+            f"{name} must be of type {exp_name}, got {type(value).__name__}"
+        )
+    return value
+
+
+def check_not_empty(value, name: str):
+    """Raise ``ValueError`` if a sized container is empty."""
+    if len(value) == 0:
+        raise ValueError(f"{name} must not be empty")
+    return value

@@ -1,0 +1,20 @@
+"""Workload generation and named experiment scenarios."""
+
+from repro.workloads.generator import RequestGenerator, WorkloadConfig
+from repro.workloads.scenarios import (
+    Scenario,
+    diurnal_scenario,
+    hotspot_scenario,
+    reference_scenario,
+    scalability_scenario,
+)
+
+__all__ = [
+    "RequestGenerator",
+    "WorkloadConfig",
+    "Scenario",
+    "diurnal_scenario",
+    "hotspot_scenario",
+    "reference_scenario",
+    "scalability_scenario",
+]

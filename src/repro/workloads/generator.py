@@ -1,0 +1,152 @@
+"""Request/workload generation.
+
+The :class:`RequestGenerator` draws SFC requests from the chain-template mix:
+service class (weighted), bandwidth, latency SLA and holding time are sampled
+per request; the ingress node is a random edge node (optionally skewed
+towards "hotspot" metros).  Combined with an arrival process it produces the
+full request trace one simulation run consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nfv.catalog import (
+    ChainTemplate,
+    VNFCatalog,
+    default_catalog,
+    default_chain_templates,
+    validate_templates,
+)
+from repro.nfv.sfc import SFCRequest, ServiceFunctionChain
+from repro.nfv.sla import ServiceLevelAgreement
+from repro.sim.arrivals import ArrivalProcess, PoissonProcess
+from repro.substrate.network import SubstrateNetwork
+from repro.utils.rng import RandomState, derive_seed, new_rng
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass
+class WorkloadConfig:
+    """Configuration of the request generator."""
+
+    arrival_rate: float = 0.5
+    horizon: float = 1000.0
+    hotspot_fraction: float = 0.0
+    hotspot_nodes: Sequence[int] = field(default_factory=tuple)
+    mean_holding_time_scale: float = 1.0
+    sla_scale: float = 1.0
+    seed: RandomState = None
+
+    def __post_init__(self) -> None:
+        check_positive(self.arrival_rate, "arrival_rate")
+        check_positive(self.horizon, "horizon")
+        check_probability(self.hotspot_fraction, "hotspot_fraction")
+        check_positive(self.mean_holding_time_scale, "mean_holding_time_scale")
+        check_positive(self.sla_scale, "sla_scale")
+
+
+class RequestGenerator:
+    """Samples :class:`SFCRequest` objects for a given substrate network."""
+
+    def __init__(
+        self,
+        network: SubstrateNetwork,
+        catalog: Optional[VNFCatalog] = None,
+        templates: Optional[Sequence[ChainTemplate]] = None,
+        config: Optional[WorkloadConfig] = None,
+    ) -> None:
+        self.network = network
+        self.catalog = catalog or default_catalog()
+        self.templates = list(templates or default_chain_templates())
+        validate_templates(self.templates, self.catalog)
+        self.config = config or WorkloadConfig()
+        self._rng = new_rng(self.config.seed)
+        weights = np.array([t.weight for t in self.templates], dtype=float)
+        self._template_probabilities = weights / weights.sum()
+        if not network.edge_node_ids:
+            raise ValueError("the substrate network has no edge nodes for ingress")
+
+    # ------------------------------------------------------------------ #
+    # Single-request sampling
+    # ------------------------------------------------------------------ #
+    def sample_template(self) -> ChainTemplate:
+        """Draw a service class according to the template weights."""
+        index = self._rng.choice(len(self.templates), p=self._template_probabilities)
+        return self.templates[int(index)]
+
+    def sample_source_node(self) -> int:
+        """Draw an ingress edge node, honouring the hotspot skew."""
+        edge_ids = self.network.edge_node_ids
+        hotspots = [n for n in self.config.hotspot_nodes if n in edge_ids]
+        if hotspots and self._rng.uniform() < self.config.hotspot_fraction:
+            return int(self._rng.choice(hotspots))
+        return int(self._rng.choice(edge_ids))
+
+    def sample_request(self, arrival_time: float = 0.0) -> SFCRequest:
+        """Sample one complete request arriving at ``arrival_time``."""
+        template = self.sample_template()
+        bandwidth = float(self._rng.uniform(*template.bandwidth_range))
+        sla_latency = float(
+            self._rng.uniform(*template.latency_sla_range_ms) * self.config.sla_scale
+        )
+        holding_time = float(
+            self._rng.exponential(
+                template.mean_holding_time * self.config.mean_holding_time_scale
+            )
+        )
+        holding_time = max(1.0, holding_time)
+        chain = ServiceFunctionChain.from_template(template, self.catalog, bandwidth)
+        return SFCRequest(
+            chain=chain,
+            source_node_id=self.sample_source_node(),
+            sla=ServiceLevelAgreement(max_latency_ms=sla_latency),
+            arrival_time=arrival_time,
+            holding_time=holding_time,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Trace generation
+    # ------------------------------------------------------------------ #
+    def generate_trace(
+        self,
+        arrival_process: Optional[ArrivalProcess] = None,
+        horizon: Optional[float] = None,
+    ) -> List[SFCRequest]:
+        """Generate a full arrival-ordered request trace.
+
+        When no arrival process is supplied a Poisson process at the
+        configured ``arrival_rate`` is used, seeded from the workload seed so
+        traces are reproducible.
+        """
+        horizon = horizon if horizon is not None else self.config.horizon
+        process = arrival_process or PoissonProcess(
+            self.config.arrival_rate, seed=derive_seed(self.config.seed, "arrivals")
+        )
+        return [
+            self.sample_request(arrival_time=time)
+            for time in process.arrival_times(horizon)
+        ]
+
+    def generate_batch(self, count: int) -> List[SFCRequest]:
+        """Generate ``count`` requests following the configured arrival rate.
+
+        Used by the RL environment: inter-arrival times are exponential with
+        the workload's ``arrival_rate`` so that the load the agent trains
+        under matches the load the online simulator evaluates it under.
+        """
+        check_positive(count, "count")
+        gaps = self._rng.exponential(1.0 / self.config.arrival_rate, size=count)
+        times = np.cumsum(gaps)
+        return [self.sample_request(arrival_time=float(t)) for t in times]
+
+    def class_mix(self, requests: Sequence[SFCRequest]) -> Dict[str, float]:
+        """Fraction of requests per service class (diagnostics)."""
+        counts: Dict[str, int] = {}
+        for request in requests:
+            counts[request.service_class] = counts.get(request.service_class, 0) + 1
+        total = max(1, len(requests))
+        return {name: counts.get(name, 0) / total for name in sorted(counts)}

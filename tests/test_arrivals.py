@@ -1,0 +1,101 @@
+"""Unit tests for arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.sim.arrivals import (
+    DeterministicProcess,
+    DiurnalProcess,
+    MMPPProcess,
+    PoissonProcess,
+    make_arrival_process,
+)
+
+
+class TestPoisson:
+    def test_arrivals_sorted_and_within_horizon(self):
+        process = PoissonProcess(rate=1.0, seed=3)
+        times = process.arrivals_until(100.0)
+        assert all(t <= 100.0 for t in times)
+        assert times == sorted(times)
+        assert len(times) > 0
+
+    def test_empirical_rate_close_to_nominal(self):
+        process = PoissonProcess(rate=2.0, seed=5)
+        times = process.arrivals_until(2000.0)
+        empirical = len(times) / 2000.0
+        assert empirical == pytest.approx(2.0, rel=0.1)
+
+    def test_deterministic_with_seed(self):
+        a = PoissonProcess(rate=1.0, seed=9).arrivals_until(50.0)
+        b = PoissonProcess(rate=1.0, seed=9).arrivals_until(50.0)
+        assert a == b
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(rate=0.0)
+
+    def test_mean_rate(self):
+        assert PoissonProcess(rate=0.7).mean_rate() == 0.7
+
+
+class TestMMPP:
+    def test_arrivals_within_horizon(self):
+        process = MMPPProcess(low_rate=0.5, high_rate=3.0, seed=2)
+        times = process.arrivals_until(500.0)
+        assert all(0 < t <= 500.0 for t in times)
+        assert times == sorted(times)
+
+    def test_mean_rate_between_phases(self):
+        process = MMPPProcess(low_rate=1.0, high_rate=4.0, mean_low_duration=100.0, mean_high_duration=100.0)
+        assert process.mean_rate() == pytest.approx(2.5)
+
+    def test_high_below_low_rejected(self):
+        with pytest.raises(ValueError):
+            MMPPProcess(low_rate=2.0, high_rate=1.0)
+
+    def test_burstier_than_poisson(self):
+        # The variance of per-window counts should exceed Poisson's (≈ mean).
+        process = MMPPProcess(
+            low_rate=0.2, high_rate=5.0, mean_low_duration=50.0, mean_high_duration=50.0, seed=7
+        )
+        times = np.array(process.arrivals_until(5000.0))
+        counts, _ = np.histogram(times, bins=np.arange(0, 5001, 50))
+        assert counts.var() > counts.mean() * 1.5
+
+
+class TestDiurnal:
+    def test_rate_oscillates(self):
+        process = DiurnalProcess(base_rate=1.0, amplitude=0.5, period=100.0)
+        peak = process.rate_at(25.0)
+        trough = process.rate_at(75.0)
+        assert peak == pytest.approx(1.5, rel=1e-6)
+        assert trough == pytest.approx(0.5, rel=1e-6)
+
+    def test_arrivals_follow_daily_profile(self):
+        process = DiurnalProcess(base_rate=2.0, amplitude=0.8, period=200.0, seed=4)
+        times = np.array(process.arrivals_until(2000.0))
+        phase = np.mod(times, 200.0)
+        first_half = np.sum(phase < 100.0)   # rising/high part of the sinusoid
+        second_half = np.sum(phase >= 100.0)
+        assert first_half > second_half
+
+    def test_invalid_amplitude_rejected(self):
+        with pytest.raises(ValueError):
+            DiurnalProcess(base_rate=1.0, amplitude=1.5)
+
+
+class TestDeterministicAndFactory:
+    def test_deterministic_spacing(self):
+        times = DeterministicProcess(interval=2.0).arrivals_until(10.0)
+        assert times == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_factory_kinds(self):
+        assert isinstance(make_arrival_process("poisson", 1.0), PoissonProcess)
+        assert isinstance(make_arrival_process("mmpp", 1.0), MMPPProcess)
+        assert isinstance(make_arrival_process("diurnal", 1.0), DiurnalProcess)
+        assert isinstance(make_arrival_process("deterministic", 0.5), DeterministicProcess)
+
+    def test_factory_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_arrival_process("weibull", 1.0)

@@ -1,0 +1,155 @@
+"""Unit tests for the heuristic placement baselines."""
+
+import pytest
+
+from repro.baselines import (
+    BestFitPolicy,
+    BruteForceOptimalPolicy,
+    CloudOnlyPolicy,
+    EdgeOnlyPolicy,
+    FirstFitPolicy,
+    GreedyCheapestPolicy,
+    GreedyLeastLoadedPolicy,
+    GreedyNearestPolicy,
+    RandomPlacementPolicy,
+    ViterbiPlacementPolicy,
+    standard_baselines,
+)
+from repro.baselines.optimal import SearchSpaceTooLargeError
+from repro.substrate.resources import ResourceVector
+from tests.conftest import build_request
+
+ALL_POLICIES = [
+    RandomPlacementPolicy(seed=0),
+    GreedyNearestPolicy(),
+    GreedyLeastLoadedPolicy(),
+    GreedyCheapestPolicy(),
+    FirstFitPolicy(),
+    BestFitPolicy(),
+    EdgeOnlyPolicy(),
+    ViterbiPlacementPolicy(),
+    BruteForceOptimalPolicy(),
+]
+
+
+class TestAllPoliciesProduceFeasiblePlacements:
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.name)
+    def test_feasible_on_empty_substrate(self, policy, small_network, catalog):
+        request = build_request(catalog, source=0, sla_ms=100.0)
+        placement = policy.place(request, small_network)
+        assert placement is not None
+        assert placement.is_feasible(small_network)
+        assert placement.satisfies_sla(small_network)
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.name)
+    def test_policies_do_not_mutate_network(self, policy, small_network, catalog):
+        request = build_request(catalog, source=0, sla_ms=100.0)
+        policy.place(request, small_network)
+        assert small_network.total_used().is_zero()
+        assert all(link.used_bandwidth == 0.0 for link in small_network.links())
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.name)
+    def test_reject_when_no_capacity(self, policy, small_network, catalog):
+        for node_id in small_network.node_ids:
+            small_network.allocate_node(node_id, "hog", ResourceVector(7.9, 15.9, 99.0))
+        request = build_request(catalog, source=0, sla_ms=100.0)
+        assert policy.place(request, small_network) is None
+
+
+class TestGreedyNearest:
+    def test_places_on_source_when_possible(self, small_network, catalog):
+        request = build_request(catalog, source=2, sla_ms=100.0)
+        placement = GreedyNearestPolicy().place(request, small_network)
+        assert placement.node_assignment == (2, 2)
+
+    def test_skips_full_source_node(self, small_network, catalog):
+        small_network.allocate_node(2, "hog", ResourceVector(7.9, 1, 1))
+        request = build_request(catalog, source=2, sla_ms=100.0)
+        placement = GreedyNearestPolicy().place(request, small_network)
+        assert 2 not in placement.node_assignment
+
+
+class TestGreedyLeastLoaded:
+    def test_prefers_empty_node(self, small_network, catalog):
+        small_network.allocate_node(0, "a", ResourceVector(6, 6, 6))
+        small_network.allocate_node(1, "b", ResourceVector(4, 4, 4))
+        small_network.allocate_node(2, "c", ResourceVector(2, 2, 2))
+        request = build_request(catalog, source=0, sla_ms=200.0, vnf_names=("nat",))
+        placement = GreedyLeastLoadedPolicy().place(request, small_network)
+        assert placement.node_assignment == (3,)
+
+
+class TestFitPolicies:
+    def test_first_fit_picks_lowest_id(self, small_network, catalog):
+        request = build_request(catalog, source=3, sla_ms=200.0, vnf_names=("nat",))
+        placement = FirstFitPolicy().place(request, small_network)
+        assert placement.node_assignment == (0,)
+
+    def test_best_fit_consolidates_onto_fuller_node(self, small_network, catalog):
+        small_network.allocate_node(2, "partial", ResourceVector(4, 4, 4))
+        request = build_request(catalog, source=0, sla_ms=200.0, vnf_names=("nat",))
+        placement = BestFitPolicy().place(request, small_network)
+        assert placement.node_assignment == (2,)
+
+    def test_cloud_only_requires_cloud_nodes(self, small_network, tiny_edge_cloud_network, catalog):
+        request = build_request(catalog, source=0, sla_ms=200.0)
+        assert CloudOnlyPolicy().place(request, small_network) is None
+        placement = CloudOnlyPolicy().place(request, tiny_edge_cloud_network)
+        assert placement is not None
+        assert set(placement.node_assignment) == {2}
+
+    def test_edge_only_never_uses_cloud(self, tiny_edge_cloud_network, catalog):
+        request = build_request(catalog, source=0, sla_ms=200.0)
+        placement = EdgeOnlyPolicy().place(request, tiny_edge_cloud_network)
+        assert placement is not None
+        assert not placement.uses_cloud(tiny_edge_cloud_network)
+
+
+class TestViterbi:
+    def test_matches_brute_force_latency_optimum(self, small_network, catalog):
+        request = build_request(catalog, source=0, sla_ms=200.0, vnf_names=("firewall", "nat", "monitor"))
+        viterbi = ViterbiPlacementPolicy().place(request, small_network)
+        optimal = BruteForceOptimalPolicy(latency_weight=1.0).place(request, small_network)
+        assert viterbi.end_to_end_latency_ms() == pytest.approx(
+            optimal.end_to_end_latency_ms()
+        )
+
+    def test_cost_weight_changes_assignment_preference(self, tiny_edge_cloud_network, catalog):
+        # With an enormous cost weight the cheap cloud node wins despite latency.
+        request = build_request(catalog, source=0, sla_ms=500.0, vnf_names=("firewall",))
+        latency_only = ViterbiPlacementPolicy(cost_weight=0.0).place(request, tiny_edge_cloud_network)
+        cost_heavy = ViterbiPlacementPolicy(cost_weight=500.0).place(request, tiny_edge_cloud_network)
+        assert latency_only.node_assignment != cost_heavy.node_assignment
+        assert cost_heavy.node_assignment == (2,)
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ValueError):
+            ViterbiPlacementPolicy(cost_weight=-1.0)
+
+
+class TestBruteForce:
+    def test_search_space_guard(self, small_network, catalog):
+        request = build_request(catalog, source=0, sla_ms=200.0, vnf_names=("nat", "nat", "nat"))
+        policy = BruteForceOptimalPolicy(max_assignments=10)
+        with pytest.raises(SearchSpaceTooLargeError):
+            policy.place(request, small_network)
+
+    def test_search_space_guard_fallback(self, small_network, catalog):
+        request = build_request(catalog, source=0, sla_ms=200.0, vnf_names=("nat", "nat", "nat"))
+        policy = BruteForceOptimalPolicy(max_assignments=10, fallback_to_reject=True)
+        assert policy.place(request, small_network) is None
+
+    def test_latency_objective_prefers_colocation_at_source(self, small_network, catalog):
+        request = build_request(catalog, source=1, sla_ms=200.0)
+        placement = BruteForceOptimalPolicy().place(request, small_network)
+        assert placement.node_assignment == (1, 1)
+
+
+class TestStandardBaselines:
+    def test_names_unique(self):
+        names = [policy.name for policy in standard_baselines(seed=0)]
+        assert len(names) == len(set(names))
+
+    def test_contains_expected_policies(self):
+        names = {policy.name for policy in standard_baselines(seed=0)}
+        assert {"random", "greedy_nearest", "first_fit", "viterbi", "cloud_only"} <= names

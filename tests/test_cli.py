@@ -1,0 +1,67 @@
+"""Tests for the experiment command-line interface."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, main, resolve_config, run_experiment
+from repro.experiments.config import ExperimentConfig
+
+
+class TestRegistryAndConfig:
+    def test_registry_covers_all_tables_and_figures(self):
+        assert {"table1", "table2"} <= set(EXPERIMENTS)
+        assert {f"fig{i}" for i in range(1, 8)} <= set(EXPERIMENTS)
+        assert {"ablation-reward", "ablation-agents"} <= set(EXPERIMENTS)
+
+    def test_resolve_config_presets(self):
+        assert isinstance(resolve_config("fast"), ExperimentConfig)
+        assert resolve_config("smoke").training_episodes < resolve_config("paper").training_episodes
+        with pytest.raises(ValueError):
+            resolve_config("huge")
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig99", ExperimentConfig.smoke(), quiet=True)
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "fig2"])
+        assert args.command == "run"
+        assert args.experiment == "fig2"
+        assert args.preset == "fast"
+
+    def test_invalid_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig2", "--preset", "enormous"])
+
+
+class TestExecution:
+    def test_list_main(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "table2" in out
+
+    def test_run_table1_smoke(self, capsys, tmp_path):
+        output = tmp_path / "table1.json"
+        code = main(["run", "table1", "--preset", "smoke", "--output", str(output)])
+        assert code == 0
+        assert output.exists()
+        data = json.loads(output.read_text())
+        assert data["table"] == "table1_simulation_settings"
+
+    def test_run_unknown_experiment_returns_error_code(self, capsys):
+        assert main(["run", "fig99", "--preset", "smoke"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_fig1_smoke_quiet(self, tmp_path):
+        data = run_experiment(
+            "fig1", ExperimentConfig.smoke(), output=tmp_path / "fig1.json", quiet=True
+        )
+        assert data["figure"] == "fig1_training_convergence"
+        assert (tmp_path / "fig1.json").exists()

@@ -1,0 +1,149 @@
+"""Unit tests for the VNF placement environment."""
+
+import numpy as np
+import pytest
+
+from repro.core.env import EnvConfig, VNFPlacementEnv
+from repro.nfv.catalog import default_catalog
+from repro.substrate.topology import TopologyConfig, metro_edge_cloud_topology
+from repro.workloads.generator import RequestGenerator, WorkloadConfig
+
+
+@pytest.fixture
+def env():
+    network = metro_edge_cloud_topology(TopologyConfig(num_edge_nodes=6, seed=5))
+    generator = RequestGenerator(
+        network=network,
+        config=WorkloadConfig(arrival_rate=0.5, horizon=200.0, seed=9),
+    )
+    return VNFPlacementEnv(
+        network=network,
+        generator=generator,
+        config=EnvConfig(requests_per_episode=8),
+    )
+
+
+class TestEpisodeLifecycle:
+    def test_reset_returns_valid_state(self, env):
+        state = env.reset()
+        assert state.shape == (env.state_dim,)
+        assert env.current_request is not None
+        assert env.stats.requests_seen == 1
+
+    def test_step_before_reset_raises(self, env):
+        with pytest.raises(RuntimeError):
+            env.step(0)
+
+    def test_episode_terminates_after_all_requests(self, env):
+        env.reset()
+        done = False
+        steps = 0
+        while not done and steps < 500:
+            mask = env.valid_action_mask()
+            action = int(np.flatnonzero(mask)[0])
+            _, _, done, info = env.step(action)
+            steps += 1
+        assert done
+        assert env.stats.requests_seen == 8
+        assert env.stats.accepted + env.stats.rejected + env.stats.infeasible == 8
+        assert info["episode_stats"] is not None
+
+    def test_invalid_action_rejected(self, env):
+        env.reset()
+        with pytest.raises(ValueError):
+            env.step(env.num_actions + 3)
+
+    def test_reset_clears_statistics_and_allocations(self, env):
+        env.reset()
+        # Accept a few requests by always taking the first valid node action.
+        for _ in range(30):
+            mask = env.valid_action_mask()
+            node_actions = np.flatnonzero(mask[:-1])
+            action = int(node_actions[0]) if node_actions.size else env.actions.reject_action
+            _, _, done, _ = env.step(action)
+            if done:
+                break
+        env.reset()
+        assert env.stats.requests_seen == 1
+        assert env.stats.accepted == 0
+
+
+class TestRewards:
+    def test_reject_action_gives_penalty(self, env):
+        env.reset()
+        _, reward, _, info = env.step(env.actions.reject_action)
+        assert reward == pytest.approx(-env.rewards.config.reject_penalty)
+        assert info["outcome"] == "rejected"
+        assert info["request_done"] is True
+
+    def test_accepting_full_chain_gives_positive_total(self, env):
+        env.reset()
+        total = 0.0
+        outcome = None
+        # Greedily place on the lowest-latency valid node until the request completes.
+        for _ in range(10):
+            request = env.current_request
+            mask = env.valid_action_mask()
+            anchor = env.encoder.anchor_node(request, env._partial_assignment)
+            node_actions = [
+                a for a in np.flatnonzero(mask[:-1])
+            ]
+            assert node_actions, "expected at least one feasible node on an empty substrate"
+            best = min(
+                node_actions,
+                key=lambda a: env.network.latency_between(anchor, env.actions.node_for_action(a)),
+            )
+            _, reward, _, info = env.step(int(best))
+            total += reward
+            if info["request_done"]:
+                outcome = info["outcome"]
+                break
+        assert outcome == "accepted"
+        assert total > 0
+
+    def test_accepted_requests_consume_resources(self, env):
+        env.reset()
+        for _ in range(50):
+            mask = env.valid_action_mask()
+            node_actions = np.flatnonzero(mask[:-1])
+            action = int(node_actions[0]) if node_actions.size else env.actions.reject_action
+            _, _, done, info = env.step(action)
+            if info.get("outcome") == "accepted":
+                break
+        assert env.network.total_used().total() > 0
+
+    def test_mask_has_reject_plus_nodes_on_fresh_substrate(self, env):
+        env.reset()
+        mask = env.valid_action_mask()
+        assert mask[env.actions.reject_action]
+        assert mask[:-1].sum() > 0
+
+    def test_stats_dict_fields(self, env):
+        env.reset()
+        env.step(env.actions.reject_action)
+        stats = env.stats.as_dict()
+        assert stats["rejected"] == 1
+        assert stats["requests_seen"] >= 1
+        assert "acceptance_ratio" in stats
+
+
+class TestDeterminism:
+    def test_same_seed_same_first_request(self):
+        def build():
+            network = metro_edge_cloud_topology(TopologyConfig(num_edge_nodes=6, seed=5))
+            generator = RequestGenerator(
+                network=network,
+                config=WorkloadConfig(arrival_rate=0.5, horizon=200.0, seed=9),
+            )
+            return VNFPlacementEnv(network=network, generator=generator, config=EnvConfig(requests_per_episode=4))
+
+        a, b = build(), build()
+        state_a, state_b = a.reset(), b.reset()
+        assert np.allclose(state_a, state_b)
+        assert a.current_request.service_class == b.current_request.service_class
+        assert a.current_request.bandwidth_mbps == pytest.approx(b.current_request.bandwidth_mbps)
+
+    def test_state_dim_and_num_actions_consistent_with_components(self, env):
+        assert env.state_dim == env.encoder.state_dim
+        assert env.num_actions == env.actions.num_actions
+        assert env.num_actions == env.network.num_nodes + 1

@@ -1,0 +1,144 @@
+"""Tests for node-failure injection and the faulty simulation."""
+
+import pytest
+
+from repro.sim.failures import (
+    FailureConfig,
+    FailureInjector,
+    FaultyNFVSimulation,
+)
+from repro.sim.simulation import SimulationConfig
+from repro.substrate.topology import TopologyConfig, linear_chain_topology, metro_edge_cloud_topology
+from tests.conftest import build_request
+from tests.test_simulation import AcceptFirstNodePolicy
+
+
+class TestFailureConfig:
+    def test_steady_state_availability(self):
+        config = FailureConfig(mean_time_to_failure=900.0, mean_time_to_repair=100.0)
+        assert config.steady_state_availability == pytest.approx(0.9)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            FailureConfig(mean_time_to_failure=0.0)
+        with pytest.raises(ValueError):
+            FailureConfig(mean_time_to_repair=-1.0)
+
+
+class TestFailureInjector:
+    def test_schedule_sorted_and_within_horizon(self):
+        network = metro_edge_cloud_topology(TopologyConfig(num_edge_nodes=8, seed=1))
+        injector = FailureInjector(FailureConfig(mean_time_to_failure=50.0, mean_time_to_repair=10.0, seed=3))
+        events = injector.schedule(network, horizon=500.0)
+        assert events, "expected at least one failure over 10x the MTTF"
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(0 < t <= 500.0 for t in times)
+
+    def test_per_node_events_alternate(self):
+        network = linear_chain_topology(num_edge_nodes=3, seed=0)
+        injector = FailureInjector(FailureConfig(mean_time_to_failure=20.0, mean_time_to_repair=5.0, seed=1))
+        events = injector.schedule(network, horizon=300.0)
+        for node_id in network.node_ids:
+            node_events = [e for e in events if e.node_id == node_id]
+            for first, second in zip(node_events, node_events[1:]):
+                assert first.is_failure != second.is_failure
+            if node_events:
+                assert node_events[0].is_failure
+
+    def test_edge_only_scope(self):
+        network = metro_edge_cloud_topology(TopologyConfig(num_edge_nodes=6, seed=2))
+        cloud = set(network.cloud_node_ids)
+        events = FailureInjector(
+            FailureConfig(mean_time_to_failure=10.0, mean_time_to_repair=2.0, seed=2)
+        ).schedule(network, horizon=200.0)
+        assert all(e.node_id not in cloud for e in events)
+
+    def test_deterministic_with_seed(self):
+        network = linear_chain_topology(num_edge_nodes=4, seed=0)
+        config = FailureConfig(mean_time_to_failure=30.0, mean_time_to_repair=5.0, seed=11)
+        a = FailureInjector(config).schedule(network, 200.0)
+        b = FailureInjector(config).schedule(network, 200.0)
+        assert a == b
+
+    def test_reliable_nodes_rarely_fail(self):
+        network = linear_chain_topology(num_edge_nodes=4, seed=0)
+        events = FailureInjector(
+            FailureConfig(mean_time_to_failure=1e9, mean_time_to_repair=1.0, seed=0)
+        ).schedule(network, horizon=100.0)
+        assert events == []
+
+
+class TestFaultySimulation:
+    def _run(self, failure_config, catalog, horizon=100.0, holding=200.0):
+        network = linear_chain_topology(num_edge_nodes=4, link_latency_ms=2.0, seed=7)
+        simulation = FaultyNFVSimulation(
+            network,
+            AcceptFirstNodePolicy(1),
+            SimulationConfig(horizon=horizon, monitoring_interval=20.0),
+            failure_config=failure_config,
+        )
+        requests = [
+            build_request(catalog, source=0, arrival=float(i + 1), holding=holding)
+            for i in range(5)
+        ]
+        return simulation, simulation.run(requests)
+
+    def test_disruption_when_hosting_node_fails(self, catalog):
+        # Node 1 hosts everything and fails almost immediately, for a long time.
+        failure_config = FailureConfig(
+            mean_time_to_failure=10.0, mean_time_to_repair=1e6, edge_only=True, seed=5
+        )
+        simulation, result = self._run(failure_config, catalog)
+        if simulation.report.failure_events and 1 in simulation.failed_nodes:
+            assert simulation.report.disrupted_requests > 0
+            # Disrupted requests were accepted first.
+            assert result.summary.accepted_requests >= simulation.report.disrupted_requests
+
+    def test_failed_node_is_fenced_for_new_requests(self, catalog):
+        network = linear_chain_topology(num_edge_nodes=4, link_latency_ms=2.0, seed=7)
+        simulation = FaultyNFVSimulation(
+            network,
+            AcceptFirstNodePolicy(1),
+            SimulationConfig(horizon=10.0),
+            failure_config=FailureConfig(mean_time_to_failure=1e9, seed=0),
+        )
+        # Manually drive the failure handler, then check the fence.
+        from repro.sim.events import Event, EventType
+
+        simulation._handle_failure(Event.create(1.0, EventType.NODE_FAILURE, payload=1))
+        assert simulation.failed_nodes == [1]
+        assert not network.node(1).can_host(
+            build_request(catalog, source=0).chain.vnf_at(0).demand_for(10.0)
+        )
+        simulation._handle_recovery(Event.create(2.0, EventType.NODE_RECOVERY, payload=1))
+        assert simulation.failed_nodes == []
+        assert network.node(1).can_host(
+            build_request(catalog, source=0).chain.vnf_at(0).demand_for(10.0)
+        )
+
+    def test_no_failures_matches_fault_free_behaviour(self, catalog):
+        # Requests arrive one per time unit and hold resources for less than
+        # that, so without failures every request fits on node 1.
+        reliable = FailureConfig(mean_time_to_failure=1e9, mean_time_to_repair=1.0, seed=0)
+        simulation, result = self._run(reliable, catalog, holding=0.9)
+        assert simulation.report.failure_events == 0
+        assert simulation.report.disrupted_requests == 0
+        assert result.summary.accepted_requests == 5
+
+    def test_report_as_dict_and_ratio(self):
+        from repro.sim.failures import DisruptionReport
+
+        report = DisruptionReport(failure_events=2, recovery_events=1, disrupted_requests=3)
+        assert report.as_dict()["disrupted_requests"] == 3
+        assert report.disruption_ratio(accepted_requests=6) == pytest.approx(0.5)
+        assert report.disruption_ratio(accepted_requests=0) == 0.0
+
+    def test_rerun_resets_report(self, catalog):
+        failure_config = FailureConfig(mean_time_to_failure=20.0, mean_time_to_repair=5.0, seed=4)
+        simulation, _ = self._run(failure_config, catalog)
+        first_failures = simulation.report.failure_events
+        requests = [build_request(catalog, source=0, arrival=1.0, holding=5.0)]
+        simulation.run(requests)
+        # The report describes only the latest run.
+        assert simulation.report.failure_events <= first_failures or first_failures == 0

@@ -1,0 +1,122 @@
+"""Unit tests for the geographic/latency model."""
+
+import math
+
+import pytest
+
+from repro.substrate.geo import (
+    CITY_COORDINATES,
+    GeoPoint,
+    centroid,
+    haversine_km,
+    propagation_latency_ms,
+    random_points_near,
+)
+
+
+class TestGeoPoint:
+    def test_valid_construction(self):
+        point = GeoPoint(40.7, -74.0)
+        assert point.as_tuple() == (40.7, -74.0)
+
+    def test_latitude_bounds(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0)
+        with pytest.raises(ValueError):
+            GeoPoint(-91.0, 0.0)
+
+    def test_longitude_bounds(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 181.0)
+
+    def test_distance_to_self_is_zero(self):
+        point = GeoPoint(40.0, -74.0)
+        assert point.distance_km(point) == pytest.approx(0.0)
+
+
+class TestHaversine:
+    def test_known_distance_new_york_to_los_angeles(self):
+        distance = haversine_km(
+            CITY_COORDINATES["new_york"], CITY_COORDINATES["los_angeles"]
+        )
+        # Great-circle distance is roughly 3 940 km.
+        assert 3800 < distance < 4100
+
+    def test_symmetry(self):
+        a, b = CITY_COORDINATES["chicago"], CITY_COORDINATES["miami"]
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+
+    def test_short_distance_positive(self):
+        a = GeoPoint(40.0, -74.0)
+        b = GeoPoint(40.01, -74.0)
+        assert 1.0 < haversine_km(a, b) < 1.3
+
+
+class TestPropagationLatency:
+    def test_includes_hop_overhead(self):
+        point = GeoPoint(40.0, -74.0)
+        assert propagation_latency_ms(point, point) == pytest.approx(0.35)
+
+    def test_grows_with_distance(self):
+        near = propagation_latency_ms(
+            CITY_COORDINATES["new_york"], CITY_COORDINATES["newark"]
+        )
+        far = propagation_latency_ms(
+            CITY_COORDINATES["new_york"], CITY_COORDINATES["seattle"]
+        )
+        assert far > near
+
+    def test_cross_country_latency_in_plausible_range(self):
+        latency = propagation_latency_ms(
+            CITY_COORDINATES["new_york"], CITY_COORDINATES["san_francisco"]
+        )
+        # ~4100 km * 1.3 stretch * 5 us/km ≈ 27 ms one way.
+        assert 20.0 < latency < 40.0
+
+    def test_invalid_stretch_rejected(self):
+        with pytest.raises(ValueError):
+            propagation_latency_ms(
+                CITY_COORDINATES["new_york"],
+                CITY_COORDINATES["boston"],
+                path_stretch=0.0,
+            )
+
+
+class TestRandomPointsNear:
+    def test_count_and_radius(self):
+        center = CITY_COORDINATES["chicago"]
+        points = random_points_near(center, 50, radius_km=30.0, seed=5)
+        assert len(points) == 50
+        for point in points:
+            assert center.distance_km(point) <= 31.0  # small numerical slack
+
+    def test_deterministic_with_seed(self):
+        center = CITY_COORDINATES["dallas"]
+        first = random_points_near(center, 5, 20.0, seed=42)
+        second = random_points_near(center, 5, 20.0, seed=42)
+        assert [p.as_tuple() for p in first] == [p.as_tuple() for p in second]
+
+    def test_zero_count(self):
+        assert random_points_near(CITY_COORDINATES["boston"], 0, 10.0, seed=1) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            random_points_near(CITY_COORDINATES["boston"], -1, 10.0)
+
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(ValueError):
+            random_points_near(CITY_COORDINATES["boston"], 3, 0.0)
+
+
+class TestCentroid:
+    def test_centroid_of_single_point(self):
+        point = GeoPoint(10.0, 20.0)
+        assert centroid([point]).as_tuple() == (10.0, 20.0)
+
+    def test_centroid_of_two_points(self):
+        result = centroid([GeoPoint(0.0, 0.0), GeoPoint(10.0, 20.0)])
+        assert result.as_tuple() == (5.0, 10.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            centroid([])

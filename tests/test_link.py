@@ -1,0 +1,98 @@
+"""Unit tests for substrate links."""
+
+import pytest
+
+from repro.substrate.link import (
+    InsufficientBandwidthError,
+    Link,
+    UnknownReservationError,
+    canonical_endpoints,
+)
+
+
+@pytest.fixture
+def link():
+    return Link(endpoints=(2, 1), bandwidth_capacity=100.0, latency_ms=3.0)
+
+
+class TestCanonicalEndpoints:
+    def test_orders_pair(self):
+        assert canonical_endpoints(5, 2) == (2, 5)
+        assert canonical_endpoints(2, 5) == (2, 5)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_endpoints(3, 3)
+
+
+class TestConstruction:
+    def test_endpoints_canonicalized(self, link):
+        assert link.endpoints == (1, 2)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Link(endpoints=(0, 1), bandwidth_capacity=0.0, latency_ms=1.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Link(endpoints=(0, 1), bandwidth_capacity=10.0, latency_ms=-1.0)
+
+
+class TestReservations:
+    def test_reserve_and_release(self, link):
+        link.reserve("flow", 40.0)
+        assert link.used_bandwidth == 40.0
+        assert link.available_bandwidth == pytest.approx(60.0)
+        assert link.utilization == pytest.approx(0.4)
+        assert link.release("flow") == 40.0
+        assert link.used_bandwidth == 0.0
+
+    def test_reserve_over_capacity_rejected(self, link):
+        link.reserve("a", 80.0)
+        with pytest.raises(InsufficientBandwidthError):
+            link.reserve("b", 30.0)
+        # The failed reservation must not consume bandwidth.
+        assert link.used_bandwidth == 80.0
+
+    def test_duplicate_handle_rejected(self, link):
+        link.reserve("a", 10.0)
+        with pytest.raises(ValueError):
+            link.reserve("a", 10.0)
+
+    def test_release_unknown_handle(self, link):
+        with pytest.raises(UnknownReservationError):
+            link.release("nope")
+
+    def test_can_carry_boundary(self, link):
+        link.reserve("a", 60.0)
+        assert link.can_carry(40.0)
+        assert not link.can_carry(40.1)
+
+    def test_zero_bandwidth_reservation_allowed(self, link):
+        link.reserve("zero", 0.0)
+        assert link.used_bandwidth == 0.0
+        assert link.holds("zero")
+
+    def test_reset(self, link):
+        link.reserve("a", 10.0)
+        link.reset()
+        assert link.used_bandwidth == 0.0
+        assert not link.holds("a")
+
+
+class TestCost:
+    def test_transport_cost(self, link):
+        assert link.transport_cost(100.0, 10.0) == pytest.approx(
+            100.0 * 10.0 * link.cost_per_mbps
+        )
+
+    def test_usage_cost_rate(self, link):
+        link.reserve("a", 50.0)
+        assert link.usage_cost_rate() == pytest.approx(50.0 * link.cost_per_mbps)
+
+    def test_snapshot(self, link):
+        link.reserve("a", 25.0)
+        snapshot = link.snapshot()
+        assert snapshot["endpoints"] == [1, 2]
+        assert snapshot["used_bandwidth"] == 25.0
+        assert snapshot["reservations"] == 1

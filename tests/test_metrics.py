@@ -1,0 +1,81 @@
+"""Unit tests for metric collection and reduction."""
+
+import pytest
+
+from repro.sim.metrics import MetricsCollector
+from tests.conftest import build_request
+
+
+@pytest.fixture
+def collector():
+    return MetricsCollector()
+
+
+class TestRecording:
+    def test_acceptance_ratio(self, collector, catalog):
+        accepted = build_request(catalog)
+        rejected = build_request(catalog)
+        collector.record_acceptance(accepted, 10.0, True, 5.0, 8.0, 1.0)
+        collector.record_rejection(rejected)
+        assert collector.total_requests == 2
+        assert collector.acceptance_ratio() == pytest.approx(0.5)
+        assert len(collector.accepted) == 1
+        assert len(collector.rejected) == 1
+
+    def test_empty_collector_summary(self, collector):
+        summary = collector.summary()
+        assert summary.total_requests == 0
+        assert summary.acceptance_ratio == 0.0
+        assert summary.mean_latency_ms == 0.0
+        assert summary.profit == 0.0
+
+    def test_latency_statistics(self, collector, catalog):
+        for latency in (10.0, 20.0, 30.0):
+            collector.record_acceptance(build_request(catalog), latency, True, 1.0, 2.0, 1.0)
+        summary = collector.summary()
+        assert summary.mean_latency_ms == pytest.approx(20.0)
+        assert summary.p95_latency_ms >= 28.0
+
+    def test_cost_revenue_profit(self, collector, catalog):
+        collector.record_acceptance(build_request(catalog), 10.0, True, cost=3.0, revenue=10.0, edge_fraction=1.0)
+        collector.record_acceptance(build_request(catalog), 10.0, True, cost=2.0, revenue=5.0, edge_fraction=0.5)
+        summary = collector.summary()
+        assert summary.total_cost == pytest.approx(5.0)
+        assert summary.total_revenue == pytest.approx(15.0)
+        assert summary.profit == pytest.approx(10.0)
+        assert summary.mean_cost_per_accepted == pytest.approx(2.5)
+        assert summary.mean_edge_fraction == pytest.approx(0.75)
+
+    def test_sla_violation_ratio(self, collector, catalog):
+        collector.record_acceptance(build_request(catalog), 10.0, True, 1.0, 2.0, 1.0)
+        collector.record_acceptance(build_request(catalog), 90.0, False, 1.0, 2.0, 1.0)
+        assert collector.summary().sla_violation_ratio == pytest.approx(0.5)
+
+    def test_acceptance_by_class(self, collector, catalog):
+        a = build_request(catalog)
+        b = build_request(catalog)
+        collector.record_acceptance(a, 10.0, True, 1.0, 2.0, 1.0)
+        collector.record_rejection(b)
+        by_class = collector.acceptance_by_class()
+        assert by_class["test"] == pytest.approx(0.5)
+
+    def test_utilization_samples(self, collector):
+        collector.record_utilization(10.0, 0.4, 0.1, 2.0, 3)
+        collector.record_utilization(20.0, 0.6, 0.2, 3.0, 4)
+        summary = collector.summary()
+        assert summary.mean_edge_utilization == pytest.approx(0.5)
+        assert summary.peak_edge_utilization == pytest.approx(0.6)
+        assert summary.mean_utilization_imbalance == pytest.approx(0.15)
+
+    def test_reset(self, collector, catalog):
+        collector.record_acceptance(build_request(catalog), 10.0, True, 1.0, 2.0, 1.0)
+        collector.record_utilization(1.0, 0.5, 0.1, 1.0, 1)
+        collector.reset()
+        assert collector.total_requests == 0
+        assert collector.samples == []
+
+    def test_summary_as_dict_round_trip(self, collector, catalog):
+        collector.record_acceptance(build_request(catalog), 10.0, True, 1.0, 2.0, 1.0)
+        data = collector.summary().as_dict()
+        assert data["accepted_requests"] == 1
+        assert isinstance(data["acceptance_by_class"], dict)

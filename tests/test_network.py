@@ -1,0 +1,172 @@
+"""Unit tests for the substrate network (routing, allocation, statistics)."""
+
+import pytest
+
+from repro.substrate.geo import GeoPoint
+from repro.substrate.link import InsufficientBandwidthError
+from repro.substrate.network import NoRouteError, SubstrateNetwork, UnknownNodeError
+from repro.substrate.node import ComputeNode, NodeTier, make_cloud_node
+from repro.substrate.resources import ResourceVector
+
+
+def build_triangle():
+    """Three edge nodes in a triangle with asymmetric latencies."""
+    network = SubstrateNetwork()
+    capacity = ResourceVector(10, 10, 10)
+    for node_id in range(3):
+        network.add_node(
+            ComputeNode(node_id, GeoPoint(40.0 + node_id * 0.01, -74.0), capacity)
+        )
+    network.add_link(0, 1, 100.0, latency_ms=1.0)
+    network.add_link(1, 2, 100.0, latency_ms=1.0)
+    network.add_link(0, 2, 100.0, latency_ms=5.0)
+    return network
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        network = SubstrateNetwork()
+        network.add_node(ComputeNode(0, GeoPoint(0, 0), ResourceVector(1, 1, 1)))
+        with pytest.raises(ValueError):
+            network.add_node(ComputeNode(0, GeoPoint(0, 0), ResourceVector(1, 1, 1)))
+
+    def test_link_requires_known_nodes(self):
+        network = SubstrateNetwork()
+        network.add_node(ComputeNode(0, GeoPoint(0, 0), ResourceVector(1, 1, 1)))
+        with pytest.raises(UnknownNodeError):
+            network.add_link(0, 1, 100.0)
+
+    def test_duplicate_link_rejected(self):
+        network = build_triangle()
+        with pytest.raises(ValueError):
+            network.add_link(1, 0, 100.0)
+
+    def test_link_latency_derived_from_geography_when_missing(self):
+        network = SubstrateNetwork()
+        network.add_node(ComputeNode(0, GeoPoint(40.0, -74.0), ResourceVector(1, 1, 1)))
+        network.add_node(ComputeNode(1, GeoPoint(41.0, -74.0), ResourceVector(1, 1, 1)))
+        link = network.add_link(0, 1, 100.0)
+        assert link.latency_ms > 0.35  # more than just the hop overhead
+
+    def test_node_tier_queries(self):
+        network = build_triangle()
+        network.add_node(make_cloud_node(9, GeoPoint(39.0, -104.0)))
+        network.add_link(2, 9, 1000.0, latency_ms=20.0)
+        assert set(network.edge_node_ids) == {0, 1, 2}
+        assert network.cloud_node_ids == [9]
+        assert network.num_nodes == 4
+        assert network.is_connected()
+
+
+class TestRouting:
+    def test_shortest_path_prefers_low_latency(self):
+        network = build_triangle()
+        path = network.shortest_path(0, 2)
+        assert path.nodes == (0, 1, 2)
+        assert path.latency_ms == pytest.approx(2.0)
+        assert path.hop_count == 2
+
+    def test_path_to_self(self):
+        network = build_triangle()
+        path = network.shortest_path(1, 1)
+        assert path.nodes == (1,)
+        assert path.latency_ms == 0.0
+        assert path.links() == []
+
+    def test_latency_between_symmetric(self):
+        network = build_triangle()
+        assert network.latency_between(0, 2) == network.latency_between(2, 0)
+
+    def test_no_route_error(self):
+        network = build_triangle()
+        network.add_node(ComputeNode(7, GeoPoint(10, 10), ResourceVector(1, 1, 1)))
+        with pytest.raises(NoRouteError):
+            network.shortest_path(0, 7)
+        assert not network.is_connected()
+
+    def test_unknown_node_in_routing(self):
+        network = build_triangle()
+        with pytest.raises(UnknownNodeError):
+            network.shortest_path(0, 99)
+
+    def test_nodes_sorted_by_latency(self):
+        network = build_triangle()
+        assert network.nodes_sorted_by_latency_from(0) == [0, 1, 2]
+
+    def test_nearest_node_by_geography(self):
+        network = build_triangle()
+        nearest = network.nearest_node(GeoPoint(40.021, -74.0))
+        assert nearest == 2
+
+
+class TestPathBandwidth:
+    def test_available_bandwidth_is_bottleneck(self):
+        network = build_triangle()
+        network.link(0, 1).reserve("x", 60.0)
+        assert network.path_available_bandwidth([0, 1, 2]) == pytest.approx(40.0)
+        assert network.path_can_carry([0, 1, 2], 40.0)
+        assert not network.path_can_carry([0, 1, 2], 41.0)
+
+    def test_single_node_path_has_infinite_bandwidth(self):
+        network = build_triangle()
+        assert network.path_available_bandwidth([1]) == float("inf")
+
+    def test_allocate_path_and_release(self):
+        network = build_triangle()
+        network.allocate_path([0, 1, 2], "flow", 30.0)
+        assert network.link(0, 1).used_bandwidth == 30.0
+        assert network.link(1, 2).used_bandwidth == 30.0
+        network.release_path([0, 1, 2], "flow")
+        assert network.link(0, 1).used_bandwidth == 0.0
+
+    def test_allocate_path_rolls_back_on_failure(self):
+        network = build_triangle()
+        network.link(1, 2).reserve("other", 90.0)
+        with pytest.raises(InsufficientBandwidthError):
+            network.allocate_path([0, 1, 2], "flow", 30.0)
+        # The first link must have been rolled back.
+        assert network.link(0, 1).used_bandwidth == 0.0
+
+    def test_release_path_is_idempotent_for_missing_handles(self):
+        network = build_triangle()
+        # Releasing a handle never reserved must not raise.
+        network.release_path([0, 1, 2], "ghost")
+
+
+class TestStatistics:
+    def test_total_capacity_and_usage(self):
+        network = build_triangle()
+        assert network.total_capacity().cpu == 30.0
+        network.allocate_node(0, "a", ResourceVector(5, 5, 5))
+        assert network.total_used().cpu == 5.0
+        assert network.total_used(NodeTier.CLOUD).is_zero()
+
+    def test_mean_utilization_and_imbalance(self):
+        network = build_triangle()
+        assert network.mean_node_utilization() == 0.0
+        assert network.utilization_imbalance() == 0.0
+        network.allocate_node(0, "a", ResourceVector(10, 10, 10))
+        assert network.mean_node_utilization() == pytest.approx(1.0 / 3.0)
+        assert network.utilization_imbalance() > 0.0
+
+    def test_cost_rate_reflects_allocations(self):
+        network = build_triangle()
+        assert network.compute_cost_rate() == 0.0
+        network.allocate_node(1, "a", ResourceVector(2, 2, 2))
+        network.link(0, 1).reserve("f", 10.0)
+        assert network.compute_cost_rate() > 0.0
+
+    def test_reset_clears_all_allocations(self):
+        network = build_triangle()
+        network.allocate_node(0, "a", ResourceVector(1, 1, 1))
+        network.allocate_path([0, 1], "f", 10.0)
+        network.reset()
+        assert network.total_used().is_zero()
+        assert network.link(0, 1).used_bandwidth == 0.0
+
+    def test_snapshot_structure(self):
+        network = build_triangle()
+        snapshot = network.snapshot()
+        assert snapshot["num_nodes"] == 3
+        assert snapshot["num_links"] == 3
+        assert len(snapshot["nodes"]) == 3

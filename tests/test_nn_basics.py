@@ -1,0 +1,181 @@
+"""Unit tests for activations, losses and dense layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import (
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    get_activation,
+    log_softmax,
+    softmax,
+)
+from repro.nn.layers import DenseLayer
+from repro.nn.losses import HuberLoss, MSELoss, get_loss
+
+
+class TestActivations:
+    def test_relu_forward_and_derivative(self):
+        relu = ReLU()
+        z = np.array([-2.0, 0.0, 3.0])
+        assert np.allclose(relu.forward(z), [0.0, 0.0, 3.0])
+        assert np.allclose(relu.derivative(z), [0.0, 0.0, 1.0])
+
+    def test_leaky_relu_negative_slope(self):
+        leaky = LeakyReLU(negative_slope=0.1)
+        z = np.array([-10.0, 10.0])
+        assert np.allclose(leaky.forward(z), [-1.0, 10.0])
+        assert np.allclose(leaky.derivative(z), [0.1, 1.0])
+
+    def test_tanh_bounded(self):
+        z = np.linspace(-5, 5, 11)
+        out = Tanh().forward(z)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_sigmoid_stable_for_large_inputs(self):
+        sigmoid = Sigmoid()
+        out = sigmoid.forward(np.array([-1000.0, 0.0, 1000.0]))
+        assert np.allclose(out, [0.0, 0.5, 1.0], atol=1e-9)
+        assert np.all(np.isfinite(sigmoid.derivative(np.array([-1000.0, 1000.0]))))
+
+    def test_get_activation_by_name(self):
+        assert isinstance(get_activation("relu"), ReLU)
+        assert isinstance(get_activation("TANH"), Tanh)
+        with pytest.raises(ValueError):
+            get_activation("swishish")
+
+    def test_softmax_sums_to_one(self):
+        probabilities = softmax(np.array([[1.0, 2.0, 3.0], [10.0, 10.0, 10.0]]))
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+        assert probabilities[1, 0] == pytest.approx(1 / 3)
+
+    def test_softmax_stable_for_large_logits(self):
+        probabilities = softmax(np.array([1000.0, 1000.0]))
+        assert np.allclose(probabilities, [0.5, 0.5])
+
+    def test_log_softmax_consistent_with_softmax(self):
+        logits = np.array([0.5, -1.0, 2.0])
+        assert np.allclose(np.exp(log_softmax(logits)), softmax(logits))
+
+
+class TestLosses:
+    def test_mse_value(self):
+        loss = MSELoss()
+        value = loss(np.array([[1.0, 2.0]]), np.array([[0.0, 0.0]]))
+        assert value == pytest.approx((1.0 + 4.0) / 2)
+
+    def test_mse_gradient_matches_numerical(self):
+        loss = MSELoss()
+        rng = np.random.default_rng(0)
+        predictions = rng.normal(size=(4, 3))
+        targets = rng.normal(size=(4, 3))
+        _, grad = loss.value_and_grad(predictions, targets)
+        eps = 1e-6
+        numerical = np.zeros_like(predictions)
+        for i in range(predictions.shape[0]):
+            for j in range(predictions.shape[1]):
+                plus = predictions.copy()
+                plus[i, j] += eps
+                minus = predictions.copy()
+                minus[i, j] -= eps
+                numerical[i, j] = (loss(plus, targets) - loss(minus, targets)) / (2 * eps)
+        assert np.allclose(grad, numerical, atol=1e-6)
+
+    def test_huber_quadratic_then_linear(self):
+        loss = HuberLoss(delta=1.0)
+        small = loss(np.array([[0.5]]), np.array([[0.0]]))
+        large = loss(np.array([[10.0]]), np.array([[0.0]]))
+        assert small == pytest.approx(0.125)
+        assert large == pytest.approx(0.5 + 1.0 * 9.0)
+
+    def test_huber_gradient_clipped(self):
+        loss = HuberLoss(delta=1.0)
+        _, grad = loss.value_and_grad(np.array([[10.0]]), np.array([[0.0]]))
+        assert abs(grad[0, 0]) <= 1.0
+
+    def test_weighted_loss_scales_gradient(self):
+        loss = MSELoss()
+        predictions = np.array([[1.0], [1.0]])
+        targets = np.array([[0.0], [0.0]])
+        _, grad_unweighted = loss.value_and_grad(predictions, targets)
+        _, grad_weighted = loss.value_and_grad(
+            predictions, targets, weights=np.array([2.0, 0.5])
+        )
+        assert grad_weighted[0, 0] == pytest.approx(2.0 * grad_unweighted[0, 0])
+        assert grad_weighted[1, 0] == pytest.approx(0.5 * grad_unweighted[1, 0])
+
+    def test_get_loss_factory(self):
+        assert isinstance(get_loss("mse"), MSELoss)
+        assert isinstance(get_loss("huber", delta=2.0), HuberLoss)
+        with pytest.raises(ValueError):
+            get_loss("hinge")
+
+    def test_invalid_huber_delta(self):
+        with pytest.raises(ValueError):
+            HuberLoss(delta=0.0)
+
+
+class TestDenseLayer:
+    def test_forward_shape(self):
+        layer = DenseLayer(4, 3, activation="relu", seed=0)
+        out = layer.forward(np.ones((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_forward_rejects_wrong_width(self):
+        layer = DenseLayer(4, 3, seed=0)
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((2, 5)))
+
+    def test_identity_layer_is_affine(self):
+        layer = DenseLayer(2, 2, activation=None, seed=0)
+        layer.set_parameters({"weights": np.eye(2), "biases": np.array([1.0, -1.0])})
+        out = layer.forward(np.array([[3.0, 4.0]]))
+        assert np.allclose(out, [[4.0, 3.0]])
+
+    def test_backward_before_forward_raises(self):
+        layer = DenseLayer(2, 2, seed=0)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_gradient_numerically_correct(self):
+        rng = np.random.default_rng(1)
+        layer = DenseLayer(3, 2, activation="tanh", seed=1)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+        loss = MSELoss()
+
+        def compute_loss():
+            return loss(layer.forward(x, training=False), target)
+
+        predictions = layer.forward(x, training=True)
+        _, grad_out = loss.value_and_grad(predictions, target)
+        layer.zero_grad()
+        layer.backward(grad_out)
+
+        eps = 1e-6
+        numerical = np.zeros_like(layer.weights)
+        for i in range(layer.weights.shape[0]):
+            for j in range(layer.weights.shape[1]):
+                original = layer.weights[i, j]
+                layer.weights[i, j] = original + eps
+                plus = compute_loss()
+                layer.weights[i, j] = original - eps
+                minus = compute_loss()
+                layer.weights[i, j] = original
+                numerical[i, j] = (plus - minus) / (2 * eps)
+        assert np.allclose(layer.weight_grad, numerical, atol=1e-5)
+
+    def test_set_parameters_shape_check(self):
+        layer = DenseLayer(3, 2, seed=0)
+        with pytest.raises(ValueError):
+            layer.set_parameters({"weights": np.zeros((2, 2)), "biases": np.zeros(2)})
+
+    def test_parameter_count(self):
+        layer = DenseLayer(3, 2, seed=0)
+        assert layer.parameter_count() == 3 * 2 + 2
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            DenseLayer(0, 2)

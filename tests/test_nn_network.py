@@ -1,0 +1,164 @@
+"""Unit tests for the MLP and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import MSELoss
+from repro.nn.network import MLP
+from repro.nn.optimizers import SGD, Adam, RMSProp, clip_gradients, get_optimizer
+
+
+class TestMLPBasics:
+    def test_shapes(self):
+        network = MLP([4, 8, 3], seed=0)
+        assert network.input_dim == 4
+        assert network.output_dim == 3
+        assert network.forward(np.ones(4)).shape == (3,)
+        assert network.forward(np.ones((5, 4))).shape == (5, 3)
+
+    def test_parameter_count(self):
+        network = MLP([4, 8, 3], seed=0)
+        assert network.parameter_count() == (4 * 8 + 8) + (8 * 3 + 3)
+
+    def test_invalid_architecture_rejected(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+        with pytest.raises(ValueError):
+            MLP([4, 0, 2])
+
+    def test_deterministic_initialization(self):
+        a = MLP([3, 5, 2], seed=42)
+        b = MLP([3, 5, 2], seed=42)
+        x = np.ones(3)
+        assert np.allclose(a.predict(x), b.predict(x))
+
+    def test_different_seeds_differ(self):
+        a = MLP([3, 5, 2], seed=1)
+        b = MLP([3, 5, 2], seed=2)
+        assert not np.allclose(a.predict(np.ones(3)), b.predict(np.ones(3)))
+
+
+class TestMLPTraining:
+    def test_fit_batch_reduces_loss_on_regression(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(256, 3))
+        y = (x[:, :1] * 2.0 - x[:, 1:2] + 0.5).reshape(-1, 1)
+        network = MLP([3, 32, 1], seed=0)
+        optimizer = Adam(1e-2)
+        first_loss = network.fit_batch(x, y, optimizer)
+        for _ in range(300):
+            last_loss = network.fit_batch(x, y, optimizer)
+        assert last_loss < first_loss * 0.1
+
+    def test_target_mask_only_updates_selected_outputs(self):
+        network = MLP([2, 8, 3], seed=0)
+        x = np.array([[0.5, -0.5]])
+        before = network.predict(x)[0].copy()
+        mask = np.array([[1.0, 0.0, 0.0]])
+        targets = np.array([[before[0] + 5.0, 0.0, 0.0]])
+        optimizer = SGD(1e-2)
+        for _ in range(50):
+            network.fit_batch(x, targets, optimizer, target_mask=mask)
+        after = network.predict(x)[0]
+        # Output 0 must move towards its target much more than outputs 1, 2.
+        assert abs(after[0] - before[0]) > 10 * abs(after[1] - before[1])
+
+    def test_backward_requires_training_forward(self):
+        network = MLP([2, 4, 1], seed=0)
+        network.predict(np.ones(2))
+        with pytest.raises(RuntimeError):
+            network.backward(np.ones((1, 1)))
+
+
+class TestTargetNetworkOps:
+    def test_hard_copy(self):
+        source = MLP([3, 4, 2], seed=1)
+        target = MLP([3, 4, 2], seed=2)
+        target.copy_from(source, tau=1.0)
+        assert np.allclose(source.predict(np.ones(3)), target.predict(np.ones(3)))
+
+    def test_soft_copy_interpolates(self):
+        source = MLP([3, 4, 2], seed=1)
+        target = MLP([3, 4, 2], seed=2)
+        original_weight = target.layers[0].weights.copy()
+        target.copy_from(source, tau=0.5)
+        expected = 0.5 * source.layers[0].weights + 0.5 * original_weight
+        assert np.allclose(target.layers[0].weights, expected)
+
+    def test_architecture_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MLP([3, 4, 2], seed=0).copy_from(MLP([3, 5, 2], seed=0))
+
+    def test_clone_is_independent(self):
+        network = MLP([3, 4, 2], seed=1)
+        clone = network.clone(seed=0)
+        assert np.allclose(network.predict(np.ones(3)), clone.predict(np.ones(3)))
+        clone.layers[0].weights += 1.0
+        assert not np.allclose(network.layers[0].weights, clone.layers[0].weights)
+
+    def test_save_load_round_trip(self, tmp_path):
+        network = MLP([3, 6, 2], hidden_activation="tanh", seed=3)
+        path = network.save(tmp_path / "model.npz")
+        loaded = MLP.load(path)
+        x = np.linspace(-1, 1, 3)
+        assert np.allclose(network.predict(x), loaded.predict(x))
+        assert loaded.hidden_activation == "tanh"
+
+
+class TestOptimizers:
+    def _quadratic_step_improves(self, optimizer_factory):
+        # Minimize f(w) = ||w||^2 using the optimizer on a fake gradient dict.
+        weights = np.array([5.0, -3.0])
+        params = {"w": weights}
+        for _ in range(200):
+            grads = {"w": 2.0 * params["w"]}
+            optimizer_factory.step([(params, grads)])
+        return np.linalg.norm(params["w"])
+
+    def test_sgd_converges_on_quadratic(self):
+        assert self._quadratic_step_improves(SGD(0.05)) < 0.05
+
+    def test_sgd_momentum_converges(self):
+        assert self._quadratic_step_improves(SGD(0.02, momentum=0.9)) < 0.05
+
+    def test_rmsprop_converges(self):
+        assert self._quadratic_step_improves(RMSProp(0.05)) < 0.2
+
+    def test_adam_converges(self):
+        assert self._quadratic_step_improves(Adam(0.1)) < 0.05
+
+    def test_adam_state_created_per_parameter(self):
+        optimizer = Adam(0.01)
+        params = {"w": np.zeros(3), "b": np.zeros(1)}
+        grads = {"w": np.ones(3), "b": np.ones(1)}
+        optimizer.step([(params, grads)])
+        assert optimizer.state_size() == 4  # two params × two moments
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD(0.0)
+        with pytest.raises(ValueError):
+            SGD(0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            Adam(0.1, beta1=1.0)
+        with pytest.raises(ValueError):
+            RMSProp(0.1, decay=1.0)
+
+    def test_get_optimizer_factory(self):
+        assert isinstance(get_optimizer("adam"), Adam)
+        assert isinstance(get_optimizer("sgd", momentum=0.5), SGD)
+        assert isinstance(get_optimizer("rmsprop"), RMSProp)
+        with pytest.raises(ValueError):
+            get_optimizer("lbfgs")
+
+    def test_clip_gradients_scales_down(self):
+        grads = {"w": np.array([30.0, 40.0])}
+        params = {"w": np.zeros(2)}
+        norm = clip_gradients([(params, grads)], max_norm=5.0)
+        assert norm == pytest.approx(50.0)
+        assert np.linalg.norm(grads["w"]) == pytest.approx(5.0)
+
+    def test_clip_gradients_no_change_when_small(self):
+        grads = {"w": np.array([0.3, 0.4])}
+        clip_gradients([({"w": np.zeros(2)}, grads)], max_norm=5.0)
+        assert np.allclose(grads["w"], [0.3, 0.4])

@@ -1,0 +1,150 @@
+"""Unit tests for compute nodes."""
+
+import pytest
+
+from repro.substrate.geo import GeoPoint
+from repro.substrate.node import (
+    ComputeNode,
+    InsufficientCapacityError,
+    NodeTier,
+    UnknownAllocationError,
+    make_cloud_node,
+    make_edge_node,
+)
+from repro.substrate.resources import ResourceVector
+
+
+@pytest.fixture
+def node():
+    return ComputeNode(
+        node_id=1,
+        location=GeoPoint(40.0, -74.0),
+        capacity=ResourceVector(8.0, 16.0, 100.0),
+        tier=NodeTier.EDGE,
+    )
+
+
+class TestConstruction:
+    def test_edge_factory(self):
+        edge = make_edge_node(3, GeoPoint(40.0, -74.0))
+        assert edge.is_edge and not edge.is_cloud
+        assert edge.name == "edge-3"
+
+    def test_cloud_factory_has_larger_capacity(self):
+        edge = make_edge_node(0, GeoPoint(40.0, -74.0))
+        cloud = make_cloud_node(1, GeoPoint(39.0, -104.0))
+        assert cloud.capacity.cpu > edge.capacity.cpu
+        assert cloud.is_cloud
+
+    def test_cloud_cheaper_per_unit_than_edge(self):
+        edge = make_edge_node(0, GeoPoint(40.0, -74.0))
+        cloud = make_cloud_node(1, GeoPoint(39.0, -104.0))
+        assert cloud.cost_per_unit.cpu < edge.cost_per_unit.cpu
+
+    def test_negative_activation_cost_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeNode(
+                node_id=0,
+                location=GeoPoint(0, 0),
+                capacity=ResourceVector(1, 1, 1),
+                activation_cost=-1.0,
+            )
+
+
+class TestAllocation:
+    def test_allocate_updates_usage(self, node):
+        node.allocate("a", ResourceVector(2, 4, 10))
+        assert node.used.as_tuple() == (2.0, 4.0, 10.0)
+        assert node.available.as_tuple() == (6.0, 12.0, 90.0)
+        assert node.is_active
+        assert node.allocation_count == 1
+
+    def test_allocate_rejects_over_capacity(self, node):
+        with pytest.raises(InsufficientCapacityError):
+            node.allocate("big", ResourceVector(9, 1, 1))
+        assert not node.is_active
+
+    def test_allocate_duplicate_handle_rejected(self, node):
+        node.allocate("a", ResourceVector(1, 1, 1))
+        with pytest.raises(ValueError, match="already exists"):
+            node.allocate("a", ResourceVector(1, 1, 1))
+
+    def test_release_returns_demand(self, node):
+        demand = ResourceVector(2, 2, 2)
+        node.allocate("a", demand)
+        assert node.release("a") == demand
+        assert node.used.is_zero()
+        assert not node.is_active
+
+    def test_release_unknown_handle(self, node):
+        with pytest.raises(UnknownAllocationError):
+            node.release("missing")
+
+    def test_can_host_respects_current_usage(self, node):
+        node.allocate("a", ResourceVector(6, 1, 1))
+        assert not node.can_host(ResourceVector(3, 1, 1))
+        assert node.can_host(ResourceVector(2, 1, 1))
+
+    def test_multiple_allocations_accumulate(self, node):
+        node.allocate("a", ResourceVector(2, 2, 2))
+        node.allocate("b", ResourceVector(3, 3, 3))
+        assert node.used.as_tuple() == (5.0, 5.0, 5.0)
+        node.release("a")
+        assert node.used.as_tuple() == (3.0, 3.0, 3.0)
+
+    def test_reset_clears_everything(self, node):
+        node.allocate("a", ResourceVector(2, 2, 2))
+        node.reset()
+        assert node.used.is_zero()
+        assert node.peak_used.is_zero()
+        assert not node.holds("a")
+
+    def test_peak_usage_tracks_high_water_mark(self, node):
+        node.allocate("a", ResourceVector(4, 4, 4))
+        node.release("a")
+        node.allocate("b", ResourceVector(1, 1, 1))
+        assert node.peak_used.as_tuple() == (4.0, 4.0, 4.0)
+
+    def test_allocation_exactly_filling_capacity(self, node):
+        node.allocate("full", ResourceVector(8, 16, 100))
+        assert node.max_utilization() == pytest.approx(1.0)
+        assert not node.can_host(ResourceVector(0.1, 0, 0))
+
+
+class TestUtilizationAndCost:
+    def test_utilization_ratios(self, node):
+        node.allocate("a", ResourceVector(4, 4, 10))
+        utilization = node.utilization()
+        assert utilization["cpu"] == pytest.approx(0.5)
+        assert utilization["memory"] == pytest.approx(0.25)
+        assert node.max_utilization() == pytest.approx(0.5)
+        assert node.mean_utilization() == pytest.approx((0.5 + 0.25 + 0.1) / 3)
+
+    def test_hosting_cost_scales_with_duration(self, node):
+        demand = ResourceVector(2, 2, 2)
+        assert node.hosting_cost(demand, 10.0) == pytest.approx(
+            2 * node.hosting_cost(demand, 5.0)
+        )
+
+    def test_hosting_cost_negative_duration_rejected(self, node):
+        with pytest.raises(ValueError):
+            node.hosting_cost(ResourceVector(1, 1, 1), -1.0)
+
+    def test_usage_cost_rate_includes_activation(self):
+        node = ComputeNode(
+            node_id=0,
+            location=GeoPoint(0, 0),
+            capacity=ResourceVector(10, 10, 10),
+            activation_cost=5.0,
+        )
+        assert node.usage_cost_rate() == 0.0
+        node.allocate("a", ResourceVector(1, 1, 1))
+        assert node.usage_cost_rate() > 5.0
+
+    def test_snapshot_contains_key_fields(self, node):
+        node.allocate("a", ResourceVector(1, 1, 1))
+        snapshot = node.snapshot()
+        assert snapshot["node_id"] == 1
+        assert snapshot["tier"] == "edge"
+        assert snapshot["allocations"] == 1
+        assert 0 < snapshot["max_utilization"] < 1

@@ -1,0 +1,102 @@
+"""Unit tests for the topology generators."""
+
+import pytest
+
+from repro.substrate.node import NodeTier
+from repro.substrate.topology import (
+    TopologyConfig,
+    linear_chain_topology,
+    metro_edge_cloud_topology,
+    random_geometric_topology,
+    scaled_topology,
+    star_topology,
+    waxman_topology,
+)
+
+
+class TestMetroEdgeCloud:
+    def test_default_counts(self):
+        network = metro_edge_cloud_topology(TopologyConfig(seed=1))
+        assert len(network.edge_node_ids) == 16
+        assert len(network.cloud_node_ids) == 1
+        assert network.is_connected()
+
+    def test_custom_counts(self):
+        config = TopologyConfig(num_edge_nodes=10, num_cloud_nodes=2, num_metros=2, seed=2)
+        network = metro_edge_cloud_topology(config)
+        assert len(network.edge_node_ids) == 10
+        assert len(network.cloud_node_ids) == 2
+
+    def test_deterministic_with_seed(self):
+        a = metro_edge_cloud_topology(TopologyConfig(seed=5))
+        b = metro_edge_cloud_topology(TopologyConfig(seed=5))
+        assert a.num_links == b.num_links
+        assert [n.capacity.as_tuple() for n in a.nodes()] == [
+            n.capacity.as_tuple() for n in b.nodes()
+        ]
+
+    def test_different_seeds_differ(self):
+        a = metro_edge_cloud_topology(TopologyConfig(seed=1))
+        b = metro_edge_cloud_topology(TopologyConfig(seed=2))
+        assert [n.capacity.as_tuple() for n in a.nodes()] != [
+            n.capacity.as_tuple() for n in b.nodes()
+        ]
+
+    def test_cloud_farther_than_intra_metro(self):
+        network = metro_edge_cloud_topology(TopologyConfig(seed=3))
+        cloud = network.cloud_node_ids[0]
+        edges = network.edge_node_ids
+        intra = network.latency_between(edges[0], edges[4])  # same metro ring
+        to_cloud = network.latency_between(edges[0], cloud)
+        assert to_cloud > intra
+
+    def test_wan_extra_latency_applied(self):
+        low = metro_edge_cloud_topology(TopologyConfig(seed=4, wan_extra_latency_ms=0.0))
+        high = metro_edge_cloud_topology(TopologyConfig(seed=4, wan_extra_latency_ms=30.0))
+        cloud_low = low.cloud_node_ids[0]
+        cloud_high = high.cloud_node_ids[0]
+        assert high.latency_between(0, cloud_high) > low.latency_between(0, cloud_low)
+
+    def test_too_many_metros_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(num_metros=10, cities=("new_york",))
+
+
+class TestOtherGenerators:
+    def test_random_geometric_connected(self):
+        network = random_geometric_topology(num_edge_nodes=12, seed=3)
+        assert network.is_connected()
+        assert len(network.edge_node_ids) == 12
+        assert len(network.cloud_node_ids) == 1
+
+    def test_waxman_connected(self):
+        network = waxman_topology(num_edge_nodes=12, seed=4)
+        assert network.is_connected()
+        assert len(network.edge_node_ids) == 12
+
+    def test_linear_chain_structure(self):
+        network = linear_chain_topology(num_edge_nodes=5, link_latency_ms=2.0)
+        assert network.num_links == 4
+        assert network.latency_between(0, 4) == pytest.approx(8.0)
+
+    def test_star_structure(self):
+        network = star_topology(num_leaves=6, link_latency_ms=1.5)
+        assert network.num_nodes == 7
+        assert network.num_links == 6
+        # Leaf-to-leaf goes through the hub: two hops.
+        assert network.latency_between(1, 2) == pytest.approx(3.0)
+
+    def test_scaled_topology_sizes(self):
+        for size in (4, 8, 24):
+            network = scaled_topology(size, seed=1)
+            assert len(network.edge_node_ids) == size
+            assert network.is_connected()
+
+    def test_all_generators_have_edge_tier_nodes(self):
+        for network in (
+            random_geometric_topology(num_edge_nodes=6, seed=1),
+            waxman_topology(num_edge_nodes=6, seed=1),
+            linear_chain_topology(4),
+            star_topology(4),
+        ):
+            assert all(network.node(n).tier is NodeTier.EDGE for n in network.edge_node_ids)

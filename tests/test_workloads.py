@@ -1,0 +1,154 @@
+"""Unit tests for workload generation and scenarios."""
+
+import pytest
+
+from repro.workloads.generator import RequestGenerator, WorkloadConfig
+from repro.workloads.scenarios import (
+    diurnal_scenario,
+    hotspot_scenario,
+    reference_scenario,
+    scalability_scenario,
+)
+
+
+class TestRequestGenerator:
+    def test_sampled_requests_are_valid(self, generator, edge_cloud_network):
+        for _ in range(20):
+            request = generator.sample_request(arrival_time=1.0)
+            assert request.source_node_id in edge_cloud_network.edge_node_ids
+            assert request.bandwidth_mbps > 0
+            assert request.sla.max_latency_ms > 0
+            assert request.holding_time >= 1.0
+            assert request.num_vnfs >= 1
+
+    def test_trace_is_time_ordered(self, generator):
+        trace = generator.generate_trace(horizon=50.0)
+        times = [r.arrival_time for r in trace]
+        assert times == sorted(times)
+        assert all(t <= 50.0 for t in times)
+
+    def test_batch_count_and_rate(self, generator):
+        batch = generator.generate_batch(30)
+        assert len(batch) == 30
+        times = [r.arrival_time for r in batch]
+        assert times == sorted(times)
+        # Mean inter-arrival should be near 1/arrival_rate = 2.0.
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert 0.5 < sum(gaps) / len(gaps) < 5.0
+
+    def test_class_mix_roughly_matches_weights(self, edge_cloud_network, catalog, templates):
+        generator = RequestGenerator(
+            edge_cloud_network,
+            catalog,
+            templates,
+            WorkloadConfig(arrival_rate=1.0, horizon=100.0, seed=1),
+        )
+        requests = [generator.sample_request() for _ in range(600)]
+        mix = generator.class_mix(requests)
+        assert mix["web_service"] > mix["ar_vr_offload"]
+        assert abs(mix["web_service"] - 0.30) < 0.10
+
+    def test_hotspot_skew(self, edge_cloud_network, catalog, templates):
+        hotspots = tuple(edge_cloud_network.edge_node_ids[:2])
+        generator = RequestGenerator(
+            edge_cloud_network,
+            catalog,
+            templates,
+            WorkloadConfig(
+                arrival_rate=1.0,
+                horizon=100.0,
+                hotspot_fraction=0.9,
+                hotspot_nodes=hotspots,
+                seed=2,
+            ),
+        )
+        sources = [generator.sample_source_node() for _ in range(300)]
+        hotspot_fraction = sum(1 for s in sources if s in hotspots) / len(sources)
+        assert hotspot_fraction > 0.7
+
+    def test_sla_scale_stretches_budgets(self, edge_cloud_network, catalog, templates):
+        tight = RequestGenerator(
+            edge_cloud_network, catalog, templates,
+            WorkloadConfig(arrival_rate=1.0, sla_scale=0.5, seed=3),
+        )
+        loose = RequestGenerator(
+            edge_cloud_network, catalog, templates,
+            WorkloadConfig(arrival_rate=1.0, sla_scale=2.0, seed=3),
+        )
+        tight_mean = sum(tight.sample_request().sla.max_latency_ms for _ in range(100)) / 100
+        loose_mean = sum(loose.sample_request().sla.max_latency_ms for _ in range(100)) / 100
+        assert loose_mean > 2.5 * tight_mean
+
+    def test_deterministic_with_seed(self, edge_cloud_network, catalog, templates):
+        def build():
+            return RequestGenerator(
+                edge_cloud_network, catalog, templates,
+                WorkloadConfig(arrival_rate=0.5, horizon=50.0, seed=7),
+            ).generate_trace()
+
+        first, second = build(), build()
+        assert [r.bandwidth_mbps for r in first] == [r.bandwidth_mbps for r in second]
+        assert [r.source_node_id for r in first] == [r.source_node_id for r in second]
+
+    def test_network_without_edges_rejected(self, catalog, templates):
+        from repro.substrate.network import SubstrateNetwork
+        from repro.substrate.node import make_cloud_node
+        from repro.substrate.geo import GeoPoint
+
+        network = SubstrateNetwork()
+        network.add_node(make_cloud_node(0, GeoPoint(0, 0)))
+        with pytest.raises(ValueError):
+            RequestGenerator(network, catalog, templates, WorkloadConfig(arrival_rate=1.0))
+
+
+class TestScenarios:
+    def test_reference_scenario_builds(self):
+        scenario = reference_scenario(arrival_rate=0.5, num_edge_nodes=6, horizon=100.0, seed=1)
+        network = scenario.build_network()
+        assert len(network.edge_node_ids) == 6
+        requests = scenario.generate_requests()
+        assert len(requests) > 0
+
+    def test_reference_scenario_topology_reproducible(self):
+        scenario = reference_scenario(seed=4, num_edge_nodes=6)
+        a, b = scenario.build_network(), scenario.build_network()
+        assert [n.capacity.as_tuple() for n in a.nodes()] == [
+            n.capacity.as_tuple() for n in b.nodes()
+        ]
+
+    def test_with_arrival_rate_copy(self):
+        scenario = reference_scenario(arrival_rate=0.5, num_edge_nodes=6)
+        faster = scenario.with_arrival_rate(2.0)
+        assert faster.workload_config.arrival_rate == 2.0
+        assert scenario.workload_config.arrival_rate == 0.5
+
+    def test_with_sla_scale_copy(self):
+        scenario = reference_scenario(num_edge_nodes=6)
+        strict = scenario.with_sla_scale(0.5)
+        assert strict.workload_config.sla_scale == 0.5
+
+    def test_scalability_scenario_load_scales_with_size(self):
+        small = scalability_scenario(8, arrival_rate_per_node=0.05)
+        large = scalability_scenario(24, arrival_rate_per_node=0.05)
+        assert large.workload_config.arrival_rate == pytest.approx(
+            3 * small.workload_config.arrival_rate
+        )
+        assert len(large.build_network().edge_node_ids) == 24
+
+    def test_hotspot_scenario_sets_hotspots(self):
+        scenario = hotspot_scenario(num_edge_nodes=8, seed=2)
+        assert scenario.workload_config.hotspot_fraction > 0
+        assert len(scenario.workload_config.hotspot_nodes) >= 1
+
+    def test_diurnal_scenario_kind(self):
+        scenario = diurnal_scenario(num_edge_nodes=6)
+        assert scenario.arrival_kind == "diurnal"
+        process = scenario.build_arrival_process()
+        assert process.mean_rate() > 0
+
+    def test_unknown_arrival_kind_rejected(self):
+        from dataclasses import replace
+
+        scenario = replace(reference_scenario(num_edge_nodes=6), arrival_kind="weibull")
+        with pytest.raises(ValueError):
+            scenario.build_arrival_process()
