@@ -1,0 +1,28 @@
+# Convenience targets for the reproduction repo.  Everything assumes the
+# bundled sources under src/ (no install step needed).
+
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+export PYTHONPATH
+
+.PHONY: check test bench-hotpath bench clean-cache
+
+## check: tier-1 tests + one tiny end-to-end figure run (< 1 minute)
+check:
+	bash scripts/check.sh
+
+## test: the tier-1 test suite only
+test:
+	python -m pytest -x -q
+
+## bench-hotpath: microbenchmark of the vectorized training hot path
+bench-hotpath:
+	PYTHONPATH=src:. python benchmarks/bench_hotpath.py
+
+## bench: the full figure/table benchmark suite (fast preset)
+bench:
+	python -m pytest benchmarks -o python_files='bench_*.py' \
+		-o python_functions='bench_*' -q
+
+## clean-cache: drop cached benchmark results (forces recomputation)
+clean-cache:
+	rm -rf benchmarks/results/cache

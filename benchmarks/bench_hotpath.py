@@ -1,0 +1,212 @@
+"""Microbenchmark of the vectorized training hot path.
+
+Measures the throughput (transitions/second) of the DQN learning step in two
+implementations:
+
+* ``per_sample`` — the seed's original scalar hot path: each transition in the
+  minibatch gets its own target-network forward, its own online forward and
+  its own single-row ``fit_batch`` regression (reimplemented here verbatim so
+  the comparison survives the refactor it motivates);
+* ``batched`` — the current implementation: one vectorized forward/backward
+  over the whole ``(batch, features)`` minibatch
+  (:meth:`repro.agents.dqn.DQNAgent._learn_from_batch`).
+
+It also measures replay sampling throughput against the seed's
+list-of-objects storage (re-stacking ``batch_size`` Python objects per call)
+versus the pre-allocated contiguous ring buffer.
+
+Run standalone::
+
+    PYTHONPATH=src:. python benchmarks/bench_hotpath.py
+
+or through the pytest-benchmark harness like the figure benchmarks.  Raw
+numbers are persisted to ``benchmarks/results/hotpath.json``; the script
+asserts the batched DQN update is at least 5x faster than the per-sample
+loop.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.agents.dqn import DQNAgent, DQNConfig
+from repro.agents.replay import ReplayBuffer, Transition
+
+STATE_DIM = 32
+NUM_ACTIONS = 12
+BATCH_SIZE = 64
+MIN_SPEEDUP = 5.0
+
+
+def _make_agent(seed: int = 0) -> DQNAgent:
+    config = DQNConfig(
+        hidden_layers=(128, 128),
+        batch_size=BATCH_SIZE,
+        min_replay_size=BATCH_SIZE,
+        replay_capacity=10_000,
+    )
+    return DQNAgent(STATE_DIM, NUM_ACTIONS, config=config, seed=seed)
+
+
+def _fill_replay(agent: DQNAgent, transitions: int, seed: int = 0) -> None:
+    rng = np.random.default_rng(seed)
+    for _ in range(transitions):
+        agent.replay.add(
+            Transition(
+                state=rng.normal(size=STATE_DIM),
+                action=int(rng.integers(NUM_ACTIONS)),
+                reward=float(rng.normal()),
+                next_state=rng.normal(size=STATE_DIM),
+                done=bool(rng.random() < 0.05),
+                next_mask=np.ones(NUM_ACTIONS, dtype=bool),
+            )
+        )
+
+
+def _per_sample_update(agent: DQNAgent, batch) -> None:
+    """The seed's scalar hot path: train on one transition at a time."""
+    for i in range(len(batch)):
+        next_q = agent.q_values(batch.next_states[i], target=True)
+        bootstrap = 0.0 if batch.dones[i] else float(np.max(next_q))
+        target = batch.rewards[i] + agent.config.discount * bootstrap
+        q_row = agent.q_values(batch.states[i]).copy()
+        q_row[batch.actions[i]] = target
+        mask = np.zeros(NUM_ACTIONS)
+        mask[batch.actions[i]] = 1.0
+        agent.online_network.fit_batch(
+            batch.states[i].reshape(1, -1),
+            q_row.reshape(1, -1),
+            optimizer=agent.optimizer,
+            loss=agent.loss,
+            target_mask=mask.reshape(1, -1),
+            max_grad_norm=agent.config.gradient_clip_norm,
+        )
+
+
+def measure_dqn_update(updates: int = 50) -> Dict[str, float]:
+    """Transitions/second of the per-sample vs the batched DQN update."""
+    per_sample_agent = _make_agent(seed=0)
+    _fill_replay(per_sample_agent, 1000)
+    start = time.perf_counter()
+    for _ in range(updates):
+        batch = per_sample_agent.replay.sample(BATCH_SIZE)
+        _per_sample_update(per_sample_agent, batch)
+    per_sample_tps = updates * BATCH_SIZE / (time.perf_counter() - start)
+
+    batched_agent = _make_agent(seed=0)
+    _fill_replay(batched_agent, 1000)
+    start = time.perf_counter()
+    for _ in range(updates):
+        batch = batched_agent.replay.sample(BATCH_SIZE)
+        batched_agent._learn_from_batch(batch)
+    batched_tps = updates * BATCH_SIZE / (time.perf_counter() - start)
+
+    return {
+        "per_sample_transitions_per_s": per_sample_tps,
+        "batched_transitions_per_s": batched_tps,
+        "speedup": batched_tps / per_sample_tps,
+    }
+
+
+class _LegacyListReplay:
+    """The seed's replay storage: Python objects stacked per ``sample()``."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._storage: List[Transition] = []
+        self._rng = np.random.default_rng(seed)
+
+    def add(self, transition: Transition) -> None:
+        self._storage.append(transition)
+
+    def sample(self, batch_size: int):
+        indices = self._rng.integers(0, len(self._storage), size=batch_size)
+        transitions = [self._storage[i] for i in indices]
+        return (
+            np.stack([np.asarray(t.state, dtype=float) for t in transitions]),
+            np.array([t.action for t in transitions], dtype=int),
+            np.array([t.reward for t in transitions], dtype=float),
+            np.stack([np.asarray(t.next_state, dtype=float) for t in transitions]),
+            np.array([t.done for t in transitions], dtype=bool),
+            np.stack([np.asarray(t.next_mask, dtype=bool) for t in transitions]),
+        )
+
+
+def measure_replay_sampling(samples: int = 2000) -> Dict[str, float]:
+    """Batches/second of legacy list-stacking vs contiguous-array sampling."""
+    rng = np.random.default_rng(0)
+    legacy = _LegacyListReplay(seed=0)
+    vectorized = ReplayBuffer(capacity=10_000, seed=0)
+    for _ in range(2000):
+        transition = Transition(
+            state=rng.normal(size=STATE_DIM),
+            action=int(rng.integers(NUM_ACTIONS)),
+            reward=float(rng.normal()),
+            next_state=rng.normal(size=STATE_DIM),
+            done=False,
+            next_mask=np.ones(NUM_ACTIONS, dtype=bool),
+        )
+        legacy.add(transition)
+        vectorized.add(transition)
+
+    start = time.perf_counter()
+    for _ in range(samples):
+        legacy.sample(BATCH_SIZE)
+    legacy_sps = samples / (time.perf_counter() - start)
+
+    start = time.perf_counter()
+    for _ in range(samples):
+        vectorized.sample(BATCH_SIZE)
+    vectorized_sps = samples / (time.perf_counter() - start)
+
+    return {
+        "legacy_batches_per_s": legacy_sps,
+        "vectorized_batches_per_s": vectorized_sps,
+        "speedup": vectorized_sps / legacy_sps,
+    }
+
+
+def run_hotpath_benchmark() -> Dict[str, Dict[str, float]]:
+    """Run both microbenchmarks, persist the JSON and check the speedup bar."""
+    results = {
+        "dqn_update": measure_dqn_update(),
+        "replay_sampling": measure_replay_sampling(),
+    }
+    from benchmarks.common import RESULTS_DIR
+    from repro.utils.serialization import save_json
+
+    save_json(results, RESULTS_DIR / "hotpath.json")
+    speedup = results["dqn_update"]["speedup"]
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched DQN update is only {speedup:.1f}x faster than the "
+        f"per-sample loop (required: {MIN_SPEEDUP}x)"
+    )
+    return results
+
+
+def bench_hotpath(benchmark) -> None:
+    """pytest-benchmark entry point matching the figure benchmarks."""
+    results = benchmark.pedantic(
+        run_hotpath_benchmark, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert results["dqn_update"]["speedup"] >= MIN_SPEEDUP
+
+
+def main() -> None:
+    results = run_hotpath_benchmark()
+    dqn = results["dqn_update"]
+    replay = results["replay_sampling"]
+    print("DQN minibatch update (transitions/s)")
+    print(f"  per-sample loop : {dqn['per_sample_transitions_per_s']:12.0f}")
+    print(f"  batched         : {dqn['batched_transitions_per_s']:12.0f}")
+    print(f"  speedup         : {dqn['speedup']:9.1f}x  (bar: >= {MIN_SPEEDUP}x)")
+    print("Replay sampling (batches/s)")
+    print(f"  legacy list     : {replay['legacy_batches_per_s']:12.0f}")
+    print(f"  contiguous ring : {replay['vectorized_batches_per_s']:12.0f}")
+    print(f"  speedup         : {replay['speedup']:9.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,15 @@ same rows/series the paper reports, and persists the raw data as JSON under
 The benchmarks use :meth:`ExperimentConfig.fast` so the whole suite completes
 in minutes on a laptop; pass ``REPRO_BENCH_PRESET=paper`` in the environment
 to run the full-scale settings instead.
+
+Result caching
+--------------
+Completed figure/table payloads are cached under ``benchmarks/results/cache``
+keyed by a hash of the experiment configuration
+(:class:`repro.experiments.parallel.ResultCache`).  Re-running a benchmark
+with unchanged settings loads the cached series instead of retraining, which
+makes iterating on assertions or plotting free.  Set ``REPRO_NO_CACHE=1`` to
+always recompute (e.g. when measuring real experiment wall-clock).
 """
 
 from __future__ import annotations
@@ -18,11 +27,15 @@ from pathlib import Path
 from typing import Callable, Dict
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import ResultCache
 from repro.experiments.reporting import print_figure, print_table
 from repro.utils.serialization import save_json
 
 #: Directory where each benchmark persists its raw series/rows.
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Config-hash-keyed cache of completed figure/table payloads.
+CACHE = ResultCache(RESULTS_DIR / "cache")
 
 
 def bench_config() -> ExperimentConfig:
@@ -35,14 +48,34 @@ def bench_config() -> ExperimentConfig:
     return ExperimentConfig.fast()
 
 
+def _run_cached(
+    benchmark, function: Callable[[ExperimentConfig], Dict], name: str
+) -> Dict:
+    """Run ``function`` under the benchmark timer, consulting the cache.
+
+    On a cache hit the timed callable is the (near-instant) cached-payload
+    return, so a re-run of the benchmark completes without retraining any
+    agent; on a miss the full experiment runs and its payload is stored.
+    """
+    config = bench_config()
+    cached = CACHE.load(name, config)
+    if cached is not None:
+        compute: Callable[[ExperimentConfig], Dict] = lambda _config: cached
+    else:
+        compute = function
+    data = benchmark.pedantic(
+        compute, args=(config,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    if cached is None:
+        CACHE.store(name, data, config)
+    return data
+
+
 def run_figure_benchmark(
     benchmark, figure_function: Callable[[ExperimentConfig], Dict], name: str
 ) -> Dict:
     """Run a figure-reproduction function once, print and persist its series."""
-    config = bench_config()
-    data = benchmark.pedantic(
-        figure_function, args=(config,), rounds=1, iterations=1, warmup_rounds=0
-    )
+    data = _run_cached(benchmark, figure_function, name)
     print()
     print_figure(data)
     save_json(data, RESULTS_DIR / f"{name}.json")
@@ -53,10 +86,7 @@ def run_table_benchmark(
     benchmark, table_function: Callable[[ExperimentConfig], Dict], name: str
 ) -> Dict:
     """Run a table-reproduction function once, print and persist its rows."""
-    config = bench_config()
-    data = benchmark.pedantic(
-        table_function, args=(config,), rounds=1, iterations=1, warmup_rounds=0
-    )
+    data = _run_cached(benchmark, table_function, name)
     print()
     print_table(data)
     save_json(data, RESULTS_DIR / f"{name}.json")

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI-friendly smoke check: tier-1 tests plus one tiny end-to-end figure run.
+#
+# Usage:  scripts/check.sh        (or: make check)
+#
+# Completes in well under a minute on a laptop.  The figure run uses the
+# smoke preset (a few training episodes on a 6-node topology) and bypasses
+# the result cache so the full train -> evaluate -> figure path executes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "==> tier-1 tests"
+python -m pytest -x -q
+
+echo "==> end-to-end smoke figure (training convergence, smoke preset)"
+REPRO_NO_CACHE=1 python - <<'EOF'
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import figure_training_convergence
+
+data = figure_training_convergence(ExperimentConfig.smoke())
+episodes = len(data["x"])
+assert episodes > 0 and len(data["series"]["episode_reward"]) == episodes
+print(f"figure {data['figure']}: {episodes} training episodes, "
+      f"final acceptance {data['series']['acceptance_ratio'][-1]:.2f}")
+EOF
+
+echo "==> OK"

@@ -11,9 +11,30 @@ Quickstart
 >>> from repro import VNFManager, reference_scenario
 >>> scenario = reference_scenario(arrival_rate=0.8, num_edge_nodes=8)
 >>> manager = VNFManager(scenario)
->>> history = manager.train()          # learn a placement policy
+>>> history = manager.train()          # batched DQN training
 >>> result = manager.evaluate_online() # evaluate in the online simulator
 >>> result.summary.acceptance_ratio    # doctest: +SKIP
+
+Comparing policies on one trace
+-------------------------------
+>>> from repro import NFVSimulation, SimulationConfig, standard_baselines
+>>> from repro.experiments import parallel_policy_comparison
+>>> requests = scenario.generate_requests()
+>>> results = parallel_policy_comparison(     # one worker process per policy
+...     scenario.build_network, standard_baselines(seed=0), requests,
+...     SimulationConfig(horizon=300.0))
+
+Reproducing a paper figure (with on-disk caching)
+-------------------------------------------------
+>>> from repro.experiments import ExperimentConfig, ResultCache
+>>> from repro.experiments.figures import figure_acceptance_vs_arrival
+>>> config = ExperimentConfig.fast()
+>>> data, hit = ResultCache().get_or_compute(
+...     "fig2", config, lambda: figure_acceptance_vs_arrival(config))
+
+See ``README.md`` for the module map, ``docs/ARCHITECTURE.md`` for the layer
+diagram and episode data flow, and ``docs/BENCHMARKS.md`` for the benchmark
+harness.
 """
 
 from repro.agents import (

@@ -11,7 +11,7 @@ import numpy as np
 from repro.agents.base import Agent
 from repro.nn.activations import log_softmax, softmax
 from repro.nn.network import MLP
-from repro.nn.optimizers import Adam, clip_gradients
+from repro.nn.optimizers import Adam
 from repro.utils.rng import RandomState, derive_seed, new_rng
 from repro.utils.validation import check_positive, check_probability
 
@@ -67,7 +67,13 @@ class ActorCriticAgent(Agent):
         self.actor_optimizer = Adam(self.config.actor_learning_rate)
         self.critic_optimizer = Adam(self.config.critic_learning_rate)
         self._rng = new_rng(derive_seed(seed, "sampling"))
-        self._rollout: List[Dict] = []
+        # Columnar rollout storage: one list per field stacks into a batch
+        # array in a single pass when the rollout is flushed.
+        self._rollout_states: List[np.ndarray] = []
+        self._rollout_actions: List[int] = []
+        self._rollout_rewards: List[float] = []
+        self._rollout_dones: List[bool] = []
+        self._last_next_state: Optional[np.ndarray] = None
         self.last_actor_loss: Optional[float] = None
 
     # ------------------------------------------------------------------ #
@@ -113,47 +119,45 @@ class ActorCriticAgent(Agent):
         done: bool,
         next_mask: Optional[np.ndarray] = None,
     ) -> None:
-        self._rollout.append(
-            {
-                "state": self._validate_state(state),
-                "action": self._validate_action(action),
-                "reward": float(reward),
-                "next_state": self._validate_state(next_state),
-                "done": bool(done),
-            }
-        )
+        self._rollout_states.append(self._validate_state(state))
+        self._rollout_actions.append(self._validate_action(action))
+        self._rollout_rewards.append(float(reward))
+        self._rollout_dones.append(bool(done))
+        self._last_next_state = self._validate_state(next_state)
 
     def update(self) -> Dict[str, float]:
         """Learn once the rollout buffer holds ``n_steps`` transitions."""
-        if len(self._rollout) < self.config.n_steps:
+        if len(self._rollout_states) < self.config.n_steps:
             return {}
         return self._learn_from_rollout()
 
     def end_episode(self) -> Dict[str, float]:
         """Flush whatever remains in the rollout buffer at episode end."""
-        if not self._rollout:
+        if not self._rollout_states:
             return {}
         return self._learn_from_rollout()
 
     def _learn_from_rollout(self) -> Dict[str, float]:
-        rollout = self._rollout
-        self._rollout = []
+        states = np.stack(self._rollout_states)
+        actions = np.array(self._rollout_actions, dtype=int)
+        rewards = np.array(self._rollout_rewards, dtype=float)
+        dones = np.array(self._rollout_dones, dtype=bool)
+        tail_next_state = self._last_next_state
+        self._rollout_states.clear()
+        self._rollout_actions.clear()
+        self._rollout_rewards.clear()
+        self._rollout_dones.clear()
         self.training_steps += 1
-
-        states = np.stack([step["state"] for step in rollout])
-        actions = np.array([step["action"] for step in rollout], dtype=int)
-        rewards = np.array([step["reward"] for step in rollout], dtype=float)
-        dones = np.array([step["done"] for step in rollout], dtype=bool)
 
         # Bootstrapped n-step returns computed backwards from the tail value.
         tail_value = 0.0
         if not dones[-1]:
             tail_value = float(
-                self.critic_network.predict(rollout[-1]["next_state"]).ravel()[0]
+                self.critic_network.predict(tail_next_state).ravel()[0]
             )
         returns = np.zeros_like(rewards)
         running = tail_value
-        for index in range(len(rollout) - 1, -1, -1):
+        for index in range(len(rewards) - 1, -1, -1):
             if dones[index]:
                 running = 0.0
             running = rewards[index] + self.config.discount * running
@@ -201,11 +205,9 @@ class ActorCriticAgent(Agent):
         grad_logits += self.config.entropy_coefficient * grad_entropy
         grad_logits /= batch
 
-        self.actor_network.zero_grad()
-        self.actor_network.backward(grad_logits)
-        groups = self.actor_network.parameter_groups()
-        clip_gradients(groups, self.config.gradient_clip_norm)
-        self.actor_optimizer.step(groups)
+        self.actor_network.apply_gradient_step(
+            grad_logits, self.actor_optimizer, self.config.gradient_clip_norm
+        )
         return loss
 
     # ------------------------------------------------------------------ #

@@ -4,7 +4,14 @@ These are the learning algorithms at the heart of the reproduced paper.  The
 implementation follows the standard recipe — experience replay, a separate
 target network updated every ``target_update_interval`` steps (or softly with
 ``tau``), epsilon-greedy exploration over masked action values, and a Huber
-loss on the TD error.
+loss on the TD error.  Learning is fully vectorized: every update samples a
+contiguous ``(batch, features)`` minibatch from replay and performs exactly
+one training-mode forward pass and one backward pass on the online network.
+
+>>> agent = DQNAgent(state_dim=16, num_actions=5, seed=0)
+>>> action = agent.select_action(state, mask=valid_mask)
+>>> agent.observe(state, action, reward, next_state, done, next_mask=mask)
+>>> diagnostics = agent.update()       # {} until min_replay_size is reached
 """
 
 from __future__ import annotations
@@ -225,80 +232,58 @@ class DQNAgent(Agent):
         return values
 
     def _learn_from_batch(self, batch: TransitionBatch) -> Dict[str, float]:
+        """One vectorized TD-regression step on a whole minibatch.
+
+        The online network runs exactly one training-mode forward pass on
+        ``batch.states``; Q-values, TD errors, priorities and the output
+        gradient are all derived from it before a single backward pass.
+        """
+        rows = np.arange(len(batch))
         bootstrap = self._bootstrap_values(batch)
         targets_for_actions = batch.rewards + self.config.discount * bootstrap * (
             ~batch.dones
         )
 
-        current_q = self.batch_q_values(batch.states)
-        td_errors = targets_for_actions - current_q[np.arange(len(batch)), batch.actions]
+        head = np.atleast_2d(self.online_network.forward(batch.states, training=True))
+        current_q = self._combine_head(head)
+        td_errors = targets_for_actions - current_q[rows, batch.actions]
         self.replay.update_priorities(batch.indices, np.abs(td_errors))
 
-        # Build a full-width target tensor (in head space) where only the
-        # taken action's entry differs from the current prediction.
-        head_targets = self.online_network.predict(batch.states).copy()
-        head_targets = np.atleast_2d(head_targets)
-        q_targets = self._combine_head(head_targets).copy()
-        q_targets[np.arange(len(batch)), batch.actions] = targets_for_actions
-
         if self.config.dueling:
-            loss_value = self._dueling_fit(batch, q_targets)
-        else:
-            mask = np.zeros_like(q_targets)
-            mask[np.arange(len(batch)), batch.actions] = 1.0
-            loss_value = self.online_network.fit_batch(
-                batch.states,
-                q_targets,
-                optimizer=self.optimizer,
-                loss=self.loss,
-                sample_weights=batch.weights,
-                target_mask=mask,
-                max_grad_norm=self.config.gradient_clip_norm,
+            # Per-action loss on the taken action; the gradient maps back to
+            # the [V, A₁..A_n] head through Q_a = V + A_a − mean(A).
+            loss_value, grad_q_taken = self.loss.value_and_grad(
+                current_q[rows, batch.actions].reshape(-1, 1),
+                targets_for_actions.reshape(-1, 1),
+                batch.weights,
             )
+            grad_q_taken = grad_q_taken.ravel()
+            grad_head = np.zeros_like(head)
+            # dQ_a / dV = 1
+            grad_head[:, 0] = grad_q_taken
+            # dQ_a / dA_j = δ_{aj} − 1/n
+            grad_head[:, 1:] -= (grad_q_taken / self.num_actions)[:, None]
+            grad_head[rows, 1 + batch.actions] += grad_q_taken
+        else:
+            # Full-width targets equal to the predictions everywhere except
+            # the taken action, so masked-out entries contribute zero error
+            # and zero gradient (same objective the seed expressed through
+            # fit_batch's target_mask, without re-running the forward pass).
+            q_targets = current_q.copy()
+            q_targets[rows, batch.actions] = targets_for_actions
+            loss_value, grad_head = self.loss.value_and_grad(
+                current_q, q_targets, batch.weights
+            )
+
+        self.online_network.apply_gradient_step(
+            grad_head, self.optimizer, self.config.gradient_clip_norm
+        )
         self.last_loss = float(loss_value)
         return {
             "loss": float(loss_value),
             "mean_td_error": float(np.mean(np.abs(td_errors))),
             "mean_q": float(np.mean(current_q)),
         }
-
-    def _dueling_fit(self, batch: TransitionBatch, q_targets: np.ndarray) -> float:
-        """Gradient step through the dueling combination.
-
-        The head is [V, A₁..A_n] and Q_a = V + A_a − mean(A).  The gradient of
-        the per-action TD loss w.r.t. the head follows from that linear map,
-        so we backpropagate it manually instead of using ``fit_batch``.
-        """
-        head = self.online_network.forward(batch.states, training=True)
-        head = np.atleast_2d(head)
-        q_values = self._combine_head(head)
-        predictions = q_values[np.arange(len(batch)), batch.actions]
-        targets = q_targets[np.arange(len(batch)), batch.actions]
-        loss_value, grad_q_taken = self.loss.value_and_grad(
-            predictions.reshape(-1, 1),
-            targets.reshape(-1, 1),
-            batch.weights,
-        )
-        grad_q_taken = grad_q_taken.ravel()
-
-        grad_head = np.zeros_like(head)
-        n = self.num_actions
-        rows = np.arange(len(batch))
-        # dQ_a / dV = 1
-        grad_head[:, 0] = grad_q_taken
-        # dQ_a / dA_j = δ_{aj} − 1/n
-        grad_head[:, 1:] -= (grad_q_taken / n)[:, None]
-        grad_head[rows, 1 + batch.actions] += grad_q_taken
-
-        self.online_network.zero_grad()
-        self.online_network.backward(grad_head)
-        groups = self.online_network.parameter_groups()
-        if self.config.gradient_clip_norm is not None:
-            from repro.nn.optimizers import clip_gradients
-
-            clip_gradients(groups, self.config.gradient_clip_norm)
-        self.optimizer.step(groups)
-        return float(loss_value)
 
     def _maybe_update_target(self) -> None:
         if self.config.soft_target_tau is not None:

@@ -11,7 +11,7 @@ import numpy as np
 from repro.agents.base import Agent
 from repro.nn.activations import log_softmax, softmax
 from repro.nn.network import MLP
-from repro.nn.optimizers import Adam, clip_gradients
+from repro.nn.optimizers import Adam
 from repro.utils.rng import RandomState, derive_seed, new_rng
 from repro.utils.validation import check_positive, check_probability
 
@@ -67,7 +67,11 @@ class ReinforceAgent(Agent):
         self.policy_optimizer = Adam(self.config.learning_rate)
         self.baseline_optimizer = Adam(self.config.baseline_learning_rate)
         self._rng = new_rng(derive_seed(seed, "sampling"))
-        self._episode: List[Dict] = []
+        # Columnar episode storage: one list per field stacks into a batch
+        # array in a single pass at episode end.
+        self._episode_states: List[np.ndarray] = []
+        self._episode_actions: List[int] = []
+        self._episode_rewards: List[float] = []
         self.last_policy_loss: Optional[float] = None
 
     # ------------------------------------------------------------------ #
@@ -115,13 +119,9 @@ class ReinforceAgent(Agent):
         done: bool,
         next_mask: Optional[np.ndarray] = None,
     ) -> None:
-        self._episode.append(
-            {
-                "state": self._validate_state(state),
-                "action": self._validate_action(action),
-                "reward": float(reward),
-            }
-        )
+        self._episode_states.append(self._validate_state(state))
+        self._episode_actions.append(self._validate_action(action))
+        self._episode_rewards.append(float(reward))
 
     def update(self) -> Dict[str, float]:
         """REINFORCE learns only at episode boundaries; per-step update is a no-op."""
@@ -129,12 +129,14 @@ class ReinforceAgent(Agent):
 
     def end_episode(self) -> Dict[str, float]:
         """Compute returns and apply one policy-gradient step."""
-        if not self._episode:
+        if not self._episode_states:
             return {}
-        states = np.stack([step["state"] for step in self._episode])
-        actions = np.array([step["action"] for step in self._episode], dtype=int)
-        rewards = np.array([step["reward"] for step in self._episode], dtype=float)
-        self._episode.clear()
+        states = np.stack(self._episode_states)
+        actions = np.array(self._episode_actions, dtype=int)
+        rewards = np.array(self._episode_rewards, dtype=float)
+        self._episode_states.clear()
+        self._episode_actions.clear()
+        self._episode_rewards.clear()
         self.training_steps += 1
 
         returns = self._discounted_returns(rewards)
@@ -191,11 +193,9 @@ class ReinforceAgent(Agent):
         grad_logits += self.config.entropy_coefficient * grad_entropy
         grad_logits /= batch
 
-        self.policy_network.zero_grad()
-        self.policy_network.backward(grad_logits)
-        groups = self.policy_network.parameter_groups()
-        clip_gradients(groups, self.config.gradient_clip_norm)
-        self.policy_optimizer.step(groups)
+        self.policy_network.apply_gradient_step(
+            grad_logits, self.policy_optimizer, self.config.gradient_clip_norm
+        )
         return loss
 
     def _baseline_step(self, states: np.ndarray, returns: np.ndarray) -> float:

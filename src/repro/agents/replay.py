@@ -1,14 +1,38 @@
-"""Experience replay buffers.
+"""Experience replay buffers backed by pre-allocated contiguous arrays.
 
 :class:`ReplayBuffer` is the uniform buffer used by vanilla DQN;
 :class:`PrioritizedReplayBuffer` samples transitions proportionally to their
 last TD error, with importance-sampling weights to keep the update unbiased.
+
+Storage layout
+--------------
+Transitions are not kept as Python objects.  On the first :meth:`add` the
+buffer allocates one contiguous ``(capacity, ...)`` array per field (states,
+actions, rewards, next states, done flags, optional next-state action masks)
+and every subsequent insert is a row write into the ring.  Sampling is a
+single vectorized gather (``np.take``) into per-batch-size scratch buffers,
+so the training hot path never loops over individual transitions and never
+re-stacks Python lists.
+
+.. warning::
+   The arrays inside a :class:`TransitionBatch` are views into reusable
+   scratch buffers: they are valid until the *next* ``sample()`` call with
+   the same batch size.  Copy them (``batch.states.copy()``) if a batch must
+   outlive the following sample — agent update steps consume the batch
+   immediately, so the hot path never pays for that copy.
+
+Example
+-------
+>>> buffer = ReplayBuffer(capacity=1000, seed=0)
+>>> buffer.add(Transition(state, action, reward, next_state, done))
+>>> batch = buffer.sample(64)          # TransitionBatch of stacked arrays
+>>> batch.states.shape                 # (64, state_dim), C-contiguous
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -45,70 +69,176 @@ class TransitionBatch:
         return self.states.shape[0]
 
 
-def _stack_batch(
-    transitions: List[Transition], indices: np.ndarray, weights: np.ndarray
-) -> TransitionBatch:
-    """Stack a list of transitions into contiguous arrays."""
-    next_masks = None
-    if all(t.next_mask is not None for t in transitions):
-        next_masks = np.stack([np.asarray(t.next_mask, dtype=bool) for t in transitions])
-    return TransitionBatch(
-        states=np.stack([np.asarray(t.state, dtype=float) for t in transitions]),
-        actions=np.array([t.action for t in transitions], dtype=int),
-        rewards=np.array([t.reward for t in transitions], dtype=float),
-        next_states=np.stack(
-            [np.asarray(t.next_state, dtype=float) for t in transitions]
-        ),
-        dones=np.array([t.done for t in transitions], dtype=bool),
-        next_masks=next_masks,
-        indices=indices,
-        weights=weights,
-    )
+class _BatchBuffers:
+    """Reusable output arrays for one batch size (avoids per-sample allocs)."""
+
+    def __init__(self, batch_size: int, state_dim: int, mask_width: Optional[int]):
+        self.states = np.empty((batch_size, state_dim), dtype=float)
+        self.next_states = np.empty((batch_size, state_dim), dtype=float)
+        self.actions = np.empty(batch_size, dtype=int)
+        self.rewards = np.empty(batch_size, dtype=float)
+        self.dones = np.empty(batch_size, dtype=bool)
+        self.next_masks = (
+            np.empty((batch_size, mask_width), dtype=bool)
+            if mask_width is not None
+            else None
+        )
 
 
 class ReplayBuffer:
-    """A fixed-capacity FIFO buffer with uniform sampling."""
+    """A fixed-capacity FIFO ring buffer with uniform, vectorized sampling."""
 
     def __init__(self, capacity: int = 50_000, seed: RandomState = None) -> None:
         check_positive(capacity, "capacity")
         self.capacity = int(capacity)
-        self._storage: List[Transition] = []
-        self._next_slot = 0
         self._rng = new_rng(seed)
+        self._size = 0
+        self._next_slot = 0
+        self._states: Optional[np.ndarray] = None
+        self._next_states: Optional[np.ndarray] = None
+        self._actions: Optional[np.ndarray] = None
+        self._rewards: Optional[np.ndarray] = None
+        self._dones: Optional[np.ndarray] = None
+        self._next_masks: Optional[np.ndarray] = None
+        self._mask_present: Optional[np.ndarray] = None
+        self._mask_missing = 0
+        self._batch_buffers: Dict[int, _BatchBuffers] = {}
 
     def __len__(self) -> int:
-        return len(self._storage)
+        return self._size
 
     @property
     def is_full(self) -> bool:
         """True once the buffer has reached capacity."""
-        return len(self._storage) >= self.capacity
+        return self._size >= self.capacity
+
+    # ------------------------------------------------------------------ #
+    # Storage
+    # ------------------------------------------------------------------ #
+    def _ensure_storage(self, state: np.ndarray) -> None:
+        state_dim = state.shape[-1] if state.ndim else 1
+        if self._states is not None and self._states.shape[1] == state_dim:
+            return
+        if self._states is not None and self._size > 0:
+            raise ValueError(
+                f"state width {state_dim} does not match the buffer's stored "
+                f"width {self._states.shape[1]}"
+            )
+        self._states = np.empty((self.capacity, state_dim), dtype=float)
+        self._next_states = np.empty((self.capacity, state_dim), dtype=float)
+        self._actions = np.empty(self.capacity, dtype=int)
+        self._rewards = np.empty(self.capacity, dtype=float)
+        self._dones = np.empty(self.capacity, dtype=bool)
+        self._mask_present = np.zeros(self.capacity, dtype=bool)
+        self._next_masks = None
+        self._mask_missing = 0
+        self._batch_buffers.clear()
+
+    def _ensure_mask_storage(self, mask: np.ndarray) -> None:
+        width = mask.shape[-1]
+        if self._next_masks is not None:
+            if self._next_masks.shape[1] == width:
+                return
+            if self._size > 0:
+                raise ValueError(
+                    f"next_mask width {width} does not match the buffer's "
+                    f"stored width {self._next_masks.shape[1]}"
+                )
+        self._next_masks = np.zeros((self.capacity, width), dtype=bool)
+        self._batch_buffers.clear()
+
+    def _claim_slot(self) -> int:
+        """Slot for the next insert: append until full, then FIFO overwrite."""
+        if self._size < self.capacity:
+            slot = self._size
+            self._size += 1
+        else:
+            slot = self._next_slot
+            self._next_slot = (self._next_slot + 1) % self.capacity
+        return slot
 
     def add(self, transition: Transition) -> None:
         """Insert a transition, evicting the oldest when full."""
-        if len(self._storage) < self.capacity:
-            self._storage.append(transition)
+        state = np.asarray(transition.state, dtype=float).ravel()
+        next_state = np.asarray(transition.next_state, dtype=float).ravel()
+        self._ensure_storage(state)
+        overwriting = self._size >= self.capacity
+        slot = self._claim_slot()
+        # Keep the maskless-row counter exact across FIFO eviction so
+        # _masks_available stays O(1) instead of rescanning _mask_present.
+        if overwriting and not self._mask_present[slot]:
+            self._mask_missing -= 1
+        self._states[slot] = state
+        self._next_states[slot] = next_state
+        self._actions[slot] = int(transition.action)
+        self._rewards[slot] = float(transition.reward)
+        self._dones[slot] = bool(transition.done)
+        if transition.next_mask is not None:
+            mask = np.asarray(transition.next_mask, dtype=bool).ravel()
+            self._ensure_mask_storage(mask)
+            self._next_masks[slot] = mask
+            self._mask_present[slot] = True
         else:
-            self._storage[self._next_slot] = transition
-            self._next_slot = (self._next_slot + 1) % self.capacity
+            self._mask_present[slot] = False
+            self._mask_missing += 1
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    def _masks_available(self) -> bool:
+        return self._next_masks is not None and self._mask_missing == 0
+
+    def _gather(self, indices: np.ndarray, weights: np.ndarray) -> TransitionBatch:
+        """Vectorized gather of ``indices`` into reusable batch buffers."""
+        batch_size = len(indices)
+        with_masks = self._masks_available()
+        buffers = self._batch_buffers.get(batch_size)
+        if buffers is None or (with_masks and buffers.next_masks is None):
+            buffers = _BatchBuffers(
+                batch_size,
+                self._states.shape[1],
+                self._next_masks.shape[1] if with_masks else None,
+            )
+            self._batch_buffers[batch_size] = buffers
+        np.take(self._states, indices, axis=0, out=buffers.states)
+        np.take(self._next_states, indices, axis=0, out=buffers.next_states)
+        np.take(self._actions, indices, out=buffers.actions)
+        np.take(self._rewards, indices, out=buffers.rewards)
+        np.take(self._dones, indices, out=buffers.dones)
+        next_masks = None
+        if with_masks:
+            np.take(self._next_masks, indices, axis=0, out=buffers.next_masks)
+            next_masks = buffers.next_masks
+        return TransitionBatch(
+            states=buffers.states,
+            actions=buffers.actions,
+            rewards=buffers.rewards,
+            next_states=buffers.next_states,
+            dones=buffers.dones,
+            next_masks=next_masks,
+            indices=indices,
+            weights=weights,
+        )
 
     def sample(self, batch_size: int) -> TransitionBatch:
         """Sample ``batch_size`` transitions uniformly with replacement."""
         check_positive(batch_size, "batch_size")
-        if not self._storage:
+        if self._size == 0:
             raise ValueError("cannot sample from an empty replay buffer")
-        indices = self._rng.integers(0, len(self._storage), size=batch_size)
-        transitions = [self._storage[i] for i in indices]
+        indices = self._rng.integers(0, self._size, size=batch_size)
         weights = np.ones(batch_size, dtype=float)
-        return _stack_batch(transitions, indices, weights)
+        return self._gather(indices, weights)
 
     def update_priorities(self, indices: np.ndarray, priorities: np.ndarray) -> None:
         """No-op for the uniform buffer (keeps the agent code uniform)."""
 
     def clear(self) -> None:
-        """Drop every stored transition."""
-        self._storage.clear()
+        """Drop every stored transition (storage stays allocated)."""
+        self._size = 0
         self._next_slot = 0
+        self._mask_missing = 0
+        if self._mask_present is not None:
+            self._mask_present.fill(False)
 
 
 class PrioritizedReplayBuffer(ReplayBuffer):
@@ -117,7 +247,8 @@ class PrioritizedReplayBuffer(ReplayBuffer):
     Priorities default to the maximum priority seen so far so new transitions
     are replayed at least once.  Sampling probability is ``p_i^alpha / Σ
     p^alpha``; importance-sampling weights use exponent ``beta`` annealed
-    externally if desired.
+    externally if desired.  Priorities live in a pre-allocated float array and
+    :meth:`update_priorities` applies new values in one vectorized write.
     """
 
     def __init__(
@@ -135,44 +266,45 @@ class PrioritizedReplayBuffer(ReplayBuffer):
         self.alpha = alpha
         self.beta = beta
         self.epsilon = epsilon
-        self._priorities: List[float] = []
+        self._priorities = np.zeros(self.capacity, dtype=float)
         self._max_priority = 1.0
 
     def add(self, transition: Transition) -> None:
-        if len(self._storage) < self.capacity:
-            self._storage.append(transition)
-            self._priorities.append(self._max_priority)
-        else:
-            self._storage[self._next_slot] = transition
-            self._priorities[self._next_slot] = self._max_priority
-            self._next_slot = (self._next_slot + 1) % self.capacity
+        # Peek the slot the parent insert will use so the priority row stays
+        # aligned with the transition row.
+        slot = self._size if self._size < self.capacity else self._next_slot
+        super().add(transition)
+        self._priorities[slot] = self._max_priority
 
     def sample(self, batch_size: int) -> TransitionBatch:
         check_positive(batch_size, "batch_size")
-        if not self._storage:
+        if self._size == 0:
             raise ValueError("cannot sample from an empty replay buffer")
-        priorities = np.asarray(self._priorities, dtype=float) ** self.alpha
-        probabilities = priorities / priorities.sum()
+        scaled = self._priorities[: self._size] ** self.alpha
+        probabilities = scaled / scaled.sum()
         indices = self._rng.choice(
-            len(self._storage), size=batch_size, p=probabilities, replace=True
+            self._size, size=batch_size, p=probabilities, replace=True
         )
-        transitions = [self._storage[i] for i in indices]
         # Importance-sampling weights, normalized so the largest weight is 1.
         sampled_probs = probabilities[indices]
-        weights = (len(self._storage) * sampled_probs) ** (-self.beta)
+        weights = (self._size * sampled_probs) ** (-self.beta)
         weights = weights / weights.max()
-        return _stack_batch(transitions, indices, weights.astype(float))
+        return self._gather(indices, weights.astype(float))
 
     def update_priorities(self, indices: np.ndarray, priorities: np.ndarray) -> None:
         """Set new priorities (absolute TD errors) for sampled transitions."""
+        indices = np.asarray(indices, dtype=int)
         priorities = np.abs(np.asarray(priorities, dtype=float)) + self.epsilon
-        for index, priority in zip(np.asarray(indices, dtype=int), priorities):
-            if index < 0 or index >= len(self._priorities):
-                raise IndexError(f"priority index {index} out of range")
-            self._priorities[index] = float(priority)
-            self._max_priority = max(self._max_priority, float(priority))
+        if indices.size and (
+            indices.min() < 0 or indices.max() >= self._size
+        ):
+            bad = indices[(indices < 0) | (indices >= self._size)][0]
+            raise IndexError(f"priority index {int(bad)} out of range")
+        self._priorities[indices] = priorities
+        if priorities.size:
+            self._max_priority = max(self._max_priority, float(priorities.max()))
 
     def clear(self) -> None:
         super().clear()
-        self._priorities.clear()
+        self._priorities.fill(0.0)
         self._max_priority = 1.0

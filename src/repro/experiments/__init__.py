@@ -1,4 +1,17 @@
-"""Experiment harness: figure and table reproduction."""
+"""Experiment harness: figure and table reproduction.
+
+``figure_*`` / ``table_*`` functions recompute one artifact of the
+reconstructed evaluation from an :class:`ExperimentConfig` preset
+(``smoke`` / ``fast`` / ``paper``).  Policy evaluations fan out over worker
+processes via :mod:`repro.experiments.parallel`, and completed payloads can
+be memoized on disk with :class:`ResultCache` (keyed by a hash of the
+configuration), so re-running an unchanged experiment is free.
+
+>>> from repro.experiments import ExperimentConfig, figure_utilization
+>>> data = figure_utilization(ExperimentConfig.smoke())
+>>> sorted(data["series"])
+['acceptance_ratio', 'mean_edge_utilization', 'utilization_imbalance']
+"""
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import (
@@ -11,6 +24,13 @@ from repro.experiments.figures import (
     figure_sla_sensitivity,
     figure_training_convergence,
     figure_utilization,
+)
+from repro.experiments.parallel import (
+    ResultCache,
+    config_hash,
+    derive_worker_seeds,
+    parallel_policy_comparison,
+    run_parallel,
 )
 from repro.experiments.reporting import (
     format_series,
@@ -45,6 +65,11 @@ __all__ = [
     "figure_sla_sensitivity",
     "figure_training_convergence",
     "figure_utilization",
+    "ResultCache",
+    "config_hash",
+    "derive_worker_seeds",
+    "parallel_policy_comparison",
+    "run_parallel",
     "format_series",
     "format_table",
     "print_figure",

@@ -1,4 +1,11 @@
-"""Shared runners used by the figure/table reproduction functions."""
+"""Shared runners used by the figure/table reproduction functions.
+
+Policy evaluations fan out over worker processes via
+:mod:`repro.experiments.parallel` — each policy simulates on its own fresh
+substrate copy, so the runs are independent and their results identical to a
+serial sweep.  Set ``REPRO_MAX_WORKERS=1`` (or pass ``max_workers=1``) to
+force the serial path.
+"""
 
 from __future__ import annotations
 
@@ -8,11 +15,11 @@ from repro.baselines import standard_baselines
 from repro.core.manager import VNFManager
 from repro.core.reward import RewardConfig
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import parallel_policy_comparison
 from repro.sim.simulation import (
     PlacementPolicy,
     SimulationConfig,
     SimulationResult,
-    run_policy_comparison,
 )
 from repro.utils.rng import derive_seed
 from repro.workloads.scenarios import Scenario, reference_scenario
@@ -50,17 +57,23 @@ def evaluate_policies(
     scenario: Scenario,
     policies: Sequence[PlacementPolicy],
     horizon: Optional[float] = None,
+    max_workers: Optional[int] = None,
 ) -> List[SimulationResult]:
-    """Run every policy over the scenario's trace on fresh substrate copies."""
+    """Run every policy over the scenario's trace on fresh substrate copies.
+
+    Policies are simulated in parallel worker processes (one per policy, up to
+    ``max_workers``); results keep the order of ``policies``.
+    """
     requests = scenario.generate_requests(horizon=horizon)
     simulation_config = SimulationConfig(
         horizon=horizon or scenario.workload_config.horizon
     )
-    return run_policy_comparison(
+    return parallel_policy_comparison(
         network_factory=scenario.build_network,
         policies=list(policies),
         requests=requests,
         config=simulation_config,
+        max_workers=max_workers,
     )
 
 
@@ -69,6 +82,7 @@ def evaluate_drl_and_baselines(
     manager: VNFManager,
     config: ExperimentConfig,
     include_baselines: bool = True,
+    max_workers: Optional[int] = None,
 ) -> Dict[str, SimulationResult]:
     """Evaluate the trained DRL policy and the standard baselines.
 
@@ -90,11 +104,12 @@ def evaluate_drl_and_baselines(
 
     if include_baselines:
         baselines = standard_baselines(seed=derive_seed(config.seed, "baselines"))
-        baseline_results = run_policy_comparison(
+        baseline_results = parallel_policy_comparison(
             network_factory=scenario.build_network,
             policies=baselines,
             requests=requests,
             config=simulation_config,
+            max_workers=max_workers,
         )
         for policy, result in zip(baselines, baseline_results):
             results[policy.name] = result

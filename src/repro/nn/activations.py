@@ -26,6 +26,15 @@ class Activation(ABC):
     def derivative(self, z: np.ndarray) -> np.ndarray:
         """Elementwise derivative evaluated at pre-activations ``z``."""
 
+    def derivative_from_output(self, z: np.ndarray, output: np.ndarray) -> np.ndarray:
+        """Derivative given both ``z`` and the cached forward output.
+
+        Activations whose derivative is cheaper to express in terms of their
+        output (sigmoid, tanh) override this to skip recomputing the forward
+        pass during backprop; the default falls back to :meth:`derivative`.
+        """
+        return self.derivative(z)
+
 
 class Identity(Activation):
     """The identity activation (used by output layers of Q-networks)."""
@@ -79,6 +88,9 @@ class Tanh(Activation):
     def derivative(self, z: np.ndarray) -> np.ndarray:
         return 1.0 - np.tanh(z) ** 2
 
+    def derivative_from_output(self, z: np.ndarray, output: np.ndarray) -> np.ndarray:
+        return 1.0 - output**2
+
 
 class Sigmoid(Activation):
     """Logistic sigmoid."""
@@ -97,6 +109,9 @@ class Sigmoid(Activation):
     def derivative(self, z: np.ndarray) -> np.ndarray:
         s = self.forward(z)
         return s * (1.0 - s)
+
+    def derivative_from_output(self, z: np.ndarray, output: np.ndarray) -> np.ndarray:
+        return output * (1.0 - output)
 
 
 _ACTIVATIONS: Dict[str, Type[Activation]] = {

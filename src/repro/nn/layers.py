@@ -61,6 +61,7 @@ class DenseLayer:
 
         self._cached_input: Optional[np.ndarray] = None
         self._cached_pre_activation: Optional[np.ndarray] = None
+        self._cached_output: Optional[np.ndarray] = None
         self.weight_grad = np.zeros_like(self.weights)
         self.bias_grad = np.zeros_like(self.biases)
 
@@ -75,10 +76,12 @@ class DenseLayer:
                 f"expected input width {self.in_features}, got {inputs.shape[1]}"
             )
         pre_activation = inputs @ self.weights + self.biases
+        output = self.activation.forward(pre_activation)
         if training:
             self._cached_input = inputs
             self._cached_pre_activation = pre_activation
-        return self.activation.forward(pre_activation)
+            self._cached_output = output
+        return output
 
     def backward(self, upstream_grad: np.ndarray) -> np.ndarray:
         """Backpropagate ``d loss / d output`` and return ``d loss / d input``.
@@ -90,8 +93,8 @@ class DenseLayer:
         if self._cached_input is None or self._cached_pre_activation is None:
             raise RuntimeError("backward() called before a training-mode forward()")
         upstream_grad = np.atleast_2d(np.asarray(upstream_grad, dtype=float))
-        local_grad = upstream_grad * self.activation.derivative(
-            self._cached_pre_activation
+        local_grad = upstream_grad * self.activation.derivative_from_output(
+            self._cached_pre_activation, self._cached_output
         )
         self.weight_grad += self._cached_input.T @ local_grad
         self.bias_grad += local_grad.sum(axis=0)

@@ -3,11 +3,17 @@
 The :class:`MLP` is the function approximator used by every deep agent in the
 library (Q-networks, policy networks, value baselines).  It supports
 
-* batched forward passes,
+* batched forward passes over ``(batch, features)`` arrays,
 * backpropagation from an arbitrary output gradient,
 * a convenience :meth:`fit_batch` for supervised regression steps,
+* :meth:`apply_gradient_step` — the fused ``zero_grad → backward → clip →
+  optimizer step`` sequence agents run once per minibatch,
 * cloning and soft/hard parameter copying (for target networks), and
 * save/load to ``.npz`` files.
+
+>>> network = MLP([4, 32, 2], seed=0)
+>>> outputs = network(np.zeros((64, 4)))          # (64, 2) batched forward
+>>> loss = network.fit_batch(inputs, targets, optimizer=Adam(1e-3))
 """
 
 from __future__ import annotations
@@ -113,6 +119,26 @@ class MLP:
         for layer in self.layers:
             layer.zero_grad()
 
+    def apply_gradient_step(
+        self,
+        output_grad: np.ndarray,
+        optimizer: Optimizer,
+        max_grad_norm: Optional[float] = None,
+    ) -> None:
+        """Backpropagate ``output_grad`` and apply one optimizer step.
+
+        Consolidates the ``zero_grad → backward → clip → step`` sequence every
+        agent update performs, so callers that compute their own output
+        gradient (policy gradients, masked TD regression) need exactly one
+        call after the training-mode forward pass.
+        """
+        self.zero_grad()
+        self.backward(output_grad)
+        groups = self.parameter_groups()
+        if max_grad_norm is not None:
+            clip_gradients(groups, max_grad_norm)
+        optimizer.step(groups)
+
     def parameter_groups(self) -> List[ParameterGroup]:
         """(parameters, gradients) pairs consumed by optimizers."""
         return [(layer.parameters(), layer.gradients()) for layer in self.layers]
@@ -146,12 +172,7 @@ class MLP:
             # zero error and zero gradient.
             targets = target_mask * targets + (1.0 - target_mask) * predictions
         value, grad = loss.value_and_grad(predictions, targets, sample_weights)
-        self.zero_grad()
-        self.backward(grad)
-        groups = self.parameter_groups()
-        if max_grad_norm is not None:
-            clip_gradients(groups, max_grad_norm)
-        optimizer.step(groups)
+        self.apply_gradient_step(grad, optimizer, max_grad_norm)
         return value
 
     # ------------------------------------------------------------------ #

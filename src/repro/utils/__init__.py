@@ -1,6 +1,6 @@
 """Shared utilities: seeding, validation and serialization helpers."""
 
-from repro.utils.rng import RandomState, new_rng, spawn_rngs
+from repro.utils.rng import RandomState, derive_seed, new_rng, spawn_rngs
 from repro.utils.validation import (
     check_positive,
     check_non_negative,
@@ -12,6 +12,7 @@ from repro.utils.serialization import to_jsonable, save_json, load_json
 
 __all__ = [
     "RandomState",
+    "derive_seed",
     "new_rng",
     "spawn_rngs",
     "check_positive",
