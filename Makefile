@@ -4,7 +4,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: check test bench-hotpath bench clean-cache
+.PHONY: check test bench-hotpath bench-envstep bench-smoke bench clean-cache
 
 ## check: tier-1 tests + one tiny end-to-end figure run (< 1 minute)
 check:
@@ -17,6 +17,14 @@ test:
 ## bench-hotpath: microbenchmark of the vectorized training hot path
 bench-hotpath:
 	PYTHONPATH=src:. python benchmarks/bench_hotpath.py
+
+## bench-envstep: microbenchmark of the vectorized environment core
+bench-envstep:
+	PYTHONPATH=src:. python benchmarks/bench_envstep.py
+
+## bench-smoke: fast env-core perf regression guard (used by scripts/check.sh)
+bench-smoke:
+	PYTHONPATH=src:. python benchmarks/bench_envstep.py --smoke
 
 ## bench: the full figure/table benchmark suite (fast preset)
 bench:

@@ -1,0 +1,266 @@
+"""Microbenchmark of the vectorized environment core.
+
+Measures the throughput of the placement-environment hot path in two
+implementations over the *same* topology, workload and action sequence:
+
+* ``reference`` — the pre-change per-query path: networkx Dijkstra on every
+  latency query (``network.routing = "per_query"``), per-node Python loops
+  for state encoding, action masking and placement feasibility;
+* ``vectorized`` — the current implementation: precomputed all-pairs latency
+  matrix with next-hop reconstruction, array-backed substrate ledger, and
+  batched state/mask encoding (``network.routing = "dense"``, the default).
+
+For transparency a third mode, ``cached``, re-measures the reference loops on
+top of the seed's memoized-Dijkstra path cache (the best the object code
+ever did within an episode).
+
+It also measures raw latency-lookup throughput as a function of topology
+size, which should stay near-constant for the dense matrix.
+
+Run standalone::
+
+    PYTHONPATH=src:. python benchmarks/bench_envstep.py
+
+Raw numbers are persisted to ``benchmarks/results/envstep.json``; the script
+asserts the vectorized ``env.step()`` loop is at least 10x faster than the
+per-query reference for the default topology.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.env import EnvConfig, VNFPlacementEnv
+from repro.substrate.network import DenseRouting
+from repro.substrate.topology import (
+    TopologyConfig,
+    metro_edge_cloud_topology,
+    scaled_topology,
+)
+from repro.workloads.generator import RequestGenerator, WorkloadConfig
+
+#: Required speedup of the dense env.step() loop over the per-query reference.
+MIN_SPEEDUP = 10.0
+
+EPISODES = 4
+REQUESTS_PER_EPISODE = 60
+SEED = 0
+
+
+def _make_env(routing: str, topology: TopologyConfig = None) -> VNFPlacementEnv:
+    network = metro_edge_cloud_topology(topology or TopologyConfig(seed=SEED))
+    network.routing = routing
+    generator = RequestGenerator(network, config=WorkloadConfig(seed=SEED))
+    return VNFPlacementEnv(
+        network,
+        generator,
+        config=EnvConfig(requests_per_episode=REQUESTS_PER_EPISODE),
+    )
+
+
+def _drive_episodes(env: VNFPlacementEnv, episodes: int) -> Dict[str, float]:
+    """Run masked-random episodes; returns steps/s over the decision loop.
+
+    Each step performs exactly what a training loop performs per decision:
+    one ``valid_action_mask()``, one ``step()`` and one state encoding (the
+    encoding happens inside ``step`` when it observes the next state).
+    Request sampling (``env.reset``) and the random-action draw happen
+    outside the timed section so the numbers isolate the environment cost.
+    """
+    rng = np.random.default_rng(SEED)
+    steps = 0
+    accepted = 0
+    elapsed = 0.0
+    for _ in range(episodes):
+        env.reset()
+        draws = iter(rng.random(size=64 * REQUESTS_PER_EPISODE).tolist())
+        done = False
+        start = time.perf_counter()
+        while not done:
+            mask = env.valid_action_mask()
+            choices = np.flatnonzero(mask)
+            action = int(choices[int(next(draws) * len(choices))])
+            _, _, done, info = env.step(action)
+            steps += 1
+            if info.get("outcome") == "accepted":
+                accepted += 1
+        elapsed += time.perf_counter() - start
+    return {
+        "steps": steps,
+        "accepted_requests": accepted,
+        "elapsed_s": elapsed,
+        "steps_per_s": steps / elapsed,
+    }
+
+
+def measure_env_step() -> Dict[str, Dict[str, float]]:
+    """steps/s of the reference, cached and vectorized env.step() loops."""
+    results: Dict[str, Dict[str, float]] = {}
+    for mode, label in (
+        ("per_query", "reference_per_query"),
+        ("cached", "reference_cached"),
+        ("dense", "vectorized"),
+    ):
+        env = _make_env(mode)
+        _drive_episodes(env, 1)  # warm caches / JIT-ish effects out of the timing
+        results[label] = _drive_episodes(env, EPISODES)
+    results["speedup_vs_per_query"] = {
+        "value": results["vectorized"]["steps_per_s"]
+        / results["reference_per_query"]["steps_per_s"]
+    }
+    results["speedup_vs_cached"] = {
+        "value": results["vectorized"]["steps_per_s"]
+        / results["reference_cached"]["steps_per_s"]
+    }
+    return results
+
+
+def measure_latency_lookups(
+    sizes: List[int] = [16, 32, 64, 128], lookups: int = 20_000
+) -> List[Dict[str, float]]:
+    """Latency-lookup throughput vs topology size (dense should be ~flat)."""
+    rows: List[Dict[str, float]] = []
+    for size in sizes:
+        network = scaled_topology(size, seed=SEED)
+        ids = network.node_ids
+        rng = np.random.default_rng(SEED)
+        pairs = [
+            (int(a), int(b))
+            for a, b in zip(
+                rng.choice(ids, size=lookups), rng.choice(ids, size=lookups)
+            )
+        ]
+        start = time.perf_counter()
+        DenseRouting(network)  # fresh build: generators pre-warm their own
+        build_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for a, b in pairs:
+            network.latency_between(a, b)
+        dense_rate = lookups / (time.perf_counter() - start)
+
+        network.routing = "per_query"
+        subset = pairs[:500]
+        start = time.perf_counter()
+        for a, b in subset:
+            network.latency_between(a, b)
+        per_query_rate = len(subset) / (time.perf_counter() - start)
+        network.routing = "dense"
+
+        rows.append(
+            {
+                "num_nodes": len(ids),
+                "matrix_build_s": build_s,
+                "dense_lookups_per_s": dense_rate,
+                "per_query_lookups_per_s": per_query_rate,
+            }
+        )
+    return rows
+
+
+def run_envstep_benchmark(
+    episodes: int = EPISODES, check_speedup: bool = True
+) -> Dict[str, object]:
+    """Run both microbenchmarks, persist the JSON and check the speedup bar."""
+    results: Dict[str, object] = {
+        "config": {
+            "topology": "metro_edge_cloud_topology(default)",
+            "episodes": episodes,
+            "requests_per_episode": REQUESTS_PER_EPISODE,
+            "seed": SEED,
+        },
+        "env_step": measure_env_step(),
+        "latency_lookups": measure_latency_lookups(),
+    }
+    from benchmarks.common import RESULTS_DIR
+    from repro.utils.serialization import save_json
+
+    save_json(results, RESULTS_DIR / "envstep.json")
+    speedup = results["env_step"]["speedup_vs_per_query"]["value"]
+    if check_speedup:
+        assert speedup >= MIN_SPEEDUP, (
+            f"vectorized env.step() is only {speedup:.1f}x faster than the "
+            f"per-query reference (required: {MIN_SPEEDUP}x)"
+        )
+    return results
+
+
+def run_smoke() -> Dict[str, float]:
+    """Tiny perf regression guard for CI: a 7-node topology, ~300 steps.
+
+    Asserts the dense env path has not regressed below a conservative 2x
+    speedup over the per-query reference; completes in a few seconds.
+    (Behavioral equivalence is NOT asserted here — equal-latency path ties
+    can legitimately diverge the two backends' trajectories; the equivalence
+    guarantees live in tests/test_substrate_vectorized.py with proper
+    tolerances.)
+    """
+    topology = TopologyConfig(
+        num_edge_nodes=6, num_metros=2, cities=("new_york", "chicago"), seed=SEED
+    )
+    outcomes = {}
+    for mode in ("per_query", "dense"):
+        env = _make_env(mode, topology)
+        _drive_episodes(env, 1)  # warm-up
+        outcomes[mode] = _drive_episodes(env, 2)
+    speedup = (
+        outcomes["dense"]["steps_per_s"] / outcomes["per_query"]["steps_per_s"]
+    )
+    assert speedup >= 2.0, (
+        f"dense env.step() is only {speedup:.1f}x faster than the per-query "
+        "reference on the smoke topology (required: 2x)"
+    )
+    return {
+        "steps": outcomes["dense"]["steps"],
+        "accepted_requests": outcomes["dense"]["accepted_requests"],
+        "dense_steps_per_s": outcomes["dense"]["steps_per_s"],
+        "per_query_steps_per_s": outcomes["per_query"]["steps_per_s"],
+        "speedup": speedup,
+    }
+
+
+def bench_envstep(benchmark) -> None:
+    """pytest-benchmark entry point matching the figure benchmarks."""
+    results = benchmark.pedantic(
+        run_envstep_benchmark, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert results["env_step"]["speedup_vs_per_query"]["value"] >= MIN_SPEEDUP
+
+
+def main() -> None:
+    import sys
+
+    if "--smoke" in sys.argv:
+        smoke = run_smoke()
+        print(
+            f"env-step smoke: {smoke['steps']} steps, "
+            f"dense {smoke['dense_steps_per_s']:.0f} steps/s vs "
+            f"per-query {smoke['per_query_steps_per_s']:.0f} steps/s "
+            f"({smoke['speedup']:.1f}x, bar: >= 2x)"
+        )
+        return
+    results = run_envstep_benchmark()
+    env_step = results["env_step"]
+    print("env.step() full agent loop (steps/s, default topology)")
+    print(f"  per-query reference : {env_step['reference_per_query']['steps_per_s']:10.0f}")
+    print(f"  cached reference    : {env_step['reference_cached']['steps_per_s']:10.0f}")
+    print(f"  vectorized          : {env_step['vectorized']['steps_per_s']:10.0f}")
+    print(
+        f"  speedup             : {env_step['speedup_vs_per_query']['value']:7.1f}x "
+        f"vs per-query (bar: >= {MIN_SPEEDUP}x), "
+        f"{env_step['speedup_vs_cached']['value']:.1f}x vs cached"
+    )
+    print("latency lookups (per second)")
+    for row in results["latency_lookups"]:
+        print(
+            f"  n={row['num_nodes']:4d}  dense {row['dense_lookups_per_s']:12.0f}"
+            f"  per-query {row['per_query_lookups_per_s']:10.0f}"
+            f"  (matrix build {row['matrix_build_s'] * 1e3:.1f} ms)"
+        )
+
+
+if __name__ == "__main__":
+    main()

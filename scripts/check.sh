@@ -14,6 +14,9 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "==> tier-1 tests"
 python -m pytest -x -q
 
+echo "==> env-core perf smoke (vectorized vs per-query reference)"
+PYTHONPATH="src:.${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_envstep.py --smoke
+
 echo "==> end-to-end smoke figure (training convergence, smoke preset)"
 REPRO_NO_CACHE=1 python - <<'EOF'
 from repro.experiments.config import ExperimentConfig

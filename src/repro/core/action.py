@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.nfv.sfc import SFCRequest
+from repro.substrate.ledger import LedgerRowCache
 from repro.substrate.network import SubstrateNetwork
 
 
@@ -25,6 +26,7 @@ class ActionSpace:
         self.node_order: List[int] = list(node_order or network.node_ids)
         if not self.node_order:
             raise ValueError("cannot build an action space over an empty network")
+        self._row_cache = LedgerRowCache(self.node_order)
 
     # ------------------------------------------------------------------ #
     # Sizes and conversions
@@ -75,7 +77,55 @@ class ActionSpace:
         node has the free capacity for the next VNF's demand and — when
         ``latency_check`` is enabled — when routing from the current anchor to
         that node plus the VNF's processing delay still fits the SLA.
+
+        The whole mask is one batched array expression over the substrate
+        ledger and latency matrix; the per-node loop survives as
+        :meth:`valid_mask_reference` and is used automatically when the
+        network routes in a non-dense mode.
         """
+        if self.network.routing != "dense":
+            return self.valid_mask_reference(
+                request,
+                vnf_index,
+                partial_assignment,
+                partial_latency_ms,
+                latency_check=latency_check,
+            )
+        next_vnf = request.chain.vnf_at(vnf_index)
+        demand = next_vnf.demand_array_for(request.bandwidth_mbps)
+        anchor = (
+            partial_assignment[-1] if partial_assignment else request.source_node_id
+        )
+        budget = request.sla.max_latency_ms
+
+        ledger, rows = self._row_cache.get(self.network)
+        valid = ledger.can_host_all(demand)
+        if not self._row_cache.identity:
+            valid = valid[rows]
+        if latency_check:
+            latency = self.network.latency_row(anchor)
+            if not self._row_cache.identity:
+                latency = latency[rows]
+            # Non-inplace combine: can_host_all returns a memoized read-only
+            # array that must not be clobbered.
+            valid = valid & (
+                latency + (next_vnf.processing_delay_ms + partial_latency_ms)
+                <= budget
+            )
+        mask = np.empty(self.num_actions, dtype=bool)
+        mask[: self.reject_action] = valid
+        mask[self.reject_action] = True
+        return mask
+
+    def valid_mask_reference(
+        self,
+        request: SFCRequest,
+        vnf_index: int,
+        partial_assignment: Sequence[int],
+        partial_latency_ms: float,
+        latency_check: bool = True,
+    ) -> np.ndarray:
+        """The original per-node masking loop, kept for equivalence tests."""
         next_vnf = request.chain.vnf_at(vnf_index)
         demand = next_vnf.demand_for(request.bandwidth_mbps)
         anchor = (

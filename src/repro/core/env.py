@@ -22,6 +22,7 @@ The environment follows the Gym calling convention
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -111,7 +112,11 @@ class VNFPlacementEnv:
         self._vnf_index = 0
         self._partial_assignment: List[int] = []
         self._partial_latency = 0.0
-        self._active: List[Tuple[float, Placement]] = []
+        #: Min-heap of (departure_time, tie-break counter, placement) so that
+        #: releasing departed placements pops only expired entries instead of
+        #: scanning every active placement each step.
+        self._active: List[Tuple[float, int, Placement]] = []
+        self._active_counter = 0
         self._episode_done = True
         self.stats = EpisodeStats()
 
@@ -163,13 +168,14 @@ class VNFPlacementEnv:
         self.stats.requests_seen += 1
 
     def _release_departed(self, now: float) -> None:
-        still_active: List[Tuple[float, Placement]] = []
-        for departure_time, placement in self._active:
-            if departure_time <= now and placement.is_committed:
+        while self._active and self._active[0][0] <= now:
+            _, _, placement = heapq.heappop(self._active)
+            if placement.is_committed:
                 placement.release(self.network)
-            else:
-                still_active.append((departure_time, placement))
-        self._active = still_active
+
+    def _track_placement(self, departure_time: float, placement: Placement) -> None:
+        self._active_counter += 1
+        heapq.heappush(self._active, (departure_time, self._active_counter, placement))
 
     # ------------------------------------------------------------------ #
     # Observations and masks
@@ -286,7 +292,7 @@ class VNFPlacementEnv:
                 True,
                 "commit_failed",
             )
-        self._active.append((request.departure_time, placement))
+        self._track_placement(request.departure_time, placement)
         self.stats.accepted += 1
         self.stats.total_latency_ms += placement.end_to_end_latency_ms()
         self.stats.total_cost += placement.total_cost(self.network)

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.nfv.catalog import VNFCatalog
 from repro.nfv.sfc import SFCRequest
+from repro.substrate.ledger import LedgerRowCache
 from repro.substrate.network import SubstrateNetwork
 from repro.utils.validation import check_positive
 
@@ -73,6 +74,7 @@ class StateEncoder:
         self.node_order: List[int] = list(network.node_ids)
         if not self.node_order:
             raise ValueError("cannot encode states for an empty network")
+        self._row_cache = LedgerRowCache(self.node_order)
 
     # ------------------------------------------------------------------ #
     # Dimensions
@@ -105,7 +107,61 @@ class StateEncoder:
         partial_assignment: Sequence[int],
         partial_latency_ms: float,
     ) -> np.ndarray:
-        """Encode the decision state for placing VNF ``vnf_index`` of ``request``."""
+        """Encode the decision state for placing VNF ``vnf_index`` of ``request``.
+
+        The whole node-feature block is built with batched array expressions
+        (latency row = one matrix slice, utilization columns = ledger views);
+        the per-node reference loop survives as :meth:`encode_reference` and
+        is used automatically when the network routes in a non-dense mode.
+        """
+        if self.network.routing != "dense":
+            return self.encode_reference(
+                request, vnf_index, partial_assignment, partial_latency_ms
+            )
+        if not 0 <= vnf_index < request.num_vnfs:
+            raise ValueError(
+                f"vnf_index {vnf_index} outside the chain of length {request.num_vnfs}"
+            )
+        next_vnf = request.chain.vnf_at(vnf_index)
+        demand = next_vnf.demand_array_for(request.bandwidth_mbps)
+        anchor = self.anchor_node(request, partial_assignment)
+        sla = request.sla.max_latency_ms
+
+        num_nodes = self.num_nodes
+        features = np.zeros(self.state_dim, dtype=float)
+        ledger, rows = self._row_cache.get(self.network)
+        utilization = ledger.utilization_matrix()
+        latency = self.network.latency_row(anchor)
+        can_host = ledger.can_host_all(demand)
+        if not self._row_cache.identity:
+            utilization = utilization[rows]
+            latency = latency[rows]
+            can_host = can_host[rows]
+
+        node_block = features[: NODE_FEATURES * num_nodes].reshape(
+            num_nodes, NODE_FEATURES
+        )
+        np.minimum(utilization[:, 0], 1.0, out=node_block[:, 0])
+        np.minimum(utilization[:, 1], 1.0, out=node_block[:, 1])
+        np.minimum(latency / sla, 1.0, out=node_block[:, 2])
+        node_block[:, 3] = can_host
+
+        offset = NODE_FEATURES * num_nodes
+        features[offset + self.catalog.index_of(next_vnf.name)] = 1.0
+        offset += len(self.catalog)
+        self._write_request_scalars(
+            features, offset, request, vnf_index, partial_latency_ms, sla
+        )
+        return features
+
+    def encode_reference(
+        self,
+        request: SFCRequest,
+        vnf_index: int,
+        partial_assignment: Sequence[int],
+        partial_latency_ms: float,
+    ) -> np.ndarray:
+        """The original per-node encoding loop, kept for equivalence tests."""
         if not 0 <= vnf_index < request.num_vnfs:
             raise ValueError(
                 f"vnf_index {vnf_index} outside the chain of length {request.num_vnfs}"
@@ -130,7 +186,20 @@ class StateEncoder:
         one_hot_offset = offset + self.catalog.index_of(next_vnf.name)
         features[one_hot_offset] = 1.0
         offset += len(self.catalog)
+        self._write_request_scalars(
+            features, offset, request, vnf_index, partial_latency_ms, sla
+        )
+        return features
 
+    def _write_request_scalars(
+        self,
+        features: np.ndarray,
+        offset: int,
+        request: SFCRequest,
+        vnf_index: int,
+        partial_latency_ms: float,
+        sla: float,
+    ) -> None:
         remaining = request.num_vnfs - vnf_index
         features[offset + 0] = min(1.0, remaining / self.config.max_chain_length)
         features[offset + 1] = min(
@@ -141,7 +210,6 @@ class StateEncoder:
             1.0, request.holding_time / self.config.holding_time_normalizer
         )
         features[offset + 4] = vnf_index / max(1, request.num_vnfs)
-        return features
 
     def describe(self) -> List[str]:
         """Human-readable names of every feature (used in docs and tests)."""

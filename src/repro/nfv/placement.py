@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.nfv.sfc import SFCRequest
 from repro.nfv.sla import placement_availability
 from repro.nfv.vnf import VNFInstance
@@ -208,6 +210,13 @@ class Placement:
         """Link-bandwidth cost of the placement over the holding time."""
         duration = self.request.holding_time
         bandwidth = self.request.bandwidth_mbps
+        if network.routing == "dense":
+            ledger = network.ledger
+            per_mbps = sum(
+                ledger.path_cost_per_mbps(segment.path.nodes)
+                for segment in self._segments
+            )
+            return bandwidth * per_mbps * duration
         cost = 0.0
         for segment in self._segments:
             for u, v in segment.path.links():
@@ -232,8 +241,47 @@ class Placement:
 
         Node feasibility aggregates the demands of all VNFs of this chain
         colocated on the same node, so a node cannot be "double booked" by a
-        single placement.
+        single placement.  With dense routing the node and link checks reduce
+        to array comparisons against the substrate ledger; the object-by-object
+        reference path survives as :meth:`is_feasible_reference`.
         """
+        if network.routing != "dense":
+            return self.is_feasible_reference(network)
+        ledger = network.ledger
+
+        # Per-node aggregated demand (chains are short, the dict stays tiny).
+        grouped: Dict[int, np.ndarray] = {}
+        for instance in self._instances:
+            demand = instance.demand_array
+            row = ledger.node_row[instance.node_id]
+            if row in grouped:
+                grouped[row] = grouped[row] + demand
+            else:
+                grouped[row] = demand
+        if grouped:
+            rows = np.fromiter(grouped.keys(), dtype=np.int64, count=len(grouped))
+            demands = np.stack(list(grouped.values()))
+            free = ledger.node_capacity[rows] - ledger.node_used[rows]
+            if not bool(np.all(demands <= free + 1e-9)):
+                return False
+
+        # A link shared by several segments must carry each traversal.
+        # Accumulating per traversed slot keeps this O(path hops) instead of
+        # touching every substrate link.
+        bandwidth = self.request.bandwidth_mbps
+        traversals: Dict[int, int] = {}
+        for segment in self._segments:
+            for slot in ledger.path_edge_indices(segment.path.nodes).tolist():
+                traversals[slot] = traversals.get(slot, 0) + 1
+        link_capacity = ledger.link_capacity
+        link_used = ledger.link_used
+        for slot, count in traversals.items():
+            if count * bandwidth > link_capacity[slot] - link_used[slot] + 1e-9:
+                return False
+        return self.satisfies_sla(network)
+
+    def is_feasible_reference(self, network: SubstrateNetwork) -> bool:
+        """The original object-by-object feasibility check (equivalence tests)."""
         from repro.substrate.resources import aggregate
 
         for node_id, instances in self._aggregated_node_demand().items():

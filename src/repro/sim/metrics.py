@@ -188,19 +188,40 @@ class MetricsCollector:
         }
 
     def summary(self) -> MetricsSummary:
-        """Reduce everything recorded so far into a :class:`MetricsSummary`."""
+        """Reduce everything recorded so far into a :class:`MetricsSummary`.
+
+        All scalar reductions run as numpy array operations over columnar
+        gathers of the recorded outcomes.
+        """
         accepted = self.accepted
+        count = len(accepted)
         latencies = np.array(
             [o.latency_ms for o in accepted if o.latency_ms is not None], dtype=float
         )
-        total_cost = float(sum(o.cost for o in accepted))
-        total_revenue = float(sum(o.revenue for o in accepted))
-        sla_violations = sum(1 for o in accepted if o.sla_satisfied is False)
-        edge_fractions = [
-            o.edge_fraction for o in accepted if o.edge_fraction is not None
-        ]
-        utilizations = [s.mean_edge_utilization for s in self.samples]
-        imbalances = [s.utilization_imbalance for s in self.samples]
+        costs = np.fromiter((o.cost for o in accepted), dtype=float, count=count)
+        revenues = np.fromiter((o.revenue for o in accepted), dtype=float, count=count)
+        total_cost = float(costs.sum())
+        total_revenue = float(revenues.sum())
+        sla_violations = int(
+            np.sum(np.fromiter(
+                (o.sla_satisfied is False for o in accepted), dtype=bool, count=count
+            ))
+        )
+        edge_fractions = np.array(
+            [o.edge_fraction for o in accepted if o.edge_fraction is not None],
+            dtype=float,
+        )
+        num_samples = len(self.samples)
+        utilizations = np.fromiter(
+            (s.mean_edge_utilization for s in self.samples),
+            dtype=float,
+            count=num_samples,
+        )
+        imbalances = np.fromiter(
+            (s.utilization_imbalance for s in self.samples),
+            dtype=float,
+            count=num_samples,
+        )
         return MetricsSummary(
             total_requests=self.total_requests,
             accepted_requests=len(accepted),
@@ -220,16 +241,16 @@ class MetricsCollector:
                 total_cost / len(accepted) if accepted else 0.0
             ),
             mean_edge_utilization=(
-                float(np.mean(utilizations)) if utilizations else 0.0
+                float(utilizations.mean()) if utilizations.size else 0.0
             ),
             peak_edge_utilization=(
-                float(np.max(utilizations)) if utilizations else 0.0
+                float(utilizations.max()) if utilizations.size else 0.0
             ),
             mean_utilization_imbalance=(
-                float(np.mean(imbalances)) if imbalances else 0.0
+                float(imbalances.mean()) if imbalances.size else 0.0
             ),
             mean_edge_fraction=(
-                float(np.mean(edge_fractions)) if edge_fractions else 0.0
+                float(edge_fractions.mean()) if edge_fractions.size else 0.0
             ),
             acceptance_by_class=self.acceptance_by_class(),
         )

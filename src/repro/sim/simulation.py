@@ -25,7 +25,6 @@ from repro.sim.events import (
 )
 from repro.sim.metrics import MetricsCollector, MetricsSummary
 from repro.substrate.network import SubstrateNetwork
-from repro.substrate.node import NodeTier
 from repro.utils.validation import check_positive
 
 
@@ -148,11 +147,17 @@ class NFVSimulation:
         self.policy.on_departure(request_id, self.network)
 
     def _handle_monitoring(self, event: Event) -> None:
+        # One pass over the ledger arrays yields all three utilization
+        # statistics instead of three object-by-object sweeps.
+        ledger = self.network.ledger
+        mean_edge_utilization, utilization_imbalance = ledger.utilization_stats(
+            edge_only=True
+        )
         self.collector.record_utilization(
             time=event.time,
-            mean_edge_utilization=self.network.mean_node_utilization(NodeTier.EDGE),
-            utilization_imbalance=self.network.utilization_imbalance(NodeTier.EDGE),
-            cost_rate=self.network.compute_cost_rate(),
+            mean_edge_utilization=mean_edge_utilization,
+            utilization_imbalance=utilization_imbalance,
+            cost_rate=ledger.cost_rate(),
             active_requests=len(self._active_placements),
         )
 

@@ -7,12 +7,14 @@ from repro.substrate.geo import (
     propagation_latency_ms,
     random_points_near,
 )
+from repro.substrate.ledger import SubstrateLedger
 from repro.substrate.link import (
     InsufficientBandwidthError,
     Link,
     canonical_endpoints,
 )
 from repro.substrate.network import (
+    DenseRouting,
     NoRouteError,
     PathInfo,
     SubstrateNetwork,
@@ -42,6 +44,8 @@ __all__ = [
     "haversine_km",
     "propagation_latency_ms",
     "random_points_near",
+    "SubstrateLedger",
+    "DenseRouting",
     "InsufficientBandwidthError",
     "Link",
     "canonical_endpoints",

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.utils.validation import check_non_negative, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.substrate.ledger import SubstrateLedger
 
 
 class InsufficientBandwidthError(RuntimeError):
@@ -48,14 +51,25 @@ class Link:
     latency_ms: float
     cost_per_mbps: float = 0.0005
 
-    _reservations: Dict[str, float] = field(default_factory=dict, repr=False)
-    _used: float = field(default=0.0, repr=False)
-
     def __post_init__(self) -> None:
         self.endpoints = canonical_endpoints(*self.endpoints)
         check_positive(self.bandwidth_capacity, "bandwidth_capacity")
         check_non_negative(self.latency_ms, "latency_ms")
         check_non_negative(self.cost_per_mbps, "cost_per_mbps")
+        self._reservations: Dict[str, float] = {}
+        self._used = 0.0
+        self._ledger: Optional["SubstrateLedger"] = None
+        self._ledger_slot = -1
+
+    def _bind_ledger(self, ledger: Optional["SubstrateLedger"], slot: int) -> None:
+        """Attach (or detach) the array-backed ledger mirroring this link."""
+        self._ledger = ledger
+        self._ledger_slot = slot
+        self._sync_ledger()
+
+    def _sync_ledger(self) -> None:
+        if self._ledger is not None:
+            self._ledger.sync_link(self._ledger_slot, self._used)
 
     # ------------------------------------------------------------------ #
     # Capacity queries
@@ -96,6 +110,7 @@ class Link:
             )
         self._reservations[handle] = bandwidth
         self._used += bandwidth
+        self._sync_ledger()
 
     def release(self, handle: str) -> float:
         """Free the reservation stored under ``handle`` and return it."""
@@ -105,6 +120,7 @@ class Link:
             )
         bandwidth = self._reservations.pop(handle)
         self._used = max(0.0, self._used - bandwidth)
+        self._sync_ledger()
         return bandwidth
 
     def holds(self, handle: str) -> bool:
@@ -115,6 +131,7 @@ class Link:
         """Drop all reservations (start of an episode)."""
         self._reservations.clear()
         self._used = 0.0
+        self._sync_ledger()
 
     # ------------------------------------------------------------------ #
     # Cost and introspection

@@ -18,8 +18,10 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
+import numpy as np
 
 from repro.substrate.geo import GeoPoint, propagation_latency_ms
+from repro.substrate.ledger import SubstrateLedger
 from repro.substrate.link import (
     InsufficientBandwidthError,
     Link,
@@ -35,6 +37,68 @@ class UnknownNodeError(KeyError):
 
 class NoRouteError(RuntimeError):
     """Raised when two nodes are not connected in the substrate graph."""
+
+
+#: Routing backends of :class:`SubstrateNetwork`.
+#:
+#: * ``"dense"``     — precomputed all-pairs latency matrix + next-hop table;
+#:                     lookups are O(1) array reads (the default).
+#: * ``"cached"``    — per-pair networkx Dijkstra memoized under a canonical
+#:                     ``(min, max)`` key (the seed's strategy).
+#: * ``"per_query"`` — networkx Dijkstra on every call, no cache.  This is the
+#:                     pre-change reference path kept for equivalence tests
+#:                     and the ``bench_envstep`` baseline.
+ROUTING_MODES = ("dense", "cached", "per_query")
+
+
+class DenseRouting:
+    """All-pairs latency matrix and next-hop table over a fixed topology.
+
+    Built once per topology with a vectorized Floyd–Warshall sweep:
+    ``latency[i, j]`` is the latency-shortest distance between the i-th and
+    j-th node (``inf`` when disconnected) and ``next_hop[i, j]`` is the row
+    index of the next node on that path (``-1`` when disconnected), so path
+    reconstruction is a simple array walk with no graph traversal.
+    """
+
+    def __init__(self, network: "SubstrateNetwork") -> None:
+        ids = list(network.node_ids)
+        self.node_ids = ids
+        self.index: Dict[int, int] = {node_id: i for i, node_id in enumerate(ids)}
+        n = len(ids)
+        latency = np.full((n, n), np.inf)
+        next_hop = np.full((n, n), -1, dtype=np.int64)
+        diag = np.arange(n)
+        latency[diag, diag] = 0.0
+        next_hop[diag, diag] = diag
+        for link in network.links():
+            u, v = link.endpoints
+            i, j = self.index[u], self.index[v]
+            if link.latency_ms < latency[i, j]:
+                latency[i, j] = latency[j, i] = link.latency_ms
+                next_hop[i, j] = j
+                next_hop[j, i] = i
+        # Vectorized Floyd–Warshall: one (n, n) relaxation per pivot.
+        for k in range(n):
+            via = latency[:, k, None] + latency[None, k, :]
+            better = via < latency
+            if better.any():
+                latency = np.where(better, via, latency)
+                next_hop = np.where(better, next_hop[:, k, None], next_hop)
+        self.latency = latency
+        self.next_hop = next_hop
+
+    def walk(self, source: int, target: int) -> Tuple[int, ...]:
+        """Reconstruct the node-id sequence of the shortest path."""
+        i, j = self.index[source], self.index[target]
+        if self.next_hop[i, j] < 0:
+            raise NoRouteError(f"no route between {source} and {target}")
+        hops = self.next_hop[:, j]
+        sequence = [source]
+        while i != j:
+            i = int(hops[i])
+            sequence.append(self.node_ids[i])
+        return tuple(sequence)
 
 
 @dataclass(frozen=True)
@@ -60,11 +124,68 @@ class PathInfo:
 class SubstrateNetwork:
     """A capacitated, latency-weighted graph of edge and cloud nodes."""
 
-    def __init__(self) -> None:
+    def __init__(self, routing: str = "dense") -> None:
+        if routing not in ROUTING_MODES:
+            raise ValueError(f"routing must be one of {ROUTING_MODES}, got {routing!r}")
         self._graph = nx.Graph()
         self._nodes: Dict[int, ComputeNode] = {}
         self._links: Dict[Tuple[int, int], Link] = {}
+        #: Routed paths memoized under their canonical (min, max) id pair.
         self._path_cache: Dict[Tuple[int, int], PathInfo] = {}
+        self.routing = routing
+        self._dense: Optional[DenseRouting] = None
+        self._ledger: Optional[SubstrateLedger] = None
+
+    def _invalidate_topology_caches(self) -> None:
+        """Drop every derived structure after a topology mutation."""
+        self._path_cache.clear()
+        self._dense = None
+        if self._ledger is not None:
+            # Detach the stale mirror so objects stop writing through to it.
+            for row, node in enumerate(self._nodes.values()):
+                if node._ledger is self._ledger:
+                    node._ledger = None
+            for link in self._links.values():
+                if link._ledger is self._ledger:
+                    link._ledger = None
+            self._ledger = None
+
+    @property
+    def ledger(self) -> SubstrateLedger:
+        """The array-backed resource ledger (built lazily, kept in sync)."""
+        if self._ledger is None:
+            self._ledger = SubstrateLedger(self)
+        return self._ledger
+
+    @property
+    def dense_routing(self) -> DenseRouting:
+        """The all-pairs latency matrix / next-hop table (built lazily)."""
+        if self._dense is None:
+            self._dense = DenseRouting(self)
+        return self._dense
+
+    @property
+    def latency_matrix(self) -> np.ndarray:
+        """All-pairs shortest-path latency matrix in ledger row order."""
+        return self.dense_routing.latency
+
+    def latency_row(self, node_id: int) -> np.ndarray:
+        """Shortest-path latencies from ``node_id`` to every node (row view)."""
+        dense = self.dense_routing
+        try:
+            return dense.latency[dense.index[node_id]]
+        except KeyError as exc:
+            raise UnknownNodeError(f"unknown node id {node_id}") from exc
+
+    def prepare(self) -> "SubstrateNetwork":
+        """Eagerly build the dense routing tables and the resource ledger.
+
+        Topology generators call this once after construction so that the
+        first ``env.step()`` does not pay the build cost.
+        """
+        self.dense_routing
+        self.ledger
+        return self
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -75,7 +196,7 @@ class SubstrateNetwork:
             raise ValueError(f"node id {node.node_id} already present")
         self._nodes[node.node_id] = node
         self._graph.add_node(node.node_id)
-        self._path_cache.clear()
+        self._invalidate_topology_caches()
 
     def add_link(
         self,
@@ -108,7 +229,7 @@ class SubstrateNetwork:
         )
         self._links[key] = link
         self._graph.add_edge(*key, latency=latency_ms)
-        self._path_cache.clear()
+        self._invalidate_topology_caches()
         return link
 
     # ------------------------------------------------------------------ #
@@ -180,10 +301,23 @@ class SubstrateNetwork:
     # ------------------------------------------------------------------ #
     # Routing
     # ------------------------------------------------------------------ #
-    def shortest_path(self, source: int, target: int) -> PathInfo:
-        """Latency-shortest path between two nodes (cached).
+    def _nx_shortest_path(self, source: int, target: int) -> Tuple[Tuple[int, ...], float]:
+        """Reference per-query routing: one networkx Dijkstra call."""
+        try:
+            nodes = nx.shortest_path(self._graph, source, target, weight="latency")
+        except nx.NetworkXNoPath as exc:
+            raise NoRouteError(f"no route between {source} and {target}") from exc
+        return tuple(nodes), self.path_latency(nodes)
 
-        The cache is invalidated whenever topology changes; bandwidth
+    def shortest_path(self, source: int, target: int) -> PathInfo:
+        """Latency-shortest path between two nodes.
+
+        In ``"dense"`` mode the path is reconstructed by walking the
+        precomputed next-hop table; in ``"cached"`` mode it is computed with
+        networkx Dijkstra; ``"per_query"`` recomputes on every call.  Routed
+        paths are memoized under the canonical ``(min, max)`` id pair — the
+        reverse orientation is a cheap tuple reversal, never a second cache
+        entry.  Caches are invalidated whenever topology changes; bandwidth
         reservations do not change the latency metric so routing stays stable
         within an episode, matching the behaviour of latency-based routing in
         SDN controllers.
@@ -193,21 +327,23 @@ class SubstrateNetwork:
                 raise UnknownNodeError(f"unknown node id {node_id}")
         if source == target:
             return PathInfo(nodes=(source,), latency_ms=0.0)
-        key = (source, target)
+        if self.routing == "per_query":
+            nodes, latency = self._nx_shortest_path(source, target)
+            return PathInfo(nodes=nodes, latency_ms=latency)
+        key = canonical_endpoints(source, target)
         cached = self._path_cache.get(key)
-        if cached is not None:
+        if cached is None:
+            if self.routing == "dense":
+                dense = self.dense_routing
+                nodes = dense.walk(*key)
+                latency = float(dense.latency[dense.index[key[0]], dense.index[key[1]]])
+            else:
+                nodes, latency = self._nx_shortest_path(*key)
+            cached = PathInfo(nodes=nodes, latency_ms=latency)
+            self._path_cache[key] = cached
+        if source == key[0]:
             return cached
-        try:
-            nodes = nx.shortest_path(self._graph, source, target, weight="latency")
-        except nx.NetworkXNoPath as exc:
-            raise NoRouteError(f"no route between {source} and {target}") from exc
-        latency = self.path_latency(nodes)
-        info = PathInfo(nodes=tuple(nodes), latency_ms=latency)
-        self._path_cache[key] = info
-        self._path_cache[(target, source)] = PathInfo(
-            nodes=tuple(reversed(nodes)), latency_ms=latency
-        )
-        return info
+        return PathInfo(nodes=cached.nodes[::-1], latency_ms=cached.latency_ms)
 
     def path_latency(self, nodes: Sequence[int]) -> float:
         """Total latency along an explicit node sequence."""
@@ -217,13 +353,27 @@ class SubstrateNetwork:
         return total
 
     def latency_between(self, source: int, target: int) -> float:
-        """Latency of the shortest path between two nodes."""
+        """Latency of the shortest path between two nodes.
+
+        In ``"dense"`` mode this is a single O(1) matrix lookup.
+        """
+        if self.routing == "dense":
+            dense = self.dense_routing
+            try:
+                value = dense.latency[dense.index[source], dense.index[target]]
+            except KeyError as exc:
+                raise UnknownNodeError(f"unknown node id {exc.args[0]}") from exc
+            if value == np.inf:
+                raise NoRouteError(f"no route between {source} and {target}")
+            return float(value)
         return self.shortest_path(source, target).latency_ms
 
     def path_available_bandwidth(self, nodes: Sequence[int]) -> float:
         """Bottleneck free bandwidth along an explicit node sequence."""
         if len(nodes) <= 1:
             return float("inf")
+        if self.routing == "dense":
+            return self.ledger.path_available_bandwidth(nodes)
         return min(
             self.link(nodes[i], nodes[i + 1]).available_bandwidth
             for i in range(len(nodes) - 1)
@@ -285,48 +435,49 @@ class SubstrateNetwork:
     # ------------------------------------------------------------------ #
     # Aggregate statistics
     # ------------------------------------------------------------------ #
+    def _tier_mask(self, tier: Optional[NodeTier]) -> np.ndarray:
+        ledger = self.ledger
+        if tier is None:
+            return np.ones(ledger.num_nodes, dtype=bool)
+        return ledger.edge_tier_mask if tier is NodeTier.EDGE else ledger.cloud_tier_mask
+
     def total_capacity(self, tier: Optional[NodeTier] = None) -> ResourceVector:
         """Aggregate capacity, optionally restricted to one tier."""
-        total = ResourceVector.zero()
-        for node in self._nodes.values():
-            if tier is None or node.tier is tier:
-                total = total + node.capacity
-        return total
+        if not self._nodes:
+            return ResourceVector.zero()
+        ledger = self.ledger
+        return ResourceVector.from_array(
+            ledger.node_capacity[self._tier_mask(tier)].sum(axis=0)
+        )
 
     def total_used(self, tier: Optional[NodeTier] = None) -> ResourceVector:
         """Aggregate used resources, optionally restricted to one tier."""
-        total = ResourceVector.zero()
-        for node in self._nodes.values():
-            if tier is None or node.tier is tier:
-                total = total + node.used
-        return total
+        if not self._nodes:
+            return ResourceVector.zero()
+        ledger = self.ledger
+        return ResourceVector.from_array(
+            ledger.node_used[self._tier_mask(tier)].sum(axis=0)
+        )
 
     def mean_node_utilization(self, tier: Optional[NodeTier] = None) -> float:
         """Mean of per-node bottleneck utilizations."""
-        values = [
-            node.max_utilization()
-            for node in self._nodes.values()
-            if tier is None or node.tier is tier
-        ]
-        return sum(values) / len(values) if values else 0.0
+        if not self._nodes:
+            return 0.0
+        values = self.ledger.max_utilization()[self._tier_mask(tier)]
+        return float(values.mean()) if values.size else 0.0
 
     def utilization_imbalance(self, tier: Optional[NodeTier] = None) -> float:
         """Standard deviation of per-node utilizations (load-balance metric)."""
-        values = [
-            node.max_utilization()
-            for node in self._nodes.values()
-            if tier is None or node.tier is tier
-        ]
-        if not values:
+        if not self._nodes:
             return 0.0
-        mean = sum(values) / len(values)
-        return (sum((v - mean) ** 2 for v in values) / len(values)) ** 0.5
+        values = self.ledger.max_utilization()[self._tier_mask(tier)]
+        return float(values.std()) if values.size else 0.0
 
     def compute_cost_rate(self) -> float:
         """Instantaneous cost rate of all node and link allocations."""
-        node_cost = sum(node.usage_cost_rate() for node in self._nodes.values())
-        link_cost = sum(link.usage_cost_rate() for link in self._links.values())
-        return node_cost + link_cost
+        if not self._nodes:
+            return 0.0
+        return self.ledger.cost_rate()
 
     def snapshot(self) -> Dict[str, object]:
         """A JSON-friendly summary of the whole substrate."""
@@ -360,6 +511,10 @@ class SubstrateNetwork:
 
     def nodes_sorted_by_latency_from(self, source: int) -> List[int]:
         """All node ids sorted by routed latency from ``source``."""
+        if self.routing == "dense":
+            dense = self.dense_routing
+            order = np.argsort(self.latency_row(source), kind="stable")
+            return [dense.node_ids[i] for i in order]
         return sorted(
             self.node_ids, key=lambda nid: self.latency_between(source, nid)
         )

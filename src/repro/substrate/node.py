@@ -15,11 +15,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
+
+import numpy as np
 
 from repro.substrate.geo import GeoPoint
-from repro.substrate.resources import ResourceVector
+from repro.substrate.resources import RESOURCE_DIMENSIONS, ResourceVector
 from repro.utils.validation import check_non_negative
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.substrate.ledger import SubstrateLedger
 
 
 class NodeTier(Enum):
@@ -73,9 +78,27 @@ class ComputeNode:
 
     def __post_init__(self) -> None:
         check_non_negative(self.activation_cost, "activation_cost")
-        self._used = ResourceVector.zero()
+        # Usage bookkeeping lives in small numpy arrays so an attached
+        # SubstrateLedger can mirror them into contiguous matrices.
+        self._capacity_arr = self.capacity.as_array()
+        self._capacity_safe = np.where(self._capacity_arr > 0, self._capacity_arr, np.inf)
+        self._used_arr = np.zeros_like(self._capacity_arr)
+        self._peak_arr = np.zeros_like(self._capacity_arr)
         self._allocations: Dict[str, ResourceVector] = {}
-        self._peak_used = ResourceVector.zero()
+        self._ledger: Optional["SubstrateLedger"] = None
+        self._ledger_row = -1
+
+    def _bind_ledger(self, ledger: Optional["SubstrateLedger"], row: int) -> None:
+        """Attach (or detach) the array-backed ledger mirroring this node."""
+        self._ledger = ledger
+        self._ledger_row = row
+        self._sync_ledger()
+
+    def _sync_ledger(self) -> None:
+        if self._ledger is not None:
+            self._ledger.sync_node(
+                self._ledger_row, self._used_arr, len(self._allocations)
+            )
 
     # ------------------------------------------------------------------ #
     # Capacity queries
@@ -83,17 +106,19 @@ class ComputeNode:
     @property
     def used(self) -> ResourceVector:
         """Resources currently allocated on this node."""
-        return self._used
+        return ResourceVector.from_array(self._used_arr)
 
     @property
     def available(self) -> ResourceVector:
         """Resources still free on this node."""
-        return self.capacity - self._used
+        return ResourceVector.from_array(
+            np.maximum(self._capacity_arr - self._used_arr, 0.0)
+        )
 
     @property
     def peak_used(self) -> ResourceVector:
         """High-water mark of usage since construction or :meth:`reset`."""
-        return self._peak_used
+        return ResourceVector.from_array(self._peak_arr)
 
     @property
     def is_edge(self) -> bool:
@@ -115,21 +140,28 @@ class ComputeNode:
         """Number of live allocations (VNF instances) on the node."""
         return len(self._allocations)
 
-    def can_host(self, demand: ResourceVector) -> bool:
+    def can_host(self, demand: ResourceVector, tol: float = 1e-9) -> bool:
         """True when ``demand`` fits in the currently free capacity."""
-        return demand.fits_within(self.available)
+        used = self._used_arr
+        cap = self._capacity_arr
+        return bool(
+            used[0] + demand.cpu <= cap[0] + tol
+            and used[1] + demand.memory <= cap[1] + tol
+            and used[2] + demand.storage <= cap[2] + tol
+        )
 
     def utilization(self) -> Dict[str, float]:
         """Per-dimension utilization ratios."""
-        return self._used.utilization_against(self.capacity)
+        ratios = self._used_arr / self._capacity_safe
+        return dict(zip(RESOURCE_DIMENSIONS, ratios.tolist()))
 
     def max_utilization(self) -> float:
         """The bottleneck utilization ratio (largest dimension)."""
-        return self._used.max_utilization_against(self.capacity)
+        return float(np.max(self._used_arr / self._capacity_safe))
 
     def mean_utilization(self) -> float:
         """Average utilization ratio across dimensions."""
-        return self._used.mean_utilization_against(self.capacity)
+        return float(np.mean(self._used_arr / self._capacity_safe))
 
     # ------------------------------------------------------------------ #
     # Allocation lifecycle
@@ -148,14 +180,15 @@ class ComputeNode:
         if handle in self._allocations:
             raise ValueError(f"allocation handle {handle!r} already exists on node {self.node_id}")
         if not self.can_host(demand):
-            deficit = (self._used + demand).deficit_against(self.capacity)
+            deficit = (self.used + demand).deficit_against(self.capacity)
             raise InsufficientCapacityError(
                 f"node {self.node_id} cannot host demand {demand.as_dict()}; "
                 f"deficit {deficit.as_dict()}"
             )
         self._allocations[handle] = demand
-        self._used = self._used + demand
-        self._peak_used = self._peak_used.elementwise_max(self._used)
+        self._used_arr += demand.as_array()
+        np.maximum(self._peak_arr, self._used_arr, out=self._peak_arr)
+        self._sync_ledger()
 
     def release(self, handle: str) -> ResourceVector:
         """Free the allocation stored under ``handle`` and return it."""
@@ -164,7 +197,9 @@ class ComputeNode:
                 f"node {self.node_id} holds no allocation {handle!r}"
             )
         demand = self._allocations.pop(handle)
-        self._used = self._used - demand
+        # Clamp at zero like ResourceVector.__sub__ to absorb float noise.
+        np.maximum(self._used_arr - demand.as_array(), 0.0, out=self._used_arr)
+        self._sync_ledger()
         return demand
 
     def holds(self, handle: str) -> bool:
@@ -174,15 +209,16 @@ class ComputeNode:
     def reset(self) -> None:
         """Drop all allocations and usage statistics (start of an episode)."""
         self._allocations.clear()
-        self._used = ResourceVector.zero()
-        self._peak_used = ResourceVector.zero()
+        self._used_arr[:] = 0.0
+        self._peak_arr[:] = 0.0
+        self._sync_ledger()
 
     # ------------------------------------------------------------------ #
     # Cost model
     # ------------------------------------------------------------------ #
     def usage_cost_rate(self) -> float:
         """Cost per unit time of the node's current allocations."""
-        cost = self._used.dot(self.cost_per_unit)
+        cost = float(self._used_arr @ self.cost_per_unit.as_array())
         if self.is_active:
             cost += self.activation_cost
         return cost
@@ -202,7 +238,7 @@ class ComputeNode:
             "name": self.name,
             "tier": self.tier.value,
             "capacity": self.capacity.as_dict(),
-            "used": self._used.as_dict(),
+            "used": self.used.as_dict(),
             "available": self.available.as_dict(),
             "allocations": len(self._allocations),
             "max_utilization": self.max_utilization(),
@@ -211,7 +247,7 @@ class ComputeNode:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ComputeNode(id={self.node_id}, tier={self.tier.value}, "
-            f"used={self._used.as_tuple()}, cap={self.capacity.as_tuple()})"
+            f"used={self.used.as_tuple()}, cap={self.capacity.as_tuple()})"
         )
 
 

@@ -13,8 +13,13 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Tuple
 
+import numpy as np
+
 #: Canonical resource dimension names, in vector order.
 RESOURCE_DIMENSIONS: Tuple[str, str, str] = ("cpu", "memory", "storage")
+
+#: Number of resource dimensions (width of array-backed ledger columns).
+NUM_RESOURCE_DIMENSIONS = len(RESOURCE_DIMENSIONS)
 
 
 @dataclass(frozen=True)
@@ -173,6 +178,25 @@ class ResourceVector:
     def as_tuple(self) -> Tuple[float, float, float]:
         """Return the vector as an ordered (cpu, memory, storage) tuple."""
         return (self.cpu, self.memory, self.storage)
+
+    def as_array(self) -> np.ndarray:
+        """Return the vector as a ``(cpu, memory, storage)`` float array.
+
+        The array-backed substrate ledger stores node capacities and usage as
+        contiguous matrices; this is the canonical object → array conversion.
+        The array is memoized on the (immutable) vector — treat it as
+        read-only.
+        """
+        cached = self.__dict__.get("_arr")
+        if cached is None:
+            cached = np.array((self.cpu, self.memory, self.storage), dtype=float)
+            self.__dict__["_arr"] = cached
+        return cached
+
+    @classmethod
+    def from_array(cls, values: np.ndarray) -> "ResourceVector":
+        """Build a vector from an ordered (cpu, memory, storage) array."""
+        return cls(float(values[0]), float(values[1]), float(values[2]))
 
     def __iter__(self) -> Iterator[float]:
         return iter(self.as_tuple())

@@ -1,0 +1,282 @@
+"""Vectorized-vs-reference equivalence tests for the dense substrate core.
+
+The dense routing tables, the array-backed ledger and the batched
+state/mask encoders must agree exactly (up to float tolerance) with the
+per-query / per-object reference implementations they replaced.  Every test
+is property-style over several seeds and random topologies.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.action import ActionSpace
+from repro.core.env import EnvConfig, VNFPlacementEnv
+from repro.core.state import StateEncoder
+from repro.nfv.catalog import default_catalog
+from repro.nfv.placement import Placement
+from repro.substrate.network import NoRouteError, SubstrateNetwork
+from repro.substrate.resources import ResourceVector
+from repro.substrate.topology import (
+    TopologyConfig,
+    metro_edge_cloud_topology,
+    random_geometric_topology,
+    waxman_topology,
+)
+from repro.workloads.generator import RequestGenerator, WorkloadConfig
+
+SEEDS = [0, 1, 7, 42]
+
+
+def random_topologies(seed):
+    """A few structurally different random topologies for one seed."""
+    return [
+        metro_edge_cloud_topology(TopologyConfig(num_edge_nodes=8, seed=seed)),
+        random_geometric_topology(num_edge_nodes=10, seed=seed),
+        waxman_topology(num_edge_nodes=9, seed=seed),
+    ]
+
+
+def nx_graph_of(network: SubstrateNetwork) -> nx.Graph:
+    graph = nx.Graph()
+    graph.add_nodes_from(network.node_ids)
+    for link in network.links():
+        graph.add_edge(*link.endpoints, latency=link.latency_ms)
+    return graph
+
+
+def allocate_some_load(network: SubstrateNetwork, seed: int) -> None:
+    """Occupy a random subset of nodes/links so utilizations are non-trivial."""
+    rng = np.random.default_rng(seed)
+    for node in network.nodes():
+        if rng.random() < 0.6:
+            fraction = float(rng.uniform(0.1, 0.9))
+            demand = ResourceVector(
+                node.capacity.cpu * fraction,
+                node.capacity.memory * fraction,
+                node.capacity.storage * fraction * 0.5,
+            )
+            node.allocate(f"load:{node.node_id}", demand)
+    for link in network.links():
+        if rng.random() < 0.5:
+            link.reserve(
+                f"flow:{link.endpoints}",
+                link.bandwidth_capacity * float(rng.uniform(0.1, 0.8)),
+            )
+
+
+class TestDenseRoutingEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_latency_matrix_matches_networkx(self, seed):
+        for network in random_topologies(seed):
+            graph = nx_graph_of(network)
+            reference = dict(nx.all_pairs_dijkstra_path_length(graph, weight="latency"))
+            dense = network.dense_routing
+            for u in network.node_ids:
+                for v in network.node_ids:
+                    expected = reference[u][v]
+                    got = dense.latency[dense.index[u], dense.index[v]]
+                    assert got == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_reconstructed_paths_are_valid_and_optimal(self, seed):
+        for network in random_topologies(seed):
+            for u in network.node_ids:
+                for v in network.node_ids:
+                    path = network.shortest_path(u, v)
+                    assert path.nodes[0] == u and path.nodes[-1] == v
+                    # Every hop must be an actual substrate link ...
+                    hop_latency = sum(
+                        network.link(a, b).latency_ms
+                        for a, b in zip(path.nodes[:-1], path.nodes[1:])
+                    )
+                    # ... and the walk must achieve the optimal latency.
+                    assert hop_latency == pytest.approx(
+                        network.latency_between(u, v), rel=1e-9, abs=1e-9
+                    )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_per_query_reference_agrees(self, seed):
+        for network in random_topologies(seed):
+            # Flip the same network into reference mode instead of rebuilding.
+            network.routing = "per_query"
+            try:
+                pairs = [(u, v) for u in network.node_ids for v in network.node_ids]
+                per_query = {pair: network.latency_between(*pair) for pair in pairs}
+            finally:
+                network.routing = "dense"
+            for pair, expected in per_query.items():
+                assert network.latency_between(*pair) == pytest.approx(
+                    expected, rel=1e-9, abs=1e-9
+                )
+
+    def test_no_route_raises_in_dense_mode(self):
+        from repro.substrate.geo import GeoPoint
+        from repro.substrate.node import ComputeNode
+
+        network = SubstrateNetwork()
+        for node_id in range(3):
+            network.add_node(
+                ComputeNode(node_id, GeoPoint(40.0, -74.0), ResourceVector(1, 1, 1))
+            )
+        network.add_link(0, 1, 100.0, latency_ms=1.0)
+        with pytest.raises(NoRouteError):
+            network.latency_between(0, 2)
+        with pytest.raises(NoRouteError):
+            network.shortest_path(0, 2)
+
+    def test_path_cache_uses_single_canonical_entry(self):
+        network = random_geometric_topology(num_edge_nodes=8, seed=5)
+        forward = network.shortest_path(1, 6)
+        backward = network.shortest_path(6, 1)
+        assert backward.nodes == tuple(reversed(forward.nodes))
+        assert backward.latency_ms == forward.latency_ms
+        assert (1, 6) in network._path_cache
+        assert (6, 1) not in network._path_cache
+
+
+class TestLedgerEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_ledger_mirrors_objects(self, seed):
+        for network in random_topologies(seed):
+            ledger = network.ledger
+            allocate_some_load(network, seed)
+            for node in network.nodes():
+                row = ledger.node_row[node.node_id]
+                assert np.allclose(ledger.node_used[row], node.used.as_array())
+                assert ledger.node_alloc_count[row] == node.allocation_count
+            for link in network.links():
+                slot = ledger.edge_index[link.endpoints]
+                assert ledger.link_used[slot] == pytest.approx(link.used_bandwidth)
+            network.reset()
+            assert np.all(ledger.node_used == 0.0)
+            assert np.all(ledger.link_used == 0.0)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_can_host_all_matches_per_node_loop(self, seed):
+        rng = np.random.default_rng(seed)
+        for network in random_topologies(seed):
+            allocate_some_load(network, seed)
+            ledger = network.ledger
+            for _ in range(10):
+                demand = ResourceVector(
+                    float(rng.uniform(0, 40)),
+                    float(rng.uniform(0, 80)),
+                    float(rng.uniform(0, 400)),
+                )
+                vector = ledger.can_host_all(demand.as_array())
+                for node in network.nodes():
+                    row = ledger.node_row[node.node_id]
+                    assert bool(vector[row]) == node.can_host(demand)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_utilization_stats_match_object_loops(self, seed):
+        for network in random_topologies(seed):
+            allocate_some_load(network, seed)
+            values = [
+                node.max_utilization() for node in network.nodes() if node.is_edge
+            ]
+            mean, std = network.ledger.utilization_stats(edge_only=True)
+            assert mean == pytest.approx(sum(values) / len(values))
+            reference_std = (
+                sum((v - sum(values) / len(values)) ** 2 for v in values)
+                / len(values)
+            ) ** 0.5
+            assert std == pytest.approx(reference_std)
+            reference_cost = sum(
+                node.usage_cost_rate() for node in network.nodes()
+            ) + sum(link.usage_cost_rate() for link in network.links())
+            assert network.compute_cost_rate() == pytest.approx(reference_cost)
+
+
+class TestEncoderAndMaskEquivalence:
+    def _env_for(self, network, seed):
+        generator = RequestGenerator(network, config=WorkloadConfig(seed=seed))
+        return VNFPlacementEnv(
+            network, generator, config=EnvConfig(requests_per_episode=12)
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_encode_and_mask_match_reference_through_episode(self, seed):
+        for network in random_topologies(seed):
+            env = self._env_for(network, seed)
+            rng = np.random.default_rng(seed)
+            env.reset()
+            done = False
+            while not done:
+                request = env.current_request
+                vectorized_state = env.encoder.encode(
+                    request, env._vnf_index, env._partial_assignment, env._partial_latency
+                )
+                reference_state = env.encoder.encode_reference(
+                    request, env._vnf_index, env._partial_assignment, env._partial_latency
+                )
+                np.testing.assert_allclose(
+                    vectorized_state, reference_state, rtol=1e-9, atol=1e-9
+                )
+                mask = env.valid_action_mask()
+                reference_mask = env.actions.valid_mask_reference(
+                    request,
+                    env._vnf_index,
+                    env._partial_assignment,
+                    env._partial_latency,
+                    latency_check=env.config.latency_mask_check,
+                )
+                np.testing.assert_array_equal(mask, reference_mask)
+                choices = np.flatnonzero(mask)
+                _, _, done, _ = env.step(int(rng.choice(choices)))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_placement_feasibility_matches_reference(self, seed):
+        catalog = default_catalog()
+        for network in random_topologies(seed):
+            generator = RequestGenerator(network, config=WorkloadConfig(seed=seed))
+            rng = np.random.default_rng(seed)
+            allocate_some_load(network, seed + 1)
+            node_ids = network.node_ids
+            for index in range(25):
+                request = generator.sample_request(arrival_time=float(index))
+                assignment = [
+                    int(rng.choice(node_ids)) for _ in range(request.num_vnfs)
+                ]
+                placement = Placement.build(request, assignment, network)
+                assert placement.is_feasible(network) == (
+                    placement.is_feasible_reference(network)
+                )
+                assert placement.transport_cost(network) == pytest.approx(
+                    sum(
+                        network.link(u, v).transport_cost(
+                            request.bandwidth_mbps, request.holding_time
+                        )
+                        for segment in placement.segments
+                        for u, v in segment.path.links()
+                    )
+                )
+
+
+class TestHeapDepartures:
+    def test_departed_placements_release_in_time_order(self):
+        network = metro_edge_cloud_topology(TopologyConfig(num_edge_nodes=8, seed=11))
+        generator = RequestGenerator(network, config=WorkloadConfig(seed=11))
+        env = VNFPlacementEnv(
+            network, generator, config=EnvConfig(requests_per_episode=40)
+        )
+        rng = np.random.default_rng(11)
+        env.reset()
+        done = False
+        while not done:
+            mask = env.valid_action_mask()
+            choices = np.flatnonzero(mask)
+            _, _, done, _ = env.step(int(rng.choice(choices)))
+            # Heap invariant: earliest departure is always at the root.
+            if env._active:
+                times = [entry[0] for entry in env._active]
+                assert env._active[0][0] == min(times)
+        if env.stats.accepted:
+            assert network.total_used().total() >= 0.0
+        # Releasing far in the future drains the heap completely.
+        env._release_departed(float("inf"))
+        assert not env._active
+        assert network.total_used().is_zero()
