@@ -4,7 +4,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: check test bench-hotpath bench-envstep bench-smoke bench clean-cache
+.PHONY: check test bench-hotpath bench-envstep bench-vecenv bench-smoke bench clean-cache
 
 ## check: tier-1 tests + one tiny end-to-end figure run (< 1 minute)
 check:
@@ -22,9 +22,14 @@ bench-hotpath:
 bench-envstep:
 	PYTHONPATH=src:. python benchmarks/bench_envstep.py
 
-## bench-smoke: fast env-core perf regression guard (used by scripts/check.sh)
+## bench-vecenv: microbenchmark of the K-lane vectorized training loop
+bench-vecenv:
+	PYTHONPATH=src:. python benchmarks/bench_vecenv.py
+
+## bench-smoke: fast perf regression guards (used by scripts/check.sh)
 bench-smoke:
 	PYTHONPATH=src:. python benchmarks/bench_envstep.py --smoke
+	PYTHONPATH=src:. python benchmarks/bench_vecenv.py --smoke
 
 ## bench: the full figure/table benchmark suite (fast preset)
 bench:

@@ -17,3 +17,10 @@ def bench_fig2_acceptance_vs_load(benchmark):
     assert drl[-1] <= drl[0] + 0.1
     # Expected shape: the learned policy dominates first-fit across the sweep.
     assert sum(series["drl_dqn"]) >= sum(series["first_fit"])
+    # The scenario-diverse vectorized env evaluation covers every load point
+    # in one batched pass.  (Absent only in payloads cached before the vec-env
+    # layer existed; run `make clean-cache` to regenerate.)
+    if "env_eval" in data:
+        env_eval = data["env_eval"]
+        assert len(env_eval["acceptance_ratio"]) == len(data["x"])
+        assert all(0.0 <= v <= 1.0 for v in env_eval["acceptance_ratio"])

@@ -19,3 +19,10 @@ def bench_fig5_scalability(benchmark):
     # Expected shape: the learned policy stays competitive with the greedy
     # family as the substrate grows (no collapse at larger action spaces).
     assert min(series["drl_dqn"]) > 0.3
+    # Per-size vectorized env evaluation (replicated seed-diverse lanes).
+    # (Absent only in payloads cached before the vec-env layer existed; run
+    # `make clean-cache` to regenerate.)
+    if "env_eval" in data:
+        env_eval = data["env_eval"]
+        assert len(env_eval["acceptance_ratio"]) == len(data["x"])
+        assert all(0.0 <= v <= 1.0 for v in env_eval["acceptance_ratio"])

@@ -1,0 +1,249 @@
+"""Microbenchmark of the vectorized multi-environment training loop.
+
+Two measurements over the same scenario family, as a function of the lane
+count K (1, 4, 16):
+
+* ``env_steps`` — raw environment throughput: masked-random actions driven
+  through :class:`VecPlacementEnv` with no agent in the loop.  Lanes step
+  serially in Python, so aggregate steps/s stays roughly flat in K; this
+  isolates the vectorization overhead of the env layer itself.
+* ``training_loop`` — the full DQN training decision loop (mask → batched
+  ``select_actions`` → ``step`` → ``observe_batch`` → ``update``), i.e.
+  exactly the per-step work of :class:`~repro.core.training.VecTrainer`.
+  K=1 routes through the agent's serial paths and is the per-step work of the
+  serial :class:`~repro.core.training.Trainer` baseline.  All K run the same
+  number of *total environment steps*; the win comes from amortizing one
+  batched forward pass and one replay update over K transitions.
+
+Run standalone::
+
+    PYTHONPATH=src:. python benchmarks/bench_vecenv.py           # full
+    PYTHONPATH=src:. python benchmarks/bench_vecenv.py --smoke   # seconds
+
+Raw numbers are persisted to ``benchmarks/results/vecenv.json``; the script
+asserts the K=16 training loop is at least 4x faster than serial.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro.agents.dqn import DQNAgent, DQNConfig
+from repro.core.env import EnvConfig
+from repro.core.vecenv import VecPlacementEnv
+from repro.workloads.scenarios import Scenario, reference_scenario
+
+#: Required speedup of the K=16 training loop over the serial baseline.
+MIN_SPEEDUP_K16 = 4.0
+
+K_VALUES = (1, 4, 16)
+TOTAL_TRAINING_STEPS = 4000
+WARMUP_STEPS = 600
+ENV_ONLY_STEPS = 4000
+SEED = 0
+
+
+def _scenario() -> Scenario:
+    return reference_scenario(
+        arrival_rate=0.8, num_edge_nodes=6, horizon=200.0, seed=SEED
+    )
+
+
+def _make_venv(num_lanes: int) -> VecPlacementEnv:
+    return VecPlacementEnv.from_scenario(
+        _scenario(),
+        num_lanes,
+        seed=SEED,
+        env_config=EnvConfig(requests_per_episode=40),
+    )
+
+
+def _make_agent(venv: VecPlacementEnv) -> DQNAgent:
+    # Deliberately the reference network size: the point of the benchmark is
+    # the real per-step agent cost that lane-parallelism amortizes.
+    config = DQNConfig(
+        hidden_layers=(128, 128),
+        batch_size=64,
+        min_replay_size=128,
+        epsilon_decay_steps=5000,
+    )
+    return DQNAgent(venv.state_dim, venv.num_actions, config=config, seed=SEED)
+
+
+def measure_env_steps(num_lanes: int, total_steps: int) -> Dict[str, float]:
+    """Aggregate env transitions/s with masked-random actions (no agent)."""
+    venv = _make_venv(num_lanes)
+    rng = np.random.default_rng(SEED)
+    states = venv.reset()
+    steps = 0
+    start = time.perf_counter()
+    while steps < total_steps:
+        masks = venv.valid_action_masks()
+        # Vectorized masked-random action draw, same trick the batched
+        # epsilon-greedy uses.
+        draws = (rng.random(venv.num_lanes) * masks.sum(axis=1)).astype(int)
+        actions = (masks.cumsum(axis=1) > draws[:, None]).argmax(axis=1)
+        states, _, _, _ = venv.step(actions)
+        steps += venv.num_lanes
+    elapsed = time.perf_counter() - start
+    return {
+        "lanes": num_lanes,
+        "env_steps": steps,
+        "elapsed_s": elapsed,
+        "env_steps_per_s": steps / elapsed,
+    }
+
+
+def measure_training_loop(num_lanes: int, total_steps: int, warmup_steps: int) -> Dict[str, float]:
+    """Training-loop throughput at K lanes over ``total_steps`` transitions.
+
+    The loop body is the decision loop of ``VecTrainer.run_episodes``; for
+    K=1 every batched agent call routes to its serial implementation, making
+    the measurement the per-step cost of the serial ``Trainer``.  Warmup
+    steps (replay fill + first updates) run untimed so all K are compared in
+    the steady learning regime.
+    """
+    venv = _make_venv(num_lanes)
+    agent = _make_agent(venv)
+    states = venv.reset()
+
+    def drive(steps_target: int) -> int:
+        steps = 0
+        nonlocal states
+        while steps < steps_target:
+            masks = venv.valid_action_masks()
+            actions = agent.select_actions(states, masks)
+            next_states, rewards, dones, _ = venv.step(actions)
+            next_masks = venv.valid_action_masks()
+            agent.observe_batch(states, actions, rewards, next_states, dones, next_masks)
+            agent.update()
+            states = next_states
+            steps += venv.num_lanes
+        return steps
+
+    drive(warmup_steps)
+    updates_before = agent.training_steps
+    start = time.perf_counter()
+    steps = drive(total_steps)
+    elapsed = time.perf_counter() - start
+    return {
+        "lanes": num_lanes,
+        "env_steps": steps,
+        "elapsed_s": elapsed,
+        "env_steps_per_s": steps / elapsed,
+        "agent_batches_per_s": (steps / num_lanes) / elapsed,
+        "gradient_updates": agent.training_steps - updates_before,
+        "episodes_completed": venv.episodes_completed,
+    }
+
+
+def run_vecenv_benchmark(
+    total_steps: int = TOTAL_TRAINING_STEPS,
+    env_only_steps: int = ENV_ONLY_STEPS,
+    warmup_steps: int = WARMUP_STEPS,
+    k_values=K_VALUES,
+    check_speedup: bool = True,
+) -> Dict[str, object]:
+    """Run both measurements, persist the JSON and check the speedup bar."""
+    results: Dict[str, object] = {
+        "config": {
+            "scenario": _scenario().name,
+            "k_values": list(k_values),
+            "total_training_steps": total_steps,
+            "env_only_steps": env_only_steps,
+            "warmup_steps": warmup_steps,
+            "agent": "dqn(128x128, batch=64)",
+            "seed": SEED,
+        },
+        "env_steps": {
+            f"K={k}": measure_env_steps(k, env_only_steps) for k in k_values
+        },
+        "training_loop": {
+            f"K={k}": measure_training_loop(k, total_steps, warmup_steps)
+            for k in k_values
+        },
+    }
+    serial = results["training_loop"][f"K={k_values[0]}"]["env_steps_per_s"]
+    results["speedups"] = {
+        f"training_K{k}_vs_serial": results["training_loop"][f"K={k}"][
+            "env_steps_per_s"
+        ]
+        / serial
+        for k in k_values[1:]
+    }
+    from benchmarks.common import RESULTS_DIR
+    from repro.utils.serialization import save_json
+
+    save_json(results, RESULTS_DIR / "vecenv.json")
+    if check_speedup:
+        top_k = k_values[-1]
+        speedup = results["speedups"][f"training_K{top_k}_vs_serial"]
+        assert speedup >= MIN_SPEEDUP_K16, (
+            f"K={top_k} training loop is only {speedup:.1f}x faster than the "
+            f"serial trainer (required: {MIN_SPEEDUP_K16}x)"
+        )
+    return results
+
+
+def run_smoke() -> Dict[str, float]:
+    """Seconds-fast perf regression guard for CI.
+
+    Compares the serial training loop against K=16 over a few hundred steps
+    and asserts a conservative 2x bar (the full benchmark's bar is 4x over a
+    longer, steadier measurement).
+    """
+    serial = measure_training_loop(1, total_steps=400, warmup_steps=160)
+    vec = measure_training_loop(16, total_steps=640, warmup_steps=160)
+    speedup = vec["env_steps_per_s"] / serial["env_steps_per_s"]
+    assert speedup >= 2.0, (
+        f"K=16 training loop is only {speedup:.1f}x faster than serial on the "
+        "smoke measurement (required: 2x)"
+    )
+    return {
+        "serial_env_steps_per_s": serial["env_steps_per_s"],
+        "vec16_env_steps_per_s": vec["env_steps_per_s"],
+        "speedup": speedup,
+    }
+
+
+def bench_vecenv(benchmark) -> None:
+    """pytest-benchmark entry point matching the figure benchmarks."""
+    results = benchmark.pedantic(
+        run_vecenv_benchmark, rounds=1, iterations=1, warmup_rounds=0
+    )
+    top_k = results["config"]["k_values"][-1]
+    assert results["speedups"][f"training_K{top_k}_vs_serial"] >= MIN_SPEEDUP_K16
+
+
+def main() -> None:
+    import sys
+
+    if "--smoke" in sys.argv:
+        smoke = run_smoke()
+        print(
+            f"vec-env smoke: serial {smoke['serial_env_steps_per_s']:.0f} "
+            f"env-steps/s vs K=16 {smoke['vec16_env_steps_per_s']:.0f} "
+            f"env-steps/s ({smoke['speedup']:.1f}x, bar: >= 2x)"
+        )
+        return
+    results = run_vecenv_benchmark()
+    print("env-only throughput (masked-random actions, aggregate steps/s)")
+    for key, row in results["env_steps"].items():
+        print(f"  {key:5s}: {row['env_steps_per_s']:10.0f}")
+    print("training-loop throughput (DQN decision loop, env transitions/s)")
+    for key, row in results["training_loop"].items():
+        print(
+            f"  {key:5s}: {row['env_steps_per_s']:10.0f} env-steps/s "
+            f"({row['agent_batches_per_s']:8.0f} agent batches/s, "
+            f"{row['gradient_updates']} updates)"
+        )
+    for name, value in results["speedups"].items():
+        print(f"  {name}: {value:.1f}x (bar at K={results['config']['k_values'][-1]}: "
+              f">= {MIN_SPEEDUP_K16}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,9 @@ python -m pytest -x -q
 echo "==> env-core perf smoke (vectorized vs per-query reference)"
 PYTHONPATH="src:.${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_envstep.py --smoke
 
+echo "==> vec-env training-loop perf smoke (K=16 lanes vs serial trainer)"
+PYTHONPATH="src:.${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_vecenv.py --smoke
+
 echo "==> end-to-end smoke figure (training convergence, smoke preset)"
 REPRO_NO_CACHE=1 python - <<'EOF'
 from repro.experiments.config import ExperimentConfig

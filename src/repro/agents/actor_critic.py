@@ -2,18 +2,67 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.agents.base import Agent
+from repro.agents.base import Agent, sample_probability_rows
 from repro.nn.activations import log_softmax, softmax
 from repro.nn.network import MLP
 from repro.nn.optimizers import Adam
 from repro.utils.rng import RandomState, derive_seed, new_rng
 from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass
+class RolloutLane:
+    """Columnar transition storage for one environment lane.
+
+    Keeping one column set per lane lets vectorized training interleave K
+    environments while n-step returns are still computed strictly within a
+    lane (``dones`` recorded per transition reset the running return at
+    episode boundaries, so auto-reset lanes can keep accumulating).
+    """
+
+    states: List[np.ndarray] = field(default_factory=list)
+    actions: List[int] = field(default_factory=list)
+    rewards: List[float] = field(default_factory=list)
+    dones: List[bool] = field(default_factory=list)
+    tail_next_state: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def append(
+        self,
+        state: np.ndarray,
+        action: int,
+        reward: float,
+        next_state: np.ndarray,
+        done: bool,
+    ) -> None:
+        self.states.append(state)
+        self.actions.append(action)
+        self.rewards.append(reward)
+        self.dones.append(done)
+        self.tail_next_state = next_state
+
+    def take(self) -> tuple:
+        """Pop the lane's columns as stacked arrays (lane left empty)."""
+        columns = (
+            np.stack(self.states),
+            np.array(self.actions, dtype=int),
+            np.array(self.rewards, dtype=float),
+            np.array(self.dones, dtype=bool),
+            self.tail_next_state,
+        )
+        self.states.clear()
+        self.actions.clear()
+        self.rewards.clear()
+        self.dones.clear()
+        return columns
 
 
 @dataclass
@@ -67,13 +116,10 @@ class ActorCriticAgent(Agent):
         self.actor_optimizer = Adam(self.config.actor_learning_rate)
         self.critic_optimizer = Adam(self.config.critic_learning_rate)
         self._rng = new_rng(derive_seed(seed, "sampling"))
-        # Columnar rollout storage: one list per field stacks into a batch
-        # array in a single pass when the rollout is flushed.
-        self._rollout_states: List[np.ndarray] = []
-        self._rollout_actions: List[int] = []
-        self._rollout_rewards: List[float] = []
-        self._rollout_dones: List[bool] = []
-        self._last_next_state: Optional[np.ndarray] = None
+        # Columnar rollout storage, one column set per environment lane;
+        # serial training is simply lane 0.
+        self._lanes: List[RolloutLane] = [RolloutLane()]
+        self._pending_diagnostics: List[Dict[str, float]] = []
         self.last_actor_loss: Optional[float] = None
 
     # ------------------------------------------------------------------ #
@@ -96,6 +142,19 @@ class ActorCriticAgent(Agent):
         """The critic's value estimate for a single state."""
         return float(self.critic_network.predict(self._validate_state(state)).ravel()[0])
 
+    def batch_action_probabilities(
+        self, states: np.ndarray, masks: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Masked softmax policy probabilities for a ``(K, state_dim)`` batch."""
+        states = self._validate_states(states)
+        logits = np.atleast_2d(self.actor_network.predict(states)).copy()
+        if masks is not None:
+            masks = self._validate_masks(masks, states.shape[0])
+            if (~masks.any(axis=1)).any():
+                raise ValueError("action mask excludes every action")
+            logits[~masks] = -1e9
+        return softmax(logits, axis=1)
+
     def select_action(
         self,
         state: np.ndarray,
@@ -106,6 +165,26 @@ class ActorCriticAgent(Agent):
         if greedy:
             return int(np.argmax(probabilities))
         return int(self._rng.choice(self.num_actions, p=probabilities))
+
+    def select_actions(
+        self,
+        states: np.ndarray,
+        masks: Optional[np.ndarray] = None,
+        greedy: bool = False,
+    ) -> np.ndarray:
+        """One actor forward for all K lanes, then per-row sampling.
+
+        For a single row this defers to :meth:`select_action` so that K=1
+        training consumes the sampling RNG exactly like the serial loop.
+        """
+        states = self._validate_states(states)
+        masks = self._validate_masks(masks, states.shape[0])
+        if states.shape[0] == 1:
+            return super().select_actions(states, masks, greedy=greedy)
+        probabilities = self.batch_action_probabilities(states, masks)
+        if greedy:
+            return probabilities.argmax(axis=1)
+        return sample_probability_rows(self._rng, probabilities)
 
     # ------------------------------------------------------------------ #
     # Learning
@@ -119,34 +198,91 @@ class ActorCriticAgent(Agent):
         done: bool,
         next_mask: Optional[np.ndarray] = None,
     ) -> None:
-        self._rollout_states.append(self._validate_state(state))
-        self._rollout_actions.append(self._validate_action(action))
-        self._rollout_rewards.append(float(reward))
-        self._rollout_dones.append(bool(done))
-        self._last_next_state = self._validate_state(next_state)
+        self._lanes[0].append(
+            self._validate_state(state),
+            self._validate_action(action),
+            float(reward),
+            self._validate_state(next_state),
+            bool(done),
+        )
+
+    def observe_batch(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+        dones: np.ndarray,
+        next_masks: Optional[np.ndarray] = None,
+        truncations: Optional[np.ndarray] = None,
+    ) -> None:
+        """Append row ``i`` to lane ``i``; flush lanes at episode boundaries.
+
+        A lane flushes when its episode terminates (``dones``) or is being
+        force-reset at a step cap (``truncations``) — in both cases the lane
+        keeps ``done`` as recorded, so a truncated rollout still bootstraps
+        its tail from the critic while never accumulating transitions across
+        the reset.  This per-episode flush matches the serial trainer, which
+        always flushed the rollout remainder at every episode end.
+        Diagnostics of boundary flushes surface through the next
+        :meth:`update` call.
+        """
+        states = self._validate_states(states)
+        next_states = self._validate_states(next_states)
+        actions = np.asarray(actions, dtype=int).ravel()
+        rewards = np.asarray(rewards, dtype=float).ravel()
+        dones = np.asarray(dones, dtype=bool).ravel()
+        boundaries = dones.copy()
+        if truncations is not None:
+            boundaries |= np.asarray(truncations, dtype=bool).ravel()
+        self._resize_lanes(states.shape[0])
+        for row in range(states.shape[0]):
+            self._lanes[row].append(
+                states[row],
+                self._validate_action(int(actions[row])),
+                float(rewards[row]),
+                next_states[row],
+                bool(dones[row]),
+            )
+            if boundaries[row]:
+                self._pending_diagnostics.append(self._flush_lane(self._lanes[row]))
+
+    def _resize_lanes(self, num_lanes: int) -> None:
+        """Grow/shrink lane storage, flushing anything a resize would orphan."""
+        if num_lanes == len(self._lanes):
+            return
+        for lane in self._lanes:
+            if len(lane):
+                self._pending_diagnostics.append(self._flush_lane(lane))
+        self._lanes = [RolloutLane() for _ in range(num_lanes)]
 
     def update(self) -> Dict[str, float]:
-        """Learn once the rollout buffer holds ``n_steps`` transitions."""
-        if len(self._rollout_states) < self.config.n_steps:
-            return {}
-        return self._learn_from_rollout()
+        """Learn from boundary flushes and every lane holding ``n_steps``."""
+        flushed = self._pending_diagnostics
+        self._pending_diagnostics = []
+        flushed.extend(
+            self._flush_lane(lane)
+            for lane in self._lanes
+            if len(lane) >= self.config.n_steps
+        )
+        return self._mean_diagnostics(flushed)
 
     def end_episode(self) -> Dict[str, float]:
-        """Flush whatever remains in the rollout buffer at episode end."""
-        if not self._rollout_states:
-            return {}
-        return self._learn_from_rollout()
+        """Flush whatever remains in the rollout columns at episode end.
 
-    def _learn_from_rollout(self) -> Dict[str, float]:
-        states = np.stack(self._rollout_states)
-        actions = np.array(self._rollout_actions, dtype=int)
-        rewards = np.array(self._rollout_rewards, dtype=float)
-        dones = np.array(self._rollout_dones, dtype=bool)
-        tail_next_state = self._last_next_state
-        self._rollout_states.clear()
-        self._rollout_actions.clear()
-        self._rollout_rewards.clear()
-        self._rollout_dones.clear()
+        Unlike REINFORCE, flushing partial rollouts is sound here: the tail
+        return bootstraps from the critic, so a chunk-boundary partial
+        contributes an ordinary (shorter) n-step update.
+        """
+        flushed = self._pending_diagnostics
+        self._pending_diagnostics = []
+        flushed.extend(
+            self._flush_lane(lane) for lane in self._lanes if len(lane)
+        )
+        return self._mean_diagnostics(flushed)
+
+    def _flush_lane(self, lane: RolloutLane) -> Dict[str, float]:
+        states, actions, rewards, dones, tail_next_state = lane.take()
         self.training_steps += 1
 
         # Bootstrapped n-step returns computed backwards from the tail value.

@@ -4,9 +4,24 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
+
+
+def sample_probability_rows(
+    rng: np.random.Generator, probabilities: np.ndarray
+) -> np.ndarray:
+    """Sample one column index per row of a ``(K, A)`` probability matrix.
+
+    Inverse-CDF sampling with a single uniform draw per row, fully inside
+    numpy.  The final cumulative value is forced to 1 so a draw can never
+    fall past the last column through float round-off.
+    """
+    cumulative = probabilities.cumsum(axis=1)
+    cumulative[:, -1] = 1.0
+    draws = rng.random(probabilities.shape[0])
+    return (cumulative > draws[:, None]).argmax(axis=1)
 
 
 class Agent(ABC):
@@ -52,6 +67,34 @@ class Agent(ABC):
         disables exploration (used during evaluation).
         """
 
+    def select_actions(
+        self,
+        states: np.ndarray,
+        masks: Optional[np.ndarray] = None,
+        greedy: bool = False,
+    ) -> np.ndarray:
+        """Choose one action per row of a ``(K, state_dim)`` state batch.
+
+        ``masks`` is an optional ``(K, num_actions)`` boolean validity mask.
+        The base implementation falls back to one :meth:`select_action` call
+        per row, so every agent works with the vectorized environment out of
+        the box; agents with a batchable forward pass override this to run a
+        single forward for all K lanes.
+        """
+        states = self._validate_states(states)
+        masks = self._validate_masks(masks, states.shape[0])
+        return np.array(
+            [
+                self.select_action(
+                    states[row],
+                    mask=None if masks is None else masks[row],
+                    greedy=greedy,
+                )
+                for row in range(states.shape[0])
+            ],
+            dtype=int,
+        )
+
     # ------------------------------------------------------------------ #
     # Learning
     # ------------------------------------------------------------------ #
@@ -66,6 +109,46 @@ class Agent(ABC):
         next_mask: Optional[np.ndarray] = None,
     ) -> None:
         """Record one environment transition."""
+
+    def observe_batch(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+        dones: np.ndarray,
+        next_masks: Optional[np.ndarray] = None,
+        truncations: Optional[np.ndarray] = None,
+    ) -> None:
+        """Record one transition per lane of a K-lane vectorized step.
+
+        Row ``i`` of every array belongs to lane ``i``.  ``dones`` are true
+        environment terminations; ``truncations`` flags lanes that the
+        trainer is force-resetting at a step cap (the episode did *not*
+        terminate).  The base implementation ingests the rows through
+        :meth:`observe` one by one, conservatively treating a truncation as
+        an episode end so rollout-style custom agents never accumulate
+        trajectories across a forced reset; learners that can do better
+        override this (replay learners bootstrap through truncations,
+        rollout learners flush the truncated lane and keep ``done=False``).
+        """
+        states = self._validate_states(states)
+        next_states = self._validate_states(next_states)
+        actions = np.asarray(actions, dtype=int).ravel()
+        rewards = np.asarray(rewards, dtype=float).ravel()
+        dones = np.asarray(dones, dtype=bool).ravel()
+        if truncations is not None:
+            dones = dones | np.asarray(truncations, dtype=bool).ravel()
+        next_masks = self._validate_masks(next_masks, states.shape[0])
+        for row in range(states.shape[0]):
+            self.observe(
+                states[row],
+                int(actions[row]),
+                float(rewards[row]),
+                next_states[row],
+                bool(dones[row]),
+                next_mask=None if next_masks is None else next_masks[row],
+            )
 
     @abstractmethod
     def update(self) -> Dict[str, float]:
@@ -89,6 +172,18 @@ class Agent(ABC):
     # ------------------------------------------------------------------ #
     # Helpers
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _mean_diagnostics(diagnostics: List[Dict[str, float]]) -> Dict[str, float]:
+        """Merge per-lane diagnostic dicts by key-wise mean (empty-safe)."""
+        if not diagnostics:
+            return {}
+        if len(diagnostics) == 1:
+            return diagnostics[0]
+        return {
+            key: float(np.mean([d[key] for d in diagnostics]))
+            for key in diagnostics[0]
+        }
+
     def _validate_state(self, state: np.ndarray) -> np.ndarray:
         state = np.asarray(state, dtype=float).ravel()
         if state.shape[0] != self.state_dim:
@@ -96,6 +191,29 @@ class Agent(ABC):
                 f"state has width {state.shape[0]}, expected {self.state_dim}"
             )
         return state
+
+    def _validate_states(self, states: np.ndarray) -> np.ndarray:
+        """Coerce a state batch to shape ``(K, state_dim)``."""
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        if states.shape[1] != self.state_dim:
+            raise ValueError(
+                f"state batch has width {states.shape[1]}, expected {self.state_dim}"
+            )
+        return states
+
+    def _validate_masks(
+        self, masks: Optional[np.ndarray], num_rows: int
+    ) -> Optional[np.ndarray]:
+        """Coerce an optional mask batch to shape ``(K, num_actions)``."""
+        if masks is None:
+            return None
+        masks = np.atleast_2d(np.asarray(masks, dtype=bool))
+        if masks.shape != (num_rows, self.num_actions):
+            raise ValueError(
+                f"mask batch has shape {masks.shape}, expected "
+                f"({num_rows}, {self.num_actions})"
+            )
+        return masks
 
     def _validate_action(self, action: int) -> int:
         if not 0 <= action < self.num_actions:

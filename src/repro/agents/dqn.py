@@ -130,6 +130,7 @@ class DQNAgent(Agent):
             self.config.exploration_schedule(), seed=derive_seed(seed, "explore")
         )
         self._environment_steps = 0
+        self._steps_since_update = 0
         self.last_loss: Optional[float] = None
 
     # ------------------------------------------------------------------ #
@@ -177,6 +178,64 @@ class DQNAgent(Agent):
             q_values, self._environment_steps, mask=mask, greedy=greedy
         )
 
+    def select_actions(
+        self,
+        states: np.ndarray,
+        masks: Optional[np.ndarray] = None,
+        greedy: bool = False,
+    ) -> np.ndarray:
+        """One ``batch_q_values`` forward plus vectorized masked epsilon-greedy.
+
+        For a single row this defers to :meth:`select_action` so that K=1
+        training consumes the exploration RNG exactly like the serial loop.
+        """
+        states = self._validate_states(states)
+        masks = self._validate_masks(masks, states.shape[0])
+        if states.shape[0] == 1:
+            return super().select_actions(states, masks, greedy=greedy)
+        q_values = self.batch_q_values(states)
+        return self.exploration.select_batch(
+            q_values, self._environment_steps, masks=masks, greedy=greedy
+        )
+
+    def observe_batch(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+        dones: np.ndarray,
+        next_masks: Optional[np.ndarray] = None,
+        truncations: Optional[np.ndarray] = None,
+    ) -> None:
+        """Push one replay transition per lane (validated batch-wise).
+
+        ``truncations`` is accepted but deliberately ignored: a step-cap
+        truncation is not a termination, so the stored transition keeps
+        ``done=False`` and the TD target bootstraps from the next state —
+        the standard terminated-vs-truncated treatment (and exactly what the
+        serial trainer always stored at its step cap).
+        """
+        states = self._validate_states(states)
+        next_states = self._validate_states(next_states)
+        actions = np.asarray(actions, dtype=int).ravel()
+        rewards = np.asarray(rewards, dtype=float).ravel()
+        dones = np.asarray(dones, dtype=bool).ravel()
+        next_masks = self._validate_masks(next_masks, states.shape[0])
+        for row in range(states.shape[0]):
+            self._environment_steps += 1
+            self._steps_since_update += 1
+            self.replay.add(
+                Transition(
+                    state=states[row],
+                    action=self._validate_action(int(actions[row])),
+                    reward=float(rewards[row]),
+                    next_state=next_states[row],
+                    done=bool(dones[row]),
+                    next_mask=None if next_masks is None else next_masks[row],
+                )
+            )
+
     def observe(
         self,
         state: np.ndarray,
@@ -187,6 +246,7 @@ class DQNAgent(Agent):
         next_mask: Optional[np.ndarray] = None,
     ) -> None:
         self._environment_steps += 1
+        self._steps_since_update += 1
         self.replay.add(
             Transition(
                 state=self._validate_state(state),
@@ -199,11 +259,29 @@ class DQNAgent(Agent):
         )
 
     def update(self) -> Dict[str, float]:
-        """Sample a batch and take one TD-regression step (when due)."""
+        """Sample a batch and take one TD-regression step (when due).
+
+        Each call performs at most one gradient step, due once
+        ``update_every`` new transitions have accumulated beyond those
+        already consumed by earlier updates — an explicit credit counter
+        rather than a modulo on the global step counter, so K-lane training
+        (which adds K credits per decision step) never skips updates at
+        unaligned multiples.  An update consumes ``update_every`` credits,
+        so repeated calls can catch up after a burst of observations; unspent
+        credits saturate at ``replay_capacity`` (credits for evicted
+        transitions are meaningless).  Note the update-to-data ratio under a
+        once-per-decision-step caller like ``VecTrainer`` is 1/K of the
+        serial trainer's — the standard synchronous-vectorized regime; call
+        ``update()`` more often per step to keep the serial ratio.
+        """
         if len(self.replay) < self.config.min_replay_size:
             return {}
-        if self._environment_steps % self.config.update_every != 0:
+        if self._steps_since_update < self.config.update_every:
             return {}
+        self._steps_since_update = min(
+            self._steps_since_update - self.config.update_every,
+            self.config.replay_capacity,
+        )
         batch = self.replay.sample(self.config.batch_size)
         diagnostics = self._learn_from_batch(batch)
         self.training_steps += 1

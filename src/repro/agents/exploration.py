@@ -107,6 +107,36 @@ class EpsilonGreedy:
         return int(self._rng.choice(best))
 
 
+    def select_batch(
+        self,
+        q_values: np.ndarray,
+        step: int,
+        masks: Optional[np.ndarray] = None,
+        greedy: bool = False,
+    ) -> np.ndarray:
+        """Vectorized epsilon-greedy over a ``(K, A)`` batch of Q-rows.
+
+        One epsilon draw, one exploration draw and one tie-break draw are made
+        per row, all in single vectorized calls, so selecting for K lanes costs
+        O(K·A) array work instead of K Python-level selections.  Returns a
+        ``(K,)`` integer action array.
+        """
+        q_values = np.atleast_2d(np.asarray(q_values, dtype=float))
+        valid = _valid_mask_batch(q_values.shape, masks)
+        epsilon = 0.0 if greedy else self.schedule.value(step)
+        check_probability(epsilon, "epsilon")
+
+        masked_q = np.where(valid, q_values, -np.inf)
+        best = masked_q == masked_q.max(axis=1, keepdims=True)
+        actions = _choice_per_row(self._rng, best)
+        if epsilon > 0.0:
+            explore = self._rng.random(q_values.shape[0]) < epsilon
+            if explore.any():
+                random_actions = _choice_per_row(self._rng, valid)
+                actions = np.where(explore, random_actions, actions)
+        return actions
+
+
 class BoltzmannExploration:
     """Softmax (Boltzmann) selection over masked action values."""
 
@@ -137,6 +167,35 @@ class BoltzmannExploration:
         logits[valid] = q_values[valid] / temperature
         probabilities = softmax(logits)
         return int(self._rng.choice(len(q_values), p=probabilities))
+
+
+def _valid_mask_batch(shape: tuple, masks: Optional[np.ndarray]) -> np.ndarray:
+    """A boolean ``(K, A)`` validity mask; with no masks, everything is valid."""
+    if masks is None:
+        return np.ones(shape, dtype=bool)
+    masks = np.atleast_2d(np.asarray(masks, dtype=bool))
+    if masks.shape != shape:
+        raise ValueError(
+            f"masks shape {masks.shape} does not match Q-value shape {shape}"
+        )
+    rows_without_actions = ~masks.any(axis=1)
+    if rows_without_actions.any():
+        lanes = np.flatnonzero(rows_without_actions).tolist()
+        raise ValueError(f"action mask excludes every action in lanes {lanes}")
+    return masks
+
+
+def _choice_per_row(rng: np.random.Generator, candidates: np.ndarray) -> np.ndarray:
+    """One uniformly random True column per row of a boolean ``(K, A)`` array.
+
+    Implemented without a Python loop: draw one uniform per row, scale it by
+    the row's candidate count, and find the matching candidate through the
+    row-wise cumulative count.
+    """
+    counts = candidates.sum(axis=1)
+    draws = (rng.random(candidates.shape[0]) * counts).astype(int)
+    cumulative = candidates.cumsum(axis=1)
+    return (cumulative > draws[:, None]).argmax(axis=1)
 
 
 def _valid_indices(num_actions: int, mask: Optional[np.ndarray]) -> np.ndarray:

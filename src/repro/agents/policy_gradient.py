@@ -8,7 +8,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.agents.base import Agent
+from repro.agents.base import Agent, sample_probability_rows
 from repro.nn.activations import log_softmax, softmax
 from repro.nn.network import MLP
 from repro.nn.optimizers import Adam
@@ -67,11 +67,13 @@ class ReinforceAgent(Agent):
         self.policy_optimizer = Adam(self.config.learning_rate)
         self.baseline_optimizer = Adam(self.config.baseline_learning_rate)
         self._rng = new_rng(derive_seed(seed, "sampling"))
-        # Columnar episode storage: one list per field stacks into a batch
-        # array in a single pass at episode end.
-        self._episode_states: List[np.ndarray] = []
-        self._episode_actions: List[int] = []
-        self._episode_rewards: List[float] = []
+        # Columnar episode storage, one column set per environment lane so
+        # vectorized training never mixes episodes across lanes; serial
+        # training is simply lane 0.
+        self._lane_states: List[List[np.ndarray]] = [[]]
+        self._lane_actions: List[List[int]] = [[]]
+        self._lane_rewards: List[List[float]] = [[]]
+        self._pending_diagnostics: List[Dict[str, float]] = []
         self.last_policy_loss: Optional[float] = None
 
     # ------------------------------------------------------------------ #
@@ -96,6 +98,19 @@ class ReinforceAgent(Agent):
             logits[~mask] = -1e9
         return softmax(logits)
 
+    def batch_action_probabilities(
+        self, states: np.ndarray, masks: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Masked softmax policy probabilities for a ``(K, state_dim)`` batch."""
+        states = self._validate_states(states)
+        logits = np.atleast_2d(self.policy_network.predict(states)).copy()
+        if masks is not None:
+            masks = self._validate_masks(masks, states.shape[0])
+            if (~masks.any(axis=1)).any():
+                raise ValueError("action mask excludes every action")
+            logits[~masks] = -1e9
+        return softmax(logits, axis=1)
+
     def select_action(
         self,
         state: np.ndarray,
@@ -106,6 +121,26 @@ class ReinforceAgent(Agent):
         if greedy:
             return int(np.argmax(probabilities))
         return int(self._rng.choice(self.num_actions, p=probabilities))
+
+    def select_actions(
+        self,
+        states: np.ndarray,
+        masks: Optional[np.ndarray] = None,
+        greedy: bool = False,
+    ) -> np.ndarray:
+        """One policy forward for all K lanes, then per-row sampling.
+
+        For a single row this defers to :meth:`select_action` so that K=1
+        training consumes the sampling RNG exactly like the serial loop.
+        """
+        states = self._validate_states(states)
+        masks = self._validate_masks(masks, states.shape[0])
+        if states.shape[0] == 1:
+            return super().select_actions(states, masks, greedy=greedy)
+        probabilities = self.batch_action_probabilities(states, masks)
+        if greedy:
+            return probabilities.argmax(axis=1)
+        return sample_probability_rows(self._rng, probabilities)
 
     # ------------------------------------------------------------------ #
     # Learning
@@ -119,24 +154,92 @@ class ReinforceAgent(Agent):
         done: bool,
         next_mask: Optional[np.ndarray] = None,
     ) -> None:
-        self._episode_states.append(self._validate_state(state))
-        self._episode_actions.append(self._validate_action(action))
-        self._episode_rewards.append(float(reward))
+        self._lane_states[0].append(self._validate_state(state))
+        self._lane_actions[0].append(self._validate_action(action))
+        self._lane_rewards[0].append(float(reward))
+
+    def observe_batch(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+        dones: np.ndarray,
+        next_masks: Optional[np.ndarray] = None,
+        truncations: Optional[np.ndarray] = None,
+    ) -> None:
+        """Append row ``i`` to lane ``i``; a finished lane learns immediately.
+
+        Monte Carlo returns need a complete episode, so each lane's policy
+        gradient step runs the moment that lane's ``done`` flag arrives (the
+        lane auto-resets in the vectorized environment and keeps streaming).
+        A step-cap truncation also flushes the lane — learning from the
+        capped episode exactly as the serial trainer always did at its step
+        cap.  Diagnostics are surfaced through the next :meth:`update` call.
+        """
+        states = self._validate_states(states)
+        next_states = self._validate_states(next_states)
+        actions = np.asarray(actions, dtype=int).ravel()
+        rewards = np.asarray(rewards, dtype=float).ravel()
+        boundaries = np.asarray(dones, dtype=bool).ravel().copy()
+        if truncations is not None:
+            boundaries |= np.asarray(truncations, dtype=bool).ravel()
+        self._resize_lanes(states.shape[0])
+        for row in range(states.shape[0]):
+            self._lane_states[row].append(states[row])
+            self._lane_actions[row].append(self._validate_action(int(actions[row])))
+            self._lane_rewards[row].append(float(rewards[row]))
+            if boundaries[row]:
+                self._pending_diagnostics.append(self._flush_lane(row))
+
+    def _resize_lanes(self, num_lanes: int) -> None:
+        """Grow/shrink lane storage, flushing anything a resize would orphan."""
+        if num_lanes == len(self._lane_states):
+            return
+        for row in range(len(self._lane_states)):
+            if self._lane_states[row]:
+                self._pending_diagnostics.append(self._flush_lane(row))
+        self._lane_states = [[] for _ in range(num_lanes)]
+        self._lane_actions = [[] for _ in range(num_lanes)]
+        self._lane_rewards = [[] for _ in range(num_lanes)]
 
     def update(self) -> Dict[str, float]:
-        """REINFORCE learns only at episode boundaries; per-step update is a no-op."""
-        return {}
+        """Surface diagnostics of lane episodes finished since the last call."""
+        diagnostics = self._pending_diagnostics
+        self._pending_diagnostics = []
+        return self._mean_diagnostics(diagnostics)
 
     def end_episode(self) -> Dict[str, float]:
-        """Compute returns and apply one policy-gradient step."""
-        if not self._episode_states:
-            return {}
-        states = np.stack(self._episode_states)
-        actions = np.array(self._episode_actions, dtype=int)
-        rewards = np.array(self._episode_rewards, dtype=float)
-        self._episode_states.clear()
-        self._episode_actions.clear()
-        self._episode_rewards.clear()
+        """Serial: flush the single lane.  Vectorized: drop partial episodes.
+
+        With one lane this is the classic REINFORCE episode boundary — learn
+        from whatever the episode produced (including step-cap truncations).
+        With K lanes, completed episodes already learned at their ``done``
+        flags in :meth:`observe_batch`; anything still buffered here is a
+        chunk-boundary partial episode whose continuation is being discarded,
+        and a Monte Carlo update on it would systematically bias returns
+        toward zero — so the partial columns are dropped, not learned from.
+        """
+        flushed = list(self._pending_diagnostics)
+        self._pending_diagnostics = []
+        if len(self._lane_states) == 1:
+            if self._lane_states[0]:
+                flushed.append(self._flush_lane(0))
+        else:
+            for row in range(len(self._lane_states)):
+                self._lane_states[row].clear()
+                self._lane_actions[row].clear()
+                self._lane_rewards[row].clear()
+        return self._mean_diagnostics(flushed)
+
+    def _flush_lane(self, row: int) -> Dict[str, float]:
+        """One policy-gradient step from lane ``row``'s completed episode."""
+        states = np.stack(self._lane_states[row])
+        actions = np.array(self._lane_actions[row], dtype=int)
+        rewards = np.array(self._lane_rewards[row], dtype=float)
+        self._lane_states[row].clear()
+        self._lane_actions[row].clear()
+        self._lane_rewards[row].clear()
         self.training_steps += 1
 
         returns = self._discounted_returns(rewards)

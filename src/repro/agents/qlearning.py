@@ -9,7 +9,7 @@ state spaces is precisely the motivation for the deep agent.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -55,7 +55,7 @@ class TabularQLearningAgent(Agent):
         self._q_table: Dict[Tuple[int, ...], np.ndarray] = defaultdict(
             lambda: np.zeros(self.num_actions)
         )
-        self._pending: Optional[Tuple] = None
+        self._pending: List[Tuple] = []
 
     # ------------------------------------------------------------------ #
     # Discretization
@@ -68,6 +68,19 @@ class TabularQLearningAgent(Agent):
             (clipped * self.bins_per_feature).astype(int), self.bins_per_feature - 1
         )
         return tuple(int(b) for b in bins)
+
+    def discretize_batch(self, states: np.ndarray) -> List[Tuple[int, ...]]:
+        """Vectorized discretization of a ``(K, state_dim)`` state batch.
+
+        The clip/scale/floor work runs once over the whole batch; only the
+        final tuple-key construction stays per row.
+        """
+        states = self._validate_states(states)
+        clipped = np.clip(states, 0.0, 1.0)
+        bins = np.minimum(
+            (clipped * self.bins_per_feature).astype(int), self.bins_per_feature - 1
+        )
+        return [tuple(int(b) for b in row) for row in bins]
 
     @property
     def table_size(self) -> int:
@@ -90,6 +103,27 @@ class TabularQLearningAgent(Agent):
         q_values = self._q_table[self.discretize(state)]
         return self._policy.select(q_values, self.training_steps, mask, greedy)
 
+    def select_actions(
+        self,
+        states: np.ndarray,
+        masks: Optional[np.ndarray] = None,
+        greedy: bool = False,
+    ) -> np.ndarray:
+        """Vectorized key lookup + one batched masked epsilon-greedy pass.
+
+        For a single row this defers to :meth:`select_action` so that K=1
+        training consumes the exploration RNG exactly like the serial loop.
+        """
+        states = self._validate_states(states)
+        masks = self._validate_masks(masks, states.shape[0])
+        if states.shape[0] == 1:
+            return super().select_actions(states, masks, greedy=greedy)
+        keys = self.discretize_batch(states)
+        q_values = np.stack([self._q_table[key] for key in keys])
+        return self._policy.select_batch(
+            q_values, self.training_steps, masks=masks, greedy=greedy
+        )
+
     def observe(
         self,
         state: np.ndarray,
@@ -99,30 +133,77 @@ class TabularQLearningAgent(Agent):
         done: bool,
         next_mask: Optional[np.ndarray] = None,
     ) -> None:
-        self._pending = (
-            self.discretize(state),
-            self._validate_action(action),
-            float(reward),
-            self.discretize(next_state),
-            bool(done),
-            next_mask,
-        )
+        self._pending = [
+            (
+                self.discretize(state),
+                self._validate_action(action),
+                float(reward),
+                self.discretize(next_state),
+                bool(done),
+                next_mask,
+            )
+        ]
+
+    def observe_batch(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+        dones: np.ndarray,
+        next_masks: Optional[np.ndarray] = None,
+        truncations: Optional[np.ndarray] = None,
+    ) -> None:
+        """Queue one tabular update per lane (discretized batch-wise).
+
+        ``truncations`` is accepted but ignored: like DQN, the one-step TD
+        target keeps ``done=False`` at a step cap and bootstraps from the
+        next state's Q-row.
+        """
+        states = self._validate_states(states)
+        next_states = self._validate_states(next_states)
+        actions = np.asarray(actions, dtype=int).ravel()
+        rewards = np.asarray(rewards, dtype=float).ravel()
+        dones = np.asarray(dones, dtype=bool).ravel()
+        next_masks_batch = self._validate_masks(next_masks, states.shape[0])
+        state_keys = self.discretize_batch(states)
+        next_keys = self.discretize_batch(next_states)
+        self._pending = [
+            (
+                state_keys[row],
+                self._validate_action(int(actions[row])),
+                float(rewards[row]),
+                next_keys[row],
+                bool(dones[row]),
+                None if next_masks_batch is None else next_masks_batch[row],
+            )
+            for row in range(states.shape[0])
+        ]
 
     def update(self) -> Dict[str, float]:
-        """Apply the one-step Q-learning update for the last transition."""
-        if self._pending is None:
-            return {}
-        state_key, action, reward, next_key, done, next_mask = self._pending
-        self._pending = None
-        self.training_steps += 1
+        """Apply the queued one-step Q-learning update(s).
 
-        next_q = self._q_table[next_key]
-        if next_mask is not None:
-            masked = np.where(np.asarray(next_mask, dtype=bool), next_q, -np.inf)
-            best_next = 0.0 if not np.isfinite(masked).any() else float(masked.max())
-        else:
-            best_next = float(next_q.max())
-        target = reward if done else reward + self.discount * best_next
-        td_error = target - self._q_table[state_key][action]
-        self._q_table[state_key][action] += self.learning_rate * td_error
-        return {"td_error": float(td_error), "table_size": float(self.table_size)}
+        Batched observations apply sequentially in lane order, preserving the
+        classic Q-learning semantics when several lanes touch the same
+        discretized state.
+        """
+        if not self._pending:
+            return {}
+        pending, self._pending = self._pending, []
+        td_errors = []
+        for state_key, action, reward, next_key, done, next_mask in pending:
+            self.training_steps += 1
+            next_q = self._q_table[next_key]
+            if next_mask is not None:
+                masked = np.where(np.asarray(next_mask, dtype=bool), next_q, -np.inf)
+                best_next = 0.0 if not np.isfinite(masked).any() else float(masked.max())
+            else:
+                best_next = float(next_q.max())
+            target = reward if done else reward + self.discount * best_next
+            td_error = target - self._q_table[state_key][action]
+            self._q_table[state_key][action] += self.learning_rate * td_error
+            td_errors.append(float(td_error))
+        return {
+            "td_error": float(np.mean(td_errors)),
+            "table_size": float(self.table_size),
+        }

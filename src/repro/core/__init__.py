@@ -17,7 +17,9 @@ from repro.core.training import (
     Trainer,
     TrainingConfig,
     TrainingHistory,
+    VecTrainer,
 )
+from repro.core.vecenv import VecPlacementEnv, lane_workload_seed, make_lane_env
 
 __all__ = [
     "ActionSpace",
@@ -38,4 +40,8 @@ __all__ = [
     "Trainer",
     "TrainingConfig",
     "TrainingHistory",
+    "VecTrainer",
+    "VecPlacementEnv",
+    "lane_workload_seed",
+    "make_lane_env",
 ]

@@ -24,7 +24,14 @@ from repro.core.env import EnvConfig, VNFPlacementEnv
 from repro.core.policy import DRLPlacementPolicy
 from repro.core.reward import RewardConfig
 from repro.core.state import EncoderConfig
-from repro.core.training import EvaluationResult, Trainer, TrainingConfig, TrainingHistory
+from repro.core.training import (
+    EvaluationResult,
+    Trainer,
+    TrainingConfig,
+    TrainingHistory,
+    VecTrainer,
+)
+from repro.core.vecenv import VecPlacementEnv
 from repro.sim.simulation import NFVSimulation, SimulationConfig, SimulationResult
 from repro.utils.rng import RandomState, derive_seed
 from repro.workloads.scenarios import Scenario
@@ -39,6 +46,10 @@ class ManagerConfig:
     reward: RewardConfig = None
     encoder: EncoderConfig = None
     dqn: DQNConfig = None
+    #: Number of parallel environment lanes used for training.  1 keeps the
+    #: historical serial trainer; >1 trains on a K-lane vectorized
+    #: environment with derived per-lane workload seeds.
+    training_lanes: int = 1
 
     def __post_init__(self) -> None:
         self.training = self.training or TrainingConfig()
@@ -46,6 +57,10 @@ class ManagerConfig:
         self.reward = self.reward or RewardConfig()
         self.encoder = self.encoder or EncoderConfig()
         self.dqn = self.dqn or DQNConfig()
+        if self.training_lanes < 1:
+            raise ValueError(
+                f"training_lanes must be >= 1, got {self.training_lanes}"
+            )
 
 
 class VNFManager:
@@ -64,23 +79,45 @@ class VNFManager:
 
         # The training environment owns its own copy of the substrate so that
         # training never pollutes evaluation runs.
-        self._training_network = scenario.build_network()
-        self._generator = scenario.build_generator(self._training_network)
-        self.env = VNFPlacementEnv(
-            network=self._training_network,
-            generator=self._generator,
-            catalog=scenario.catalog,
-            reward_config=self.config.reward,
-            encoder_config=self.config.encoder,
-            config=self.config.env,
-        )
-        self.agent = agent or DQNAgent(
-            state_dim=self.env.state_dim,
-            num_actions=self.env.num_actions,
-            config=self.config.dqn,
-            seed=derive_seed(seed, "agent"),
-        )
-        self.trainer = Trainer(self.env, self.agent, self.config.training)
+        if self.config.training_lanes == 1:
+            self._training_network = scenario.build_network()
+            self._generator = scenario.build_generator(self._training_network)
+            self.env = VNFPlacementEnv(
+                network=self._training_network,
+                generator=self._generator,
+                catalog=scenario.catalog,
+                reward_config=self.config.reward,
+                encoder_config=self.config.encoder,
+                config=self.config.env,
+            )
+            self.agent = agent or DQNAgent(
+                state_dim=self.env.state_dim,
+                num_actions=self.env.num_actions,
+                config=self.config.dqn,
+                seed=derive_seed(seed, "agent"),
+            )
+            self.trainer: VecTrainer = Trainer(
+                self.env, self.agent, self.config.training
+            )
+        else:
+            venv = VecPlacementEnv.from_scenario(
+                scenario,
+                self.config.training_lanes,
+                seed=derive_seed(seed, "vec_lanes"),
+                env_config=self.config.env,
+                reward_config=self.config.reward,
+                encoder_config=self.config.encoder,
+            )
+            self.env = venv.envs[0]
+            self._training_network = self.env.network
+            self._generator = self.env.generator
+            self.agent = agent or DQNAgent(
+                state_dim=venv.state_dim,
+                num_actions=venv.num_actions,
+                config=self.config.dqn,
+                seed=derive_seed(seed, "agent"),
+            )
+            self.trainer = VecTrainer(venv, self.agent, self.config.training)
         self._trained = False
 
     # ------------------------------------------------------------------ #

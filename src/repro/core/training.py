@@ -1,4 +1,12 @@
-"""Training and evaluation loops for placement agents."""
+"""Training and evaluation loops for placement agents.
+
+The loops are built around :class:`VecTrainer`, which drives one agent
+through the K lanes of a :class:`~repro.core.vecenv.VecPlacementEnv` with
+batched ``select_actions`` / ``observe_batch`` calls — one agent forward pass
+serves K environment steps.  :class:`Trainer` is the K=1 special case and
+keeps the original single-environment API (``run_episode`` / ``train`` /
+``evaluate``) byte-for-byte compatible.
+"""
 
 from __future__ import annotations
 
@@ -9,6 +17,7 @@ import numpy as np
 
 from repro.agents.base import Agent
 from repro.core.env import VNFPlacementEnv
+from repro.core.vecenv import VecPlacementEnv
 from repro.utils.validation import check_positive
 
 
@@ -83,80 +92,150 @@ class EvaluationResult:
         }
 
 
-class Trainer:
-    """Episodic trainer driving one agent through one environment."""
+class VecTrainer:
+    """Episodic trainer driving one agent through K vectorized lanes.
+
+    Every decision loop iteration performs one batched
+    ``agent.select_actions`` over the ``(K, state_dim)`` state batch, one
+    ``venv.step`` and one batched ``agent.observe_batch`` — the per-step agent
+    cost is amortized over K environment transitions.  Episode accounting is
+    lane-agnostic: each lane completion contributes one entry to the training
+    history, in completion order, exactly like the serial trainer's episode
+    sequence.
+    """
 
     def __init__(
         self,
-        env: VNFPlacementEnv,
+        venv: VecPlacementEnv,
         agent: Agent,
         config: Optional[TrainingConfig] = None,
     ) -> None:
-        if agent.state_dim != env.state_dim:
+        if agent.state_dim != venv.state_dim:
             raise ValueError(
                 f"agent expects state_dim={agent.state_dim} but the environment "
-                f"produces {env.state_dim}"
+                f"produces {venv.state_dim}"
             )
-        if agent.num_actions != env.num_actions:
+        if agent.num_actions != venv.num_actions:
             raise ValueError(
                 f"agent expects num_actions={agent.num_actions} but the environment "
-                f"has {env.num_actions}"
+                f"has {venv.num_actions}"
             )
-        self.env = env
+        self.venv = venv
         self.agent = agent
         self.config = config or TrainingConfig()
         self.history = TrainingHistory()
 
+    @property
+    def num_lanes(self) -> int:
+        """Number of parallel environment lanes."""
+        return self.venv.num_lanes
+
     # ------------------------------------------------------------------ #
-    # Training
+    # The vectorized decision loop
     # ------------------------------------------------------------------ #
-    def run_episode(self, learn: bool = True, greedy: bool = False) -> Dict[str, float]:
-        """Run one episode; returns the episode's summary statistics."""
-        state = self.env.reset()
-        episode_losses: List[float] = []
-        for _ in range(self.config.max_steps_per_episode):
-            mask = self.env.valid_action_mask()
-            action = self.agent.select_action(state, mask=mask, greedy=greedy)
-            next_state, reward, done, info = self.env.step(action)
+    def run_episodes(
+        self, episodes: int, learn: bool = True, greedy: bool = False
+    ) -> List[Dict[str, float]]:
+        """Reset all lanes and stream until ``episodes`` lane-episodes finish.
+
+        Returns one summary dict per completed episode (in completion order)
+        with the same keys as :meth:`Trainer.run_episode` plus the completing
+        ``lane``.  Lanes that exceed ``max_steps_per_episode`` are truncated
+        and summarized exactly like the serial trainer's step cap.
+        """
+        if episodes <= 0:
+            return []
+        venv = self.venv
+        states = venv.reset()
+        lane_steps = np.zeros(venv.num_lanes, dtype=int)
+        summaries: List[Dict[str, float]] = []
+        #: Losses observed since the last episode completion; each completing
+        #: episode is labelled with their mean (for K=1 this is exactly the
+        #: serial per-episode loss).
+        recent_losses: List[float] = []
+        while len(summaries) < episodes:
+            masks = venv.valid_action_masks()
+            actions = self.agent.select_actions(states, masks, greedy=greedy)
+            next_states, rewards, dones, infos = venv.step(actions)
+            lane_steps += 1
+            # Lanes hitting the step cap end their episode here.  The
+            # truncation flag is handed to the learner separately from the
+            # termination flag: replay learners keep bootstrapping through
+            # the cap, rollout learners flush the capped lane so no buffer
+            # spans the forced reset below.
+            truncations = (
+                lane_steps >= self.config.max_steps_per_episode
+            ) & ~dones
             if learn:
-                next_mask = self.env.valid_action_mask()
-                self.agent.observe(
-                    state, action, reward, next_state, done, next_mask=next_mask
+                next_masks = venv.valid_action_masks()
+                self.agent.observe_batch(
+                    states, actions, rewards, next_states, dones,
+                    next_masks, truncations=truncations,
                 )
                 diagnostics = self.agent.update()
                 if diagnostics and "loss" in diagnostics:
-                    episode_losses.append(diagnostics["loss"])
-            state = next_state
-            if done:
-                break
+                    recent_losses.append(diagnostics["loss"])
+            finished_this_step: List[Dict[str, float]] = []
+            for lane, done in enumerate(dones):
+                truncated = bool(truncations[lane])
+                if not done and not truncated:
+                    continue
+                if done:
+                    stats = infos[lane]["episode_stats"]
+                else:
+                    stats = venv.envs[lane].stats.as_dict()
+                finished_this_step.append(
+                    {
+                        "reward": float(stats["total_reward"]),
+                        "acceptance": float(stats["acceptance_ratio"]),
+                        "latency": float(stats["mean_latency_ms"]),
+                        "lane": lane,
+                    }
+                )
+                lane_steps[lane] = 0
+                # Keep the lane streaming if more episodes are needed; a
+                # done lane on an auto-reset venv has restarted already.
+                needs_restart = (not venv.auto_reset) if done else True
+                if needs_restart and len(summaries) + len(finished_this_step) < episodes:
+                    next_states[lane] = venv.reset_lane(lane)
+            if finished_this_step:
+                loss = float(np.mean(recent_losses)) if recent_losses else 0.0
+                recent_losses.clear()
+                for summary in finished_this_step:
+                    summary["loss"] = loss
+                summaries.extend(finished_this_step)
+            states = next_states
         if learn:
             self.agent.end_episode()
-        stats = self.env.stats
-        return {
-            "reward": stats.total_reward,
-            "acceptance": stats.acceptance_ratio,
-            "latency": stats.mean_latency_ms,
-            "loss": float(np.mean(episode_losses)) if episode_losses else 0.0,
-        }
+        return summaries[:episodes]
 
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
     def train(self, verbose: bool = False) -> TrainingHistory:
         """Run the full training schedule and return the learning curves."""
-        for episode in range(1, self.config.num_episodes + 1):
-            summary = self.run_episode(learn=True, greedy=False)
-            self.history.episode_rewards.append(summary["reward"])
-            self.history.episode_acceptance.append(summary["acceptance"])
-            self.history.episode_latency.append(summary["latency"])
-            self.history.episode_losses.append(summary["loss"])
-
-            if episode % self.config.evaluation_interval == 0:
+        target = self.config.num_episodes
+        interval = self.config.evaluation_interval
+        completed = 0
+        while completed < target:
+            boundary = min(target, (completed // interval + 1) * interval)
+            for summary in self.run_episodes(
+                boundary - completed, learn=True, greedy=False
+            ):
+                self.history.episode_rewards.append(summary["reward"])
+                self.history.episode_acceptance.append(summary["acceptance"])
+                self.history.episode_latency.append(summary["latency"])
+                self.history.episode_losses.append(summary["loss"])
+            completed = boundary
+            if completed % interval == 0:
                 evaluation = self.evaluate(self.config.evaluation_episodes)
                 self.history.evaluation_rewards.append(evaluation.mean_reward)
-                self.history.evaluation_episodes_at.append(episode)
+                self.history.evaluation_episodes_at.append(completed)
                 if verbose:
                     window = self.config.log_window
                     recent = self.history.episode_rewards[-window:]
                     print(
-                        f"episode {episode:4d} | "
+                        f"episode {completed:4d} | "
                         f"reward(avg {window}) {np.mean(recent):8.2f} | "
                         f"eval reward {evaluation.mean_reward:8.2f} | "
                         f"eval acceptance {evaluation.mean_acceptance:5.2f}"
@@ -169,17 +248,38 @@ class Trainer:
     def evaluate(self, episodes: Optional[int] = None) -> EvaluationResult:
         """Run greedy (no-exploration, no-learning) episodes."""
         episodes = episodes or self.config.evaluation_episodes
-        rewards: List[float] = []
-        acceptances: List[float] = []
-        latencies: List[float] = []
-        for _ in range(episodes):
-            summary = self.run_episode(learn=False, greedy=True)
-            rewards.append(summary["reward"])
-            acceptances.append(summary["acceptance"])
-            latencies.append(summary["latency"])
+        summaries = self.run_episodes(episodes, learn=False, greedy=True)
         return EvaluationResult(
-            mean_reward=float(np.mean(rewards)),
-            mean_acceptance=float(np.mean(acceptances)),
-            mean_latency_ms=float(np.mean(latencies)),
+            mean_reward=float(np.mean([s["reward"] for s in summaries])),
+            mean_acceptance=float(np.mean([s["acceptance"] for s in summaries])),
+            mean_latency_ms=float(np.mean([s["latency"] for s in summaries])),
             episodes=episodes,
         )
+
+
+class Trainer(VecTrainer):
+    """Episodic trainer driving one agent through one environment.
+
+    This is the K=1 case of :class:`VecTrainer`: the environment is wrapped
+    in a single-lane :class:`VecPlacementEnv` (without auto-reset, so episode
+    boundaries behave exactly like the historical serial loop) and all agent
+    interaction flows through the batched API, which every agent routes to
+    its serial path for one-row batches.  The public API — ``env``,
+    ``run_episode``, ``train``, ``evaluate``, ``history`` — is unchanged.
+    """
+
+    def __init__(
+        self,
+        env: VNFPlacementEnv,
+        agent: Agent,
+        config: Optional[TrainingConfig] = None,
+    ) -> None:
+        super().__init__(
+            VecPlacementEnv([env], auto_reset=False), agent, config
+        )
+        self.env = env
+
+    def run_episode(self, learn: bool = True, greedy: bool = False) -> Dict[str, float]:
+        """Run one episode; returns the episode's summary statistics."""
+        summary = self.run_episodes(1, learn=learn, greedy=greedy)[0]
+        return {key: summary[key] for key in ("reward", "acceptance", "latency", "loss")}

@@ -1,0 +1,247 @@
+"""Synchronous vectorized placement environments.
+
+:class:`VecPlacementEnv` steps K independent :class:`VNFPlacementEnv` lanes
+behind one batched interface::
+
+    lane 0:  [env] --state--+                          +--action--> [env]
+    lane 1:  [env] --state--+--> (K, S) states --+     +--action--> [env]
+      ...                   |                    |agent|    ...
+    lane K-1:[env] --state--+    (K, A) masks ---+     +--action--> [env]
+
+* :meth:`reset` returns a ``(K, state_dim)`` state batch;
+* :meth:`step` applies one action per lane and returns batched
+  ``(states, rewards, dones, infos)``, auto-resetting every lane whose
+  episode finished (the pre-reset terminal observation is preserved in
+  ``infos[i]["terminal_state"]``);
+* :meth:`valid_action_masks` stacks the per-lane validity masks into a
+  ``(K, num_actions)`` boolean array.
+
+Lanes are plain environments stepped in order, so a K-lane vectorized run
+with fixed per-lane seeds is *bitwise identical* to K serial runs — the
+speedup comes from the agent side, where one batched forward pass serves all
+K lanes (see ``Agent.select_actions``).  Lanes may be built from one scenario
+(replicated with derived per-lane workload seeds) or from *different*
+scenarios (e.g. a :func:`~repro.workloads.scenarios.scenario_grid` load
+sweep), as long as every lane agrees on ``state_dim`` and ``num_actions``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.env import EnvConfig, EpisodeStats, VNFPlacementEnv
+from repro.core.reward import RewardConfig
+from repro.core.state import EncoderConfig
+from repro.utils.rng import RandomState, derive_seed
+from repro.workloads.scenarios import Scenario
+
+
+def lane_workload_seed(seed: RandomState, lane_index: int, scenario_name: str) -> int:
+    """The derived workload seed of lane ``lane_index``.
+
+    Exposed so tests (and anyone reconstructing a lane serially) can build an
+    environment that reproduces a vectorized lane's request stream exactly.
+    """
+    return derive_seed(seed, "vec_lane", lane_index, scenario_name)
+
+
+def make_lane_env(
+    scenario: Scenario,
+    workload_seed: RandomState,
+    env_config: Optional[EnvConfig] = None,
+    reward_config: Optional[RewardConfig] = None,
+    encoder_config: Optional[EncoderConfig] = None,
+) -> VNFPlacementEnv:
+    """Build one environment lane: own network copy, own request stream."""
+    lane_scenario = scenario.with_workload_seed(workload_seed)
+    network = lane_scenario.build_network()
+    generator = lane_scenario.build_generator(network)
+    return VNFPlacementEnv(
+        network=network,
+        generator=generator,
+        catalog=lane_scenario.catalog,
+        reward_config=reward_config,
+        encoder_config=encoder_config,
+        config=env_config,
+    )
+
+
+class VecPlacementEnv:
+    """K independent placement environments behind one batched interface."""
+
+    def __init__(
+        self,
+        envs: Sequence[VNFPlacementEnv],
+        auto_reset: bool = True,
+        lane_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not envs:
+            raise ValueError("VecPlacementEnv needs at least one lane")
+        self.envs: List[VNFPlacementEnv] = list(envs)
+        reference = self.envs[0]
+        for index, env in enumerate(self.envs):
+            if (
+                env.state_dim != reference.state_dim
+                or env.num_actions != reference.num_actions
+            ):
+                raise ValueError(
+                    f"lane {index} has (state_dim, num_actions)="
+                    f"({env.state_dim}, {env.num_actions}) but lane 0 has "
+                    f"({reference.state_dim}, {reference.num_actions}); all "
+                    "lanes must share one observation and action space"
+                )
+        self.auto_reset = auto_reset
+        if lane_names is not None and len(lane_names) != len(self.envs):
+            raise ValueError(
+                f"{len(lane_names)} lane names for {len(self.envs)} lanes"
+            )
+        self.lane_names: List[str] = (
+            list(lane_names)
+            if lane_names is not None
+            else [f"lane{i}" for i in range(len(self.envs))]
+        )
+        #: Total episodes completed across all lanes since construction.
+        self.episodes_completed = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction from scenarios
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario: Scenario,
+        num_lanes: int,
+        seed: RandomState = 0,
+        env_config: Optional[EnvConfig] = None,
+        reward_config: Optional[RewardConfig] = None,
+        encoder_config: Optional[EncoderConfig] = None,
+        auto_reset: bool = True,
+    ) -> "VecPlacementEnv":
+        """K lanes of one scenario with independent derived workload seeds."""
+        if num_lanes <= 0:
+            raise ValueError(f"num_lanes must be positive, got {num_lanes}")
+        return cls.from_scenarios(
+            [scenario] * num_lanes,
+            seed=seed,
+            env_config=env_config,
+            reward_config=reward_config,
+            encoder_config=encoder_config,
+            auto_reset=auto_reset,
+        )
+
+    @classmethod
+    def from_scenarios(
+        cls,
+        scenarios: Sequence[Scenario],
+        seed: RandomState = 0,
+        env_config: Optional[EnvConfig] = None,
+        reward_config: Optional[RewardConfig] = None,
+        encoder_config: Optional[EncoderConfig] = None,
+        auto_reset: bool = True,
+        derive_lane_seeds: bool = True,
+    ) -> "VecPlacementEnv":
+        """One lane per scenario — a scenario-diverse vectorized environment.
+
+        By default every lane gets a workload seed derived from ``(seed, lane
+        index, scenario name)``, so two lanes of the same scenario still see
+        independent request streams while remaining individually
+        reproducible.  Pass ``derive_lane_seeds=False`` to keep each
+        scenario's own workload seed instead (e.g. to reproduce the exact
+        request streams of a :func:`~repro.workloads.scenarios.scenario_grid`
+        consumed elsewhere) — the scenarios must then be distinct, or lanes
+        will duplicate one another's streams.
+        """
+        envs = [
+            make_lane_env(
+                scenario,
+                lane_workload_seed(seed, index, scenario.name)
+                if derive_lane_seeds
+                else scenario.workload_config.seed,
+                env_config=env_config,
+                reward_config=reward_config,
+                encoder_config=encoder_config,
+            )
+            for index, scenario in enumerate(scenarios)
+        ]
+        return cls(
+            envs,
+            auto_reset=auto_reset,
+            lane_names=[scenario.name for scenario in scenarios],
+        )
+
+    # ------------------------------------------------------------------ #
+    # Dimensions
+    # ------------------------------------------------------------------ #
+    @property
+    def num_lanes(self) -> int:
+        """Number of environment lanes (K)."""
+        return len(self.envs)
+
+    @property
+    def state_dim(self) -> int:
+        """Width of each lane's observation vector."""
+        return self.envs[0].state_dim
+
+    @property
+    def num_actions(self) -> int:
+        """Number of discrete actions (shared by all lanes)."""
+        return self.envs[0].num_actions
+
+    # ------------------------------------------------------------------ #
+    # Episode lifecycle
+    # ------------------------------------------------------------------ #
+    def reset(self) -> np.ndarray:
+        """Reset every lane; returns the ``(K, state_dim)`` state batch."""
+        return np.stack([env.reset() for env in self.envs])
+
+    def reset_lane(self, lane: int) -> np.ndarray:
+        """Reset a single lane; returns its fresh state vector."""
+        return self.envs[lane].reset()
+
+    def valid_action_masks(self) -> np.ndarray:
+        """Stacked ``(K, num_actions)`` boolean validity masks."""
+        return np.stack([env.valid_action_mask() for env in self.envs])
+
+    def lane_stats(self) -> List[EpisodeStats]:
+        """The per-lane statistics of the episodes currently in progress."""
+        return [env.stats for env in self.envs]
+
+    def step(
+        self, actions: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[Dict[str, object]]]:
+        """Apply one action per lane.
+
+        Returns ``(states, rewards, dones, infos)`` with shapes
+        ``(K, state_dim)``, ``(K,)``, ``(K,)`` and a list of K info dicts.
+        ``dones[i]`` marks the end of lane i's *episode*; with ``auto_reset``
+        the lane is reset immediately and ``states[i]`` is the first state of
+        its next episode, while ``infos[i]["terminal_state"]`` keeps the true
+        terminal observation and ``infos[i]["episode_stats"]`` the finished
+        episode's statistics.  Every info dict also carries its ``lane`` index
+        and ``lane_name``.
+        """
+        actions = np.asarray(actions, dtype=int).ravel()
+        if actions.shape[0] != self.num_lanes:
+            raise ValueError(
+                f"got {actions.shape[0]} actions for {self.num_lanes} lanes"
+            )
+        states = np.empty((self.num_lanes, self.state_dim), dtype=float)
+        rewards = np.empty(self.num_lanes, dtype=float)
+        dones = np.empty(self.num_lanes, dtype=bool)
+        infos: List[Dict[str, object]] = []
+        for lane, env in enumerate(self.envs):
+            state, reward, done, info = env.step(int(actions[lane]))
+            info["lane"] = lane
+            info["lane_name"] = self.lane_names[lane]
+            if done:
+                self.episodes_completed += 1
+                info["terminal_state"] = state
+                if self.auto_reset:
+                    state = env.reset()
+            states[lane] = state
+            rewards[lane] = reward
+            dones[lane] = done
+            infos.append(info)
+        return states, rewards, dones, infos

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.agents.dqn import make_dqn_variant
 from repro.core.env import VNFPlacementEnv
 from repro.core.manager import VNFManager
@@ -29,9 +31,10 @@ from repro.experiments.runner import (
     build_reference_scenario,
     evaluate_drl_and_baselines,
     train_manager,
+    vec_sweep_env_eval,
 )
 from repro.utils.rng import derive_seed
-from repro.workloads.scenarios import scalability_scenario
+from repro.workloads.scenarios import scalability_scenario, scenario_grid
 
 
 # --------------------------------------------------------------------------- #
@@ -78,10 +81,18 @@ def _load_sweep(
         for name, result in results.items():
             value = getattr(result.summary, metric)
             series.setdefault(name, []).append(float(value))
+    # The DRL policy's environment-level sweep runs as ONE scenario-diverse
+    # vectorized batch: one lane per load point, one batched agent pass.
+    env_eval = vec_sweep_env_eval(
+        manager,
+        scenario_grid(scenario, arrival_rates=config.arrival_rates),
+        config,
+    )
     return {
         "x_label": "arrival rate (requests / time unit)",
         "x": list(config.arrival_rates),
         "series": series,
+        "env_eval": env_eval,
     }
 
 
@@ -131,6 +142,12 @@ def figure_acceptance_vs_edges(
     """
     config = config or ExperimentConfig.fast()
     series: Dict[str, List[float]] = {}
+    env_eval: Dict[str, List[float]] = {
+        "lanes_per_size": [],
+        "mean_reward": [],
+        "acceptance_ratio": [],
+        "mean_latency_ms": [],
+    }
     for num_edges in config.edge_node_sweep:
         scenario = scalability_scenario(
             num_edges,
@@ -141,12 +158,28 @@ def figure_acceptance_vs_edges(
         results = evaluate_drl_and_baselines(scenario, manager, config)
         for name, result in results.items():
             series.setdefault(name, []).append(result.summary.acceptance_ratio)
+        # Environment-level greedy evaluation at this size runs as one vec
+        # batch of seed-diverse replicated lanes (the state/action spaces
+        # change with the topology, so sizes cannot share one batch).
+        lanes = 2
+        size_eval = vec_sweep_env_eval(
+            manager, [scenario] * lanes, config, episodes_per_scenario=1
+        )
+        env_eval["lanes_per_size"].append(lanes)
+        env_eval["mean_reward"].append(float(np.mean(size_eval["mean_reward"])))
+        env_eval["acceptance_ratio"].append(
+            float(np.mean(size_eval["acceptance_ratio"]))
+        )
+        env_eval["mean_latency_ms"].append(
+            float(np.mean(size_eval["mean_latency_ms"]))
+        )
     return {
         "figure": "fig5_acceptance_vs_edges",
         "x_label": "number of edge nodes",
         "y_label": "acceptance ratio",
         "x": list(config.edge_node_sweep),
         "series": series,
+        "env_eval": env_eval,
     }
 
 

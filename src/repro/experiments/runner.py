@@ -11,9 +11,16 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
+from repro.agents.base import Agent
 from repro.baselines import standard_baselines
+from repro.core.env import EnvConfig
 from repro.core.manager import VNFManager
 from repro.core.reward import RewardConfig
+from repro.core.state import EncoderConfig
+from repro.core.training import EvaluationResult
+from repro.core.vecenv import VecPlacementEnv
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.parallel import parallel_policy_comparison
 from repro.sim.simulation import (
@@ -21,7 +28,7 @@ from repro.sim.simulation import (
     SimulationConfig,
     SimulationResult,
 )
-from repro.utils.rng import derive_seed
+from repro.utils.rng import RandomState, derive_seed
 from repro.workloads.scenarios import Scenario, reference_scenario
 
 
@@ -114,6 +121,108 @@ def evaluate_drl_and_baselines(
         for policy, result in zip(baselines, baseline_results):
             results[policy.name] = result
     return results
+
+
+def evaluate_agent_across_scenarios(
+    agent: Agent,
+    scenarios: Sequence[Scenario],
+    episodes_per_scenario: int = 2,
+    seed: RandomState = 0,
+    env_config: Optional[EnvConfig] = None,
+    reward_config: Optional[RewardConfig] = None,
+    encoder_config: Optional[EncoderConfig] = None,
+    max_steps_per_episode: int = 2000,
+) -> List[EvaluationResult]:
+    """Greedy-evaluate one agent over a scenario-diverse vectorized batch.
+
+    Builds a :class:`VecPlacementEnv` with one lane per scenario (e.g. every
+    load point of an arrival-rate sweep) and streams all lanes together, so
+    the whole sweep is one batched decision loop instead of K serial
+    evaluation runs.  Returns one :class:`EvaluationResult` per scenario,
+    aggregated over ``episodes_per_scenario`` completed lane episodes.
+
+    All scenarios must share the agent's observation and action space (same
+    topology size); per-lane workload seeds are derived from ``seed``.
+    """
+    if episodes_per_scenario <= 0:
+        raise ValueError(
+            f"episodes_per_scenario must be positive, got {episodes_per_scenario}"
+        )
+    venv = VecPlacementEnv.from_scenarios(
+        scenarios,
+        seed=seed,
+        env_config=env_config,
+        reward_config=reward_config,
+        encoder_config=encoder_config,
+    )
+    num_lanes = venv.num_lanes
+    counts = np.zeros(num_lanes, dtype=int)
+    lane_steps = np.zeros(num_lanes, dtype=int)
+    per_lane: List[List[Dict[str, float]]] = [[] for _ in range(num_lanes)]
+    states = venv.reset()
+    while (counts < episodes_per_scenario).any():
+        masks = venv.valid_action_masks()
+        actions = agent.select_actions(states, masks, greedy=True)
+        states, _, dones, infos = venv.step(actions)
+        lane_steps += 1
+        for lane, done in enumerate(dones):
+            truncated = lane_steps[lane] >= max_steps_per_episode
+            if not done and not truncated:
+                continue
+            if counts[lane] < episodes_per_scenario:
+                stats = (
+                    infos[lane]["episode_stats"]
+                    if done
+                    else venv.envs[lane].stats.as_dict()
+                )
+                per_lane[lane].append(stats)
+                counts[lane] += 1
+            if truncated and not done:
+                states[lane] = venv.reset_lane(lane)
+            lane_steps[lane] = 0
+    return [
+        EvaluationResult(
+            mean_reward=float(np.mean([s["total_reward"] for s in stats_list])),
+            mean_acceptance=float(
+                np.mean([s["acceptance_ratio"] for s in stats_list])
+            ),
+            mean_latency_ms=float(
+                np.mean([s["mean_latency_ms"] for s in stats_list])
+            ),
+            episodes=len(stats_list),
+        )
+        for stats_list in per_lane
+    ]
+
+
+def vec_sweep_env_eval(
+    manager: VNFManager,
+    scenarios: Sequence[Scenario],
+    config: ExperimentConfig,
+    episodes_per_scenario: int = 2,
+) -> Dict[str, object]:
+    """JSON-friendly scenario-diverse vec evaluation of a trained manager.
+
+    One batched pass over all sweep points; the environment/reward/encoder
+    configuration mirrors the manager's training environment so the numbers
+    are comparable with its training-time evaluations.
+    """
+    results = evaluate_agent_across_scenarios(
+        manager.agent,
+        scenarios,
+        episodes_per_scenario=episodes_per_scenario,
+        seed=derive_seed(config.seed, "vec_env_eval"),
+        env_config=manager.config.env,
+        reward_config=manager.config.reward,
+        encoder_config=manager.config.encoder,
+    )
+    return {
+        "scenarios": [scenario.name for scenario in scenarios],
+        "episodes_per_scenario": episodes_per_scenario,
+        "mean_reward": [result.mean_reward for result in results],
+        "acceptance_ratio": [result.mean_acceptance for result in results],
+        "mean_latency_ms": [result.mean_latency_ms for result in results],
+    }
 
 
 def results_to_rows(results: Dict[str, SimulationResult]) -> List[Dict[str, object]]:

@@ -6,7 +6,9 @@ from repro.workloads.scenarios import (
     diurnal_scenario,
     hotspot_scenario,
     reference_scenario,
+    sample_scenarios,
     scalability_scenario,
+    scenario_grid,
 )
 
 __all__ = [
@@ -16,5 +18,7 @@ __all__ = [
     "diurnal_scenario",
     "hotspot_scenario",
     "reference_scenario",
+    "sample_scenarios",
     "scalability_scenario",
+    "scenario_grid",
 ]

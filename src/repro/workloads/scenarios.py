@@ -25,7 +25,7 @@ from repro.substrate.topology import (
     metro_edge_cloud_topology,
     scaled_topology,
 )
-from repro.utils.rng import RandomState, derive_seed
+from repro.utils.rng import RandomState, derive_seed, new_rng
 from repro.workloads.generator import RequestGenerator, WorkloadConfig
 
 
@@ -85,6 +85,17 @@ class Scenario:
         return replace(
             self,
             workload_config=replace(self.workload_config, sla_scale=sla_scale),
+        )
+
+    def with_workload_seed(self, seed: RandomState) -> "Scenario":
+        """A copy of the scenario whose request stream uses ``seed``.
+
+        The topology (and everything else) is unchanged, so copies built this
+        way make statistically independent but structurally identical lanes
+        for vectorized environments.
+        """
+        return replace(
+            self, workload_config=replace(self.workload_config, seed=seed)
         )
 
 
@@ -177,6 +188,79 @@ def hotspot_scenario(
             hotspot_nodes=hotspot_nodes,
         ),
     )
+
+
+def scenario_grid(
+    base: Optional[Scenario] = None,
+    arrival_rates: Optional[Sequence[float]] = None,
+    sla_scales: Optional[Sequence[float]] = None,
+    seed: RandomState = None,
+) -> List[Scenario]:
+    """A cartesian grid of scenarios over load points and SLA strictness.
+
+    Every grid cell shares the base scenario's topology but gets its own
+    derived workload seed, so direct consumers (``generate_requests``,
+    ``build_generator``) see independent, individually reproducible request
+    streams per cell.  The cells also form the lanes of a scenario-diverse
+    :class:`~repro.core.vecenv.VecPlacementEnv` — one batched pass evaluates
+    the whole load/SLA sweep instead of K serial runs.  (Note the vec-env
+    builder derives its *own* per-lane seeds unless constructed with
+    ``derive_lane_seeds=False``.)
+    """
+    base = base or reference_scenario()
+    rates = list(arrival_rates) if arrival_rates else [base.workload_config.arrival_rate]
+    scales = list(sla_scales) if sla_scales else [base.workload_config.sla_scale]
+    grid_seed = base.seed if seed is None else seed
+    cells: List[Scenario] = []
+    for rate in rates:
+        for scale in scales:
+            cell = base.with_arrival_rate(rate).with_sla_scale(scale)
+            cell = replace(
+                cell,
+                name=f"{base.name}@rate={rate:g},sla={scale:g}",
+                seed=grid_seed,
+            )
+            cells.append(
+                cell.with_workload_seed(derive_seed(grid_seed, "grid", rate, scale))
+            )
+    return cells
+
+
+def sample_scenarios(
+    count: int,
+    base: Optional[Scenario] = None,
+    arrival_rate_range: Sequence[float] = (0.3, 1.2),
+    sla_scale_range: Sequence[float] = (0.75, 1.5),
+    arrival_kinds: Sequence[str] = ("poisson",),
+    seed: RandomState = 0,
+) -> List[Scenario]:
+    """Sample ``count`` random variations of a base scenario.
+
+    Arrival rate and SLA scale are drawn uniformly from the given ranges and
+    the arrival kind uniformly from ``arrival_kinds``; each sample gets a
+    derived workload seed.  This is the stochastic counterpart of
+    :func:`scenario_grid` for training over diverse load conditions.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    base = base or reference_scenario()
+    rng = new_rng(derive_seed(seed, "scenario_sampler"))
+    samples: List[Scenario] = []
+    for index in range(count):
+        rate = float(rng.uniform(*arrival_rate_range))
+        scale = float(rng.uniform(*sla_scale_range))
+        kind = str(arrival_kinds[int(rng.integers(len(arrival_kinds)))])
+        sample = base.with_arrival_rate(rate).with_sla_scale(scale)
+        sample = replace(
+            sample,
+            name=f"{base.name}#sample{index}",
+            arrival_kind=kind,
+            seed=derive_seed(seed, "sampled_scenario", index),
+        )
+        samples.append(
+            sample.with_workload_seed(derive_seed(seed, "sampled_workload", index))
+        )
+    return samples
 
 
 def diurnal_scenario(

@@ -49,6 +49,30 @@ class TestTrainer:
         assert len(smoothed) == 4
         assert smoothed[0] == pytest.approx(history.episode_rewards[0])
 
+    def test_moving_average_empty_history(self):
+        from repro.core.training import TrainingHistory
+
+        assert TrainingHistory().moving_average_reward(window=5) == []
+
+    def test_moving_average_window_one_is_identity(self):
+        from repro.core.training import TrainingHistory
+
+        history = TrainingHistory(episode_rewards=[1.0, -2.0, 4.0])
+        smoothed = history.moving_average_reward(window=1)
+        assert smoothed == pytest.approx([1.0, -2.0, 4.0])
+
+    def test_moving_average_window_larger_than_history(self):
+        from repro.core.training import TrainingHistory
+
+        rewards = [2.0, 4.0, 6.0]
+        history = TrainingHistory(episode_rewards=rewards)
+        smoothed = history.moving_average_reward(window=100)
+        # Every prefix mean, length preserved, last entry = global mean.
+        assert len(smoothed) == 3
+        assert smoothed[0] == pytest.approx(2.0)
+        assert smoothed[1] == pytest.approx(3.0)
+        assert smoothed[2] == pytest.approx(4.0)
+
     def test_evaluation_result_fields(self):
         manager = small_manager(num_episodes=2)
         manager.train()
@@ -103,6 +127,36 @@ class TestManager:
         assert summary["agent"] == "dqn"
         assert summary["state_dim"] == manager.env.state_dim
         assert summary["trained"] is False
+
+    def test_manager_with_vectorized_training_lanes(self):
+        from repro.core.training import VecTrainer
+
+        scenario = reference_scenario(
+            arrival_rate=0.6, num_edge_nodes=6, horizon=80.0, seed=2
+        )
+        config = ManagerConfig(
+            training=TrainingConfig(
+                num_episodes=4, evaluation_interval=2, evaluation_episodes=1
+            ),
+            env=EnvConfig(requests_per_episode=6),
+            dqn=DQNConfig(
+                hidden_layers=(16, 16), min_replay_size=16, batch_size=16,
+                epsilon_decay_steps=300,
+            ),
+            training_lanes=3,
+        )
+        manager = VNFManager(scenario, config=config, seed=0)
+        assert isinstance(manager.trainer, VecTrainer)
+        assert not isinstance(manager.trainer, Trainer)
+        assert manager.trainer.num_lanes == 3
+        history = manager.train()
+        assert manager.is_trained
+        assert len(history.episode_rewards) == 4
+        assert history.evaluation_episodes_at == [2, 4]
+
+    def test_manager_rejects_nonpositive_lanes(self):
+        with pytest.raises(ValueError):
+            ManagerConfig(training_lanes=0)
 
 
 class TestDRLPlacementPolicy:
