@@ -4,7 +4,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: check test bench-hotpath bench-envstep bench-vecenv bench-smoke bench clean-cache
+.PHONY: check test bench-hotpath bench-envstep bench-vecenv bench-policyeval bench-smoke bench clean-cache
 
 ## check: tier-1 tests + one tiny end-to-end figure run (< 1 minute)
 check:
@@ -26,10 +26,15 @@ bench-envstep:
 bench-vecenv:
 	PYTHONPATH=src:. python benchmarks/bench_vecenv.py
 
+## bench-policyeval: microbenchmark of batched vs serial baseline evaluation
+bench-policyeval:
+	PYTHONPATH=src:. python benchmarks/bench_policyeval.py
+
 ## bench-smoke: fast perf regression guards (used by scripts/check.sh)
 bench-smoke:
 	PYTHONPATH=src:. python benchmarks/bench_envstep.py --smoke
 	PYTHONPATH=src:. python benchmarks/bench_vecenv.py --smoke
+	PYTHONPATH=src:. python benchmarks/bench_policyeval.py --smoke
 
 ## bench: the full figure/table benchmark suite (fast preset)
 bench:

@@ -20,6 +20,12 @@ PYTHONPATH="src:.${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_envstep.py
 echo "==> vec-env training-loop perf smoke (K=16 lanes vs serial trainer)"
 PYTHONPATH="src:.${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_vecenv.py --smoke
 
+echo "==> batched policy-eval perf smoke (vectorized baselines vs per-request reference)"
+PYTHONPATH="src:.${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_policyeval.py --smoke
+
+echo "==> committed benchmark-result schema gate"
+python scripts/check_results_schema.py
+
 echo "==> end-to-end smoke figure (training convergence, smoke preset)"
 REPRO_NO_CACHE=1 python - <<'EOF'
 from repro.experiments.config import ExperimentConfig

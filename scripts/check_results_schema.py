@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Schema gate for the committed benchmark result JSONs.
+
+Every file under ``benchmarks/results/*.json`` is a committed artifact that
+downstream plotting consumes; a benchmark change that silently drops a
+required key would only surface when someone tries to plot.  This script
+fails CI when any committed payload is stale-schema (missing required keys).
+
+Usage::
+
+    python scripts/check_results_schema.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+
+#: Required top-level keys per engineering-benchmark payload.
+ENGINEERING_SCHEMAS = {
+    "hotpath.json": {"dqn_update", "replay_sampling"},
+    "envstep.json": {"config", "env_step", "latency_lookups"},
+    "vecenv.json": {"config", "env_steps", "training_loop", "speedups"},
+    "policyeval.json": {
+        "config",
+        "decision_throughput",
+        "aggregate_decision_speedup",
+        "sweep_eval",
+    },
+}
+
+#: Required keys of every figure payload (``fig*.json`` / ``ablation*.json``).
+FIGURE_KEYS = {"figure", "x_label", "y_label", "x", "series"}
+
+#: Required keys of every table payload (``table*.json``).
+TABLE_KEYS = {"table"}
+
+
+def check_file(path: Path) -> list:
+    """Return a list of problems found in one payload (empty when clean)."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path.name}: unreadable ({exc})"]
+    if path.name in ENGINEERING_SCHEMAS:
+        required = ENGINEERING_SCHEMAS[path.name]
+    elif path.name.startswith(("fig", "ablation")):
+        required = FIGURE_KEYS
+    elif path.name.startswith("table"):
+        required = TABLE_KEYS
+    else:
+        return []  # unknown artifacts are not gated
+    missing = sorted(required - set(payload))
+    if missing:
+        return [f"{path.name}: missing required keys {missing}"]
+    return []
+
+
+def main() -> int:
+    if not RESULTS_DIR.is_dir():
+        print(f"results directory missing: {RESULTS_DIR}", file=sys.stderr)
+        return 1
+    problems = []
+    checked = 0
+    for path in sorted(RESULTS_DIR.glob("*.json")):
+        checked += 1
+        problems.extend(check_file(path))
+    if problems:
+        for problem in problems:
+            print(f"STALE SCHEMA: {problem}", file=sys.stderr)
+        return 1
+    print(f"results schema OK ({checked} payloads checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,7 @@
 """Non-learning placement baselines used in every comparison figure."""
 
 from repro.baselines.common import (
+    AssignmentPolicy,
     build_if_feasible,
     hosting_candidates,
     latency_of_partial,
@@ -35,6 +36,7 @@ def standard_baselines(seed=None):
 
 
 __all__ = [
+    "AssignmentPolicy",
     "build_if_feasible",
     "hosting_candidates",
     "latency_of_partial",

@@ -1,11 +1,28 @@
-"""Shared helpers for the heuristic placement baselines."""
+"""Shared helpers for the heuristic placement baselines.
+
+Besides the per-request helpers (`build_if_feasible`, `hosting_candidates`,
+`latency_of_partial`) this module provides the building blocks of the batched
+policy protocol:
+
+* :class:`AssignmentPolicy` — base class for heuristics that decide a node
+  assignment per request (``plan_assignment`` is primary, ``place`` derived),
+* :func:`lane_masks` / :func:`masked_score_actions` / :func:`first_valid_actions`
+  — array kernels that turn per-lane score rows plus ``(K, A)`` validity
+  masks into one action per vectorized-environment lane, matching the
+  per-request reference decisions bitwise (first-minimum tie-breaking in
+  ledger node order, exactly like ``min()`` over ``hosting_candidates``).
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from abc import abstractmethod
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.nfv.placement import Placement
 from repro.nfv.sfc import SFCRequest
+from repro.sim.simulation import PlacementPolicy
 from repro.substrate.network import NoRouteError, SubstrateNetwork
 
 
@@ -41,11 +58,92 @@ def latency_of_partial(
     assignment: Sequence[int],
     network: SubstrateNetwork,
 ) -> float:
-    """Propagation + processing latency of a (possibly partial) assignment."""
+    """End-to-end latency of a (possibly partial) assignment.
+
+    Charges propagation plus processing along the placed prefix, and — once
+    the assignment covers the whole chain — the egress segment to the
+    request's destination node, matching
+    :meth:`~repro.nfv.placement.Placement.end_to_end_latency_ms` exactly on
+    complete assignments.  (Omitting the egress term underestimates full
+    chains with an explicit destination, which lets pruning heuristics
+    over-admit requests that the placement-level SLA check then rejects.)
+    """
     total = 0.0
     anchor = request.source_node_id
     for index, node_id in enumerate(assignment):
         total += network.latency_between(anchor, node_id)
         total += request.chain.vnf_at(index).processing_delay_ms
         anchor = node_id
+    if (
+        len(assignment) == request.num_vnfs
+        and request.destination_node_id is not None
+    ):
+        total += network.latency_between(anchor, request.destination_node_id)
     return total
+
+
+class AssignmentPolicy(PlacementPolicy):
+    """Base for heuristics whose primary decision is a node assignment.
+
+    Subclasses implement :meth:`plan_assignment`; :meth:`place` is derived by
+    routing and feasibility-checking the planned assignment.  This inverts
+    the default :class:`~repro.sim.simulation.PlacementPolicy` orientation so
+    the batched protocol's reference backend never builds placements it does
+    not need.
+    """
+
+    @abstractmethod
+    def plan_assignment(
+        self, request: SFCRequest, network: SubstrateNetwork
+    ) -> Optional[Tuple[int, ...]]:
+        """The node assignment this policy chooses, or ``None`` to reject."""
+
+    def place(
+        self, request: SFCRequest, network: SubstrateNetwork
+    ) -> Optional[Placement]:
+        assignment = self.plan_assignment(request, network)
+        if assignment is None:
+            return None
+        return build_if_feasible(request, assignment, network)
+
+
+def lane_masks(lanes: Sequence, masks: Optional[np.ndarray]) -> np.ndarray:
+    """The ``(K, A)`` validity masks for ``lanes``, computing them if absent."""
+    if masks is not None:
+        return np.atleast_2d(np.asarray(masks, dtype=bool))
+    return np.stack([env.valid_action_mask() for env in lanes])
+
+
+def masked_score_actions(
+    masks: np.ndarray, scores: np.ndarray, active: np.ndarray
+) -> np.ndarray:
+    """Lowest-score valid node action per lane (reject when none is valid).
+
+    ``scores`` is ``(K, num_nodes)`` in action order; ``active`` flags lanes
+    with a request in flight.  Ties — including rows whose valid scores are
+    all infinite — resolve to the lowest action index, the same
+    first-minimum rule as ``min()`` over an ordered candidate list.
+    """
+    reject = masks.shape[1] - 1
+    node_valid = masks[:, :reject] & active[:, None]
+    masked = np.where(node_valid, scores, np.inf)
+    best = masked.argmin(axis=1)
+    rows = np.arange(masks.shape[0])
+    first_valid = node_valid.argmax(axis=1)
+    choice = np.where(np.isfinite(masked[rows, best]), best, first_valid)
+    return np.where(node_valid.any(axis=1), choice, reject).astype(int)
+
+
+def first_valid_actions(masks: np.ndarray, active: np.ndarray) -> np.ndarray:
+    """First (lowest-index) valid node action per lane, reject when none."""
+    reject = masks.shape[1] - 1
+    node_valid = masks[:, :reject] & active[:, None]
+    first = node_valid.argmax(axis=1)
+    return np.where(node_valid.any(axis=1), first, reject).astype(int)
+
+
+def lane_requests(lanes: Sequence) -> Tuple[List, np.ndarray]:
+    """Per-lane current requests and the boolean active-lane vector."""
+    requests = [env.current_request for env in lanes]
+    active = np.array([request is not None for request in requests], dtype=bool)
+    return requests, active

@@ -9,27 +9,39 @@ Two standard greedy rules appear in virtually every VNF-placement evaluation:
 
 Both are strong at one end of the latency/utilization trade-off and weak at
 the other, which is exactly the gap the learned policy closes.
+
+Each policy implements both halves of the batched protocol: the per-request
+``plan_assignment`` reference path, and a vectorized ``select_actions`` that
+scores every substrate node of every lane in one ``(K, N)`` array expression
+and takes a masked argmin — decision-for-decision identical to the per-lane
+reference (the equivalence suite asserts it bitwise).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
-from repro.baselines.common import build_if_feasible, hosting_candidates
-from repro.nfv.placement import Placement
+import numpy as np
+
+from repro.baselines.common import (
+    AssignmentPolicy,
+    hosting_candidates,
+    lane_masks,
+    lane_requests,
+    masked_score_actions,
+)
 from repro.nfv.sfc import SFCRequest
-from repro.sim.simulation import PlacementPolicy
 from repro.substrate.network import SubstrateNetwork
 
 
-class GreedyNearestPolicy(PlacementPolicy):
+class GreedyNearestPolicy(AssignmentPolicy):
     """Latency-greedy: pick the closest feasible node for every VNF."""
 
     name = "greedy_nearest"
 
-    def place(
+    def plan_assignment(
         self, request: SFCRequest, network: SubstrateNetwork
-    ) -> Optional[Placement]:
+    ) -> Optional[Tuple[int, ...]]:
         assignment = []
         anchor = request.source_node_id
         for vnf_index in range(request.num_vnfs):
@@ -42,17 +54,31 @@ class GreedyNearestPolicy(PlacementPolicy):
             )
             assignment.append(best)
             anchor = best
-        return build_if_feasible(request, assignment, network)
+        return tuple(assignment)
+
+    def select_actions(self, states=None, masks=None, greedy: bool = True) -> np.ndarray:
+        """Masked argmin over each lane's anchor latency row."""
+        lanes = self.bound_lanes
+        masks = lane_masks(lanes, masks)
+        context = self.bound_context
+        if context is not None:
+            return masked_score_actions(masks, context.latency, context.active)
+        requests, active = lane_requests(lanes)
+        scores = np.full((len(lanes), masks.shape[1] - 1), np.inf)
+        for lane, env in enumerate(lanes):
+            if active[lane]:
+                scores[lane] = env.network.latency_row(env.anchor_node_id)
+        return masked_score_actions(masks, scores, active)
 
 
-class GreedyLeastLoadedPolicy(PlacementPolicy):
+class GreedyLeastLoadedPolicy(AssignmentPolicy):
     """Load-greedy: pick the feasible node with the lowest utilization."""
 
     name = "greedy_least_loaded"
 
-    def place(
+    def plan_assignment(
         self, request: SFCRequest, network: SubstrateNetwork
-    ) -> Optional[Placement]:
+    ) -> Optional[Tuple[int, ...]]:
         assignment = []
         for vnf_index in range(request.num_vnfs):
             candidates = hosting_candidates(request, vnf_index, network)
@@ -63,17 +89,33 @@ class GreedyLeastLoadedPolicy(PlacementPolicy):
                 key=lambda node_id: network.node(node_id).max_utilization(),
             )
             assignment.append(best)
-        return build_if_feasible(request, assignment, network)
+        return tuple(assignment)
+
+    def select_actions(self, states=None, masks=None, greedy: bool = True) -> np.ndarray:
+        """Masked argmin over each lane's bottleneck-utilization column."""
+        lanes = self.bound_lanes
+        masks = lane_masks(lanes, masks)
+        context = self.bound_context
+        if context is not None:
+            # Same expression as ledger.max_utilization, stacked over lanes.
+            utilization = (context.used / context.capacity_safe).max(axis=2)
+            return masked_score_actions(masks, utilization, context.active)
+        requests, active = lane_requests(lanes)
+        scores = np.full((len(lanes), masks.shape[1] - 1), np.inf)
+        for lane, env in enumerate(lanes):
+            if active[lane]:
+                scores[lane] = env.network.ledger.max_utilization()
+        return masked_score_actions(masks, scores, active)
 
 
-class GreedyCheapestPolicy(PlacementPolicy):
+class GreedyCheapestPolicy(AssignmentPolicy):
     """Cost-greedy: pick the feasible node with the lowest hosting cost."""
 
     name = "greedy_cheapest"
 
-    def place(
+    def plan_assignment(
         self, request: SFCRequest, network: SubstrateNetwork
-    ) -> Optional[Placement]:
+    ) -> Optional[Tuple[int, ...]]:
         assignment = []
         for vnf_index in range(request.num_vnfs):
             candidates = hosting_candidates(request, vnf_index, network)
@@ -88,4 +130,31 @@ class GreedyCheapestPolicy(PlacementPolicy):
                 ),
             )
             assignment.append(best)
-        return build_if_feasible(request, assignment, network)
+        return tuple(assignment)
+
+    def select_actions(self, states=None, masks=None, greedy: bool = True) -> np.ndarray:
+        """Masked argmin over each lane's per-node hosting cost."""
+        lanes = self.bound_lanes
+        masks = lane_masks(lanes, masks)
+        context = self.bound_context
+        if context is not None:
+            # Same expression as ComputeNode.hosting_cost: demand . cost * t.
+            scores = (context.cost_per_unit * context.demands[:, None, :]).sum(
+                axis=2
+            ) * context.holding[:, None]
+            return masked_score_actions(masks, scores, context.active)
+        requests, active = lane_requests(lanes)
+        scores = np.full((len(lanes), masks.shape[1] - 1), np.inf)
+        for lane, env in enumerate(lanes):
+            request = requests[lane]
+            if request is None:
+                continue
+            demand = request.chain.vnf_at(env.vnf_index).demand_array_for(
+                request.bandwidth_mbps
+            )
+            ledger = env.network.ledger
+            # Same expression as ComputeNode.hosting_cost: demand . cost * t.
+            scores[lane] = (ledger.node_cost_per_unit * demand).sum(axis=1) * (
+                request.holding_time
+            )
+        return masked_score_actions(masks, scores, active)

@@ -12,12 +12,15 @@ a configurable budget rather than silently stalling a benchmark.
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
-from repro.baselines.common import build_if_feasible, hosting_candidates
+from repro.baselines.common import (
+    AssignmentPolicy,
+    build_if_feasible,
+    hosting_candidates,
+)
 from repro.nfv.placement import Placement
 from repro.nfv.sfc import SFCRequest
-from repro.sim.simulation import PlacementPolicy
 from repro.substrate.network import SubstrateNetwork
 from repro.utils.validation import check_non_negative, check_positive
 
@@ -26,7 +29,7 @@ class SearchSpaceTooLargeError(RuntimeError):
     """Raised when exhaustive enumeration would exceed the configured budget."""
 
 
-class BruteForceOptimalPolicy(PlacementPolicy):
+class BruteForceOptimalPolicy(AssignmentPolicy):
     """Exhaustive per-request optimum under a latency+cost objective.
 
     Parameters
@@ -62,9 +65,9 @@ class BruteForceOptimalPolicy(PlacementPolicy):
             value += self.cost_weight * placement.total_cost(network)
         return value
 
-    def place(
+    def plan_assignment(
         self, request: SFCRequest, network: SubstrateNetwork
-    ) -> Optional[Placement]:
+    ) -> Optional[Tuple[int, ...]]:
         candidate_sets: List[List[int]] = []
         space = 1
         for vnf_index in range(request.num_vnfs):
@@ -82,7 +85,7 @@ class BruteForceOptimalPolicy(PlacementPolicy):
                 f"budget of {self.max_assignments}"
             )
 
-        best_placement: Optional[Placement] = None
+        best_assignment: Optional[Tuple[int, ...]] = None
         best_value = float("inf")
         for assignment in itertools.product(*candidate_sets):
             placement = build_if_feasible(request, assignment, network)
@@ -91,5 +94,5 @@ class BruteForceOptimalPolicy(PlacementPolicy):
             value = self._objective(placement, network)
             if value < best_value:
                 best_value = value
-                best_placement = placement
-        return best_placement
+                best_assignment = tuple(assignment)
+        return best_assignment

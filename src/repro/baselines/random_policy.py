@@ -2,22 +2,32 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
-from repro.baselines.common import build_if_feasible, hosting_candidates
-from repro.nfv.placement import Placement
+from repro.baselines.common import (
+    AssignmentPolicy,
+    build_if_feasible,
+    hosting_candidates,
+)
 from repro.nfv.sfc import SFCRequest
-from repro.sim.simulation import PlacementPolicy
 from repro.substrate.network import SubstrateNetwork
-from repro.utils.rng import RandomState, new_rng
+from repro.utils.rng import RandomState, derive_seed, new_rng
 
 
-class RandomPlacementPolicy(PlacementPolicy):
+class RandomPlacementPolicy(AssignmentPolicy):
     """Place each VNF on a uniformly random node that can host it.
 
     The policy retries a few complete assignments before giving up, which
     keeps its acceptance at low load from being pathologically bad while
     still ignoring latency and cost entirely.
+
+    Randomness is derived *per request* from the policy seed and the
+    request's intrinsic attributes, so the decision for a given request
+    depends only on the seed and the substrate state — not on how many other
+    requests the policy instance has seen.
+    This makes one policy instance shared across K vectorized lanes bitwise
+    identical to per-lane serial evaluation (and re-runs reproducible),
+    which the batched-protocol equivalence suite relies on.
     """
 
     name = "random"
@@ -26,11 +36,34 @@ class RandomPlacementPolicy(PlacementPolicy):
         if max_attempts <= 0:
             raise ValueError("max_attempts must be positive")
         self.max_attempts = max_attempts
-        self._rng = new_rng(seed)
+        # Resolve an unseeded policy to a concrete root seed once, so the
+        # per-request derivation below stays self-consistent for the
+        # instance's lifetime (batched and reference paths must agree).
+        self.seed = (
+            seed if seed is not None else int(new_rng(None).integers(0, 2**31 - 1))
+        )
 
-    def place(
+    def _request_rng(self, request: SFCRequest):
+        # Derive from intrinsic request attributes rather than the global
+        # request id: ids depend on how many requests any generator created
+        # before, while the attribute tuple is identical for one logical
+        # request however its workload is (re)constructed.
+        return new_rng(
+            derive_seed(
+                self.seed,
+                "request",
+                request.arrival_time,
+                request.source_node_id,
+                request.bandwidth_mbps,
+                request.holding_time,
+                request.num_vnfs,
+            )
+        )
+
+    def plan_assignment(
         self, request: SFCRequest, network: SubstrateNetwork
-    ) -> Optional[Placement]:
+    ) -> Optional[Tuple[int, ...]]:
+        rng = self._request_rng(request)
         for _ in range(self.max_attempts):
             assignment = []
             feasible = True
@@ -39,10 +72,9 @@ class RandomPlacementPolicy(PlacementPolicy):
                 if not candidates:
                     feasible = False
                     break
-                assignment.append(int(self._rng.choice(candidates)))
+                assignment.append(int(rng.choice(candidates)))
             if not feasible:
                 return None
-            placement = build_if_feasible(request, assignment, network)
-            if placement is not None:
-                return placement
+            if build_if_feasible(request, assignment, network) is not None:
+                return tuple(assignment)
         return None

@@ -11,19 +11,17 @@ ones, which is precisely what the DRL policy learns to do).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.baselines.common import build_if_feasible, hosting_candidates
-from repro.nfv.placement import Placement
+from repro.baselines.common import AssignmentPolicy, hosting_candidates
 from repro.nfv.sfc import SFCRequest
-from repro.sim.simulation import PlacementPolicy
 from repro.substrate.network import SubstrateNetwork
 from repro.utils.validation import check_non_negative
 
 
-class ViterbiPlacementPolicy(PlacementPolicy):
+class ViterbiPlacementPolicy(AssignmentPolicy):
     """Per-request optimal chain embedding by dynamic programming.
 
     The per-transition weight is ``latency(u → v) + processing_delay`` plus
@@ -62,9 +60,9 @@ class ViterbiPlacementPolicy(PlacementPolicy):
             + self.load_weight * node.max_utilization() * request.sla.max_latency_ms
         )
 
-    def place(
+    def plan_assignment(
         self, request: SFCRequest, network: SubstrateNetwork
-    ) -> Optional[Placement]:
+    ) -> Optional[Tuple[int, ...]]:
         candidate_sets: List[List[int]] = []
         for vnf_index in range(request.num_vnfs):
             candidates = hosting_candidates(request, vnf_index, network)
@@ -106,7 +104,6 @@ class ViterbiPlacementPolicy(PlacementPolicy):
         for pointer in reversed(backpointers):
             assignment_indices.append(int(pointer[assignment_indices[-1]]))
         assignment_indices.reverse()
-        assignment = [
+        return tuple(
             candidate_sets[k][idx] for k, idx in enumerate(assignment_indices)
-        ]
-        return build_if_feasible(request, assignment, network)
+        )

@@ -23,8 +23,8 @@ The environment follows the Gym calling convention
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -34,7 +34,9 @@ from repro.core.state import EncoderConfig, StateEncoder
 from repro.nfv.catalog import VNFCatalog, default_catalog
 from repro.nfv.placement import Placement, PlacementError
 from repro.nfv.sfc import SFCRequest
+from repro.sim.failures import FailureConfig, FailureEvent, FailureInjector
 from repro.substrate.network import NoRouteError, SubstrateNetwork
+from repro.utils.rng import derive_seed
 from repro.utils.validation import check_positive
 from repro.workloads.generator import RequestGenerator
 
@@ -61,6 +63,8 @@ class EpisodeStats:
     total_reward: float = 0.0
     total_latency_ms: float = 0.0
     total_cost: float = 0.0
+    #: Accepted placements torn down by an injected node failure.
+    disrupted: int = 0
 
     @property
     def acceptance_ratio(self) -> float:
@@ -83,11 +87,24 @@ class EpisodeStats:
             "acceptance_ratio": self.acceptance_ratio,
             "mean_latency_ms": self.mean_latency_ms,
             "total_cost": self.total_cost,
+            "disrupted": self.disrupted,
         }
 
 
 class VNFPlacementEnv:
-    """Sequential per-VNF placement environment over a stream of requests."""
+    """Sequential per-VNF placement environment over a stream of requests.
+
+    With a ``failure_config`` the environment injects node failures into the
+    episode: a reproducible :class:`~repro.sim.failures.FailureInjector`
+    schedule is drawn per episode, failure/recovery events are applied as
+    simulated time advances between requests (failed nodes are *fenced* — any
+    remaining capacity is reserved under a failure handle — and active
+    placements hosting a VNF there are torn down and counted as
+    ``disrupted``), and failed nodes are masked out of
+    :meth:`valid_action_mask` until they recover.
+    """
+
+    _FENCE_PREFIX = "fence:env:"
 
     def __init__(
         self,
@@ -97,6 +114,7 @@ class VNFPlacementEnv:
         reward_config: Optional[RewardConfig] = None,
         encoder_config: Optional[EncoderConfig] = None,
         config: Optional[EnvConfig] = None,
+        failure_config: Optional[FailureConfig] = None,
     ) -> None:
         self.network = network
         self.generator = generator
@@ -105,6 +123,7 @@ class VNFPlacementEnv:
         self.encoder = StateEncoder(network, self.catalog, encoder_config)
         self.actions = ActionSpace(network, node_order=self.encoder.node_order)
         self.rewards = RewardCalculator(reward_config)
+        self.failure_config = failure_config
 
         self._requests: List[SFCRequest] = []
         self._request_index = 0
@@ -119,6 +138,16 @@ class VNFPlacementEnv:
         self._active_counter = 0
         self._episode_done = True
         self.stats = EpisodeStats()
+        self._node_action = {
+            node_id: index for index, node_id in enumerate(self.actions.node_order)
+        }
+        self._failure_schedule: List[FailureEvent] = []
+        self._failure_cursor = 0
+        self._failed_nodes: Set[int] = set()
+        self._episode_counter = 0
+        zero_state = np.zeros(self.encoder.state_dim, dtype=float)
+        zero_state.setflags(write=False)
+        self._zero_state = zero_state
 
     # ------------------------------------------------------------------ #
     # Gym-style dimensions
@@ -138,34 +167,139 @@ class VNFPlacementEnv:
         """The request currently being placed (None between episodes)."""
         return self._current_request
 
+    @property
+    def vnf_index(self) -> int:
+        """Chain position of the VNF being placed next (0-based)."""
+        return self._vnf_index
+
+    @property
+    def partial_assignment(self) -> List[int]:
+        """Nodes already chosen for the current request, in chain order."""
+        return list(self._partial_assignment)
+
+    @property
+    def partial_latency_ms(self) -> float:
+        """Accumulated latency of the current request's placed prefix."""
+        return self._partial_latency
+
+    @property
+    def anchor_node_id(self) -> int:
+        """The node traffic currently sits at (last placed VNF or ingress).
+
+        Raises when no request is in flight.
+        """
+        if self._current_request is None:
+            raise RuntimeError("no request in flight; the episode is finished")
+        return self.encoder.anchor_node(self._current_request, self._partial_assignment)
+
+    @property
+    def failed_nodes(self) -> List[int]:
+        """Node ids currently fenced by an injected failure."""
+        return sorted(self._failed_nodes)
+
     # ------------------------------------------------------------------ #
     # Episode lifecycle
     # ------------------------------------------------------------------ #
-    def reset(self) -> np.ndarray:
-        """Start a new episode with a fresh request batch and empty substrate."""
+    def reset(self, observe: bool = True) -> np.ndarray:
+        """Start a new episode with a fresh request batch and empty substrate.
+
+        ``observe=False`` skips encoding the initial observation (fast path
+        for live-substrate policies).
+        """
         self.network.reset()
         self._active.clear()
+        self._failed_nodes.clear()
+        self._failure_cursor = 0
         self._requests = self.generator.generate_batch(self.config.requests_per_episode)
+        self._failure_schedule = self._draw_failure_schedule()
+        self._episode_counter += 1
         self._request_index = 0
         self.stats = EpisodeStats()
         self._episode_done = False
         self._begin_next_request()
-        return self._observe()
+        return self._observe() if observe else self._zero_state
+
+    def _draw_failure_schedule(self) -> List[FailureEvent]:
+        """The episode's failure/recovery events (empty without fault injection).
+
+        Each episode draws its own schedule from a seed derived from
+        ``(failure seed, episode index)``, so episodes see independent but
+        individually reproducible failure patterns.
+        """
+        if self.failure_config is None or not self._requests:
+            return []
+        horizon = self._requests[-1].arrival_time
+        if horizon <= 0:
+            return []
+        episode_config = replace(
+            self.failure_config,
+            seed=derive_seed(
+                self.failure_config.seed, "env_failures", self._episode_counter
+            ),
+        )
+        return FailureInjector(episode_config).schedule(self.network, horizon)
 
     def _begin_next_request(self) -> None:
-        """Advance to the next request, releasing departed placements first."""
+        """Advance to the next request, applying departures and failures first."""
         if self._request_index >= len(self._requests):
             self._current_request = None
             self._episode_done = True
             return
         request = self._requests[self._request_index]
         self._request_index += 1
-        self._release_departed(request.arrival_time)
+        self._advance_time(request.arrival_time)
         self._current_request = request
         self._vnf_index = 0
         self._partial_assignment = []
         self._partial_latency = 0.0
         self.stats.requests_seen += 1
+
+    def _advance_time(self, now: float) -> None:
+        """Apply departures and scheduled failure events up to ``now``.
+
+        Departures and failure/recovery events interleave chronologically:
+        a placement departing before a node fails frees its capacity before
+        the fence is sized, exactly as in the discrete-event simulator.
+        """
+        schedule = self._failure_schedule
+        while (
+            self._failure_cursor < len(schedule)
+            and schedule[self._failure_cursor].time <= now
+        ):
+            event = schedule[self._failure_cursor]
+            self._failure_cursor += 1
+            self._release_departed(event.time)
+            if event.is_failure:
+                self._fail_node(event.node_id)
+            else:
+                self._recover_node(event.node_id)
+        self._release_departed(now)
+
+    def _fence_handle(self, node_id: int) -> str:
+        return f"{self._FENCE_PREFIX}{node_id}"
+
+    def _fail_node(self, node_id: int) -> None:
+        """Fence ``node_id`` and tear down every active placement on it."""
+        if node_id in self._failed_nodes:
+            return
+        self._failed_nodes.add(node_id)
+        for _, _, placement in self._active:
+            if placement.is_committed and node_id in placement.node_assignment:
+                placement.release(self.network)
+                self.stats.disrupted += 1
+        node = self.network.node(node_id)
+        remaining = node.available
+        if not remaining.is_zero():
+            node.allocate(self._fence_handle(node_id), remaining)
+
+    def _recover_node(self, node_id: int) -> None:
+        """Lift the fence of a recovered node."""
+        if node_id not in self._failed_nodes:
+            return
+        self._failed_nodes.discard(node_id)
+        node = self.network.node(node_id)
+        if node.holds(self._fence_handle(node_id)):
+            node.release(self._fence_handle(node_id))
 
     def _release_departed(self, now: float) -> None:
         while self._active and self._active[0][0] <= now:
@@ -191,28 +325,43 @@ class VNFPlacementEnv:
         )
 
     def valid_action_mask(self) -> np.ndarray:
-        """Boolean mask of currently valid actions (reject always valid)."""
+        """Boolean mask of currently valid actions (reject always valid).
+
+        Nodes fenced by an injected failure are masked out explicitly: the
+        fence already consumes their capacity, but folding failure state into
+        the mask keeps them unplaceable even if capacity accounting and
+        failure state ever disagree.
+        """
         if self._current_request is None:
             mask = np.zeros(self.num_actions, dtype=bool)
             mask[self.actions.reject_action] = True
             return mask
-        return self.actions.valid_mask(
+        mask = self.actions.valid_mask(
             self._current_request,
             self._vnf_index,
             self._partial_assignment,
             self._partial_latency,
             latency_check=self.config.latency_mask_check,
         )
+        for node_id in self._failed_nodes:
+            mask[self._node_action[node_id]] = False
+        return mask
 
     # ------------------------------------------------------------------ #
     # Stepping
     # ------------------------------------------------------------------ #
-    def step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict[str, object]]:
+    def step(
+        self, action: int, observe: bool = True
+    ) -> Tuple[np.ndarray, float, bool, Dict[str, object]]:
         """Apply one placement decision.
 
         Returns ``(next_state, reward, done, info)`` where ``done`` marks the
         end of the *episode* (all requests processed); ``info["request_done"]``
-        marks the end of the current request's decision sequence.
+        marks the end of the current request's decision sequence.  With
+        ``observe=False`` the (relatively expensive) next-state encoding is
+        skipped and a read-only zero vector is returned instead — the fast
+        path for policies that decide from the live substrate rather than
+        the encoded observation.
         """
         if self._episode_done or self._current_request is None:
             raise RuntimeError("step() called on a finished episode; call reset()")
@@ -238,7 +387,7 @@ class VNFPlacementEnv:
 
         self.stats.total_reward += reward
         done = self._episode_done
-        next_state = self._observe()
+        next_state = self._observe() if observe else self._zero_state
         info["episode_stats"] = self.stats.as_dict() if done else None
         return next_state, reward, done, info
 

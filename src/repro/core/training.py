@@ -81,6 +81,9 @@ class EvaluationResult:
     mean_acceptance: float
     mean_latency_ms: float
     episodes: int
+    #: Mean accepted-then-disrupted placements per episode (0 without
+    #: fault injection).
+    mean_disrupted: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
         """JSON-friendly view of the evaluation result."""
@@ -89,6 +92,7 @@ class EvaluationResult:
             "mean_acceptance": self.mean_acceptance,
             "mean_latency_ms": self.mean_latency_ms,
             "episodes": self.episodes,
+            "mean_disrupted": self.mean_disrupted,
         }
 
 

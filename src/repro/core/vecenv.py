@@ -31,11 +31,86 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from dataclasses import replace as dataclass_replace
+
 from repro.core.env import EnvConfig, EpisodeStats, VNFPlacementEnv
 from repro.core.reward import RewardConfig
 from repro.core.state import EncoderConfig
+from repro.sim.failures import FailureConfig
 from repro.utils.rng import RandomState, derive_seed
 from repro.workloads.scenarios import Scenario
+
+
+class LaneDecisionContext:
+    """Batched arrays describing every lane's pending placement decision.
+
+    Built once per decision step by
+    :meth:`VecPlacementEnv.lane_decision_context` (for topology-shared dense
+    lanes) and shared between the batched mask kernel and the vectorized
+    baseline-policy kernels, so the per-lane Python gather happens once per
+    step however many consumers read it.  All arrays are read-only by
+    convention; rows of inactive lanes (no request in flight) hold neutral
+    filler values and must be masked with :attr:`active`.
+    """
+
+    __slots__ = (
+        "active",
+        "anchor_rows",
+        "demands",
+        "extras",
+        "budgets",
+        "holding",
+        "used",
+        "capacity_plus_tol",
+        "free_tol",
+        "latency",
+        "_constant_stack",
+    )
+
+    def __init__(
+        self,
+        active: np.ndarray,
+        anchor_rows: np.ndarray,
+        demands: np.ndarray,
+        extras: np.ndarray,
+        budgets: np.ndarray,
+        holding: np.ndarray,
+        used: np.ndarray,
+        capacity_plus_tol: np.ndarray,
+        latency: np.ndarray,
+        constant_stack,
+    ) -> None:
+        self.active = active
+        self.anchor_rows = anchor_rows
+        self.demands = demands
+        self.extras = extras
+        self.budgets = budgets
+        self.holding = holding
+        self.used = used
+        self.capacity_plus_tol = capacity_plus_tol
+        # Same expression as SubstrateLedger.can_host_all, stacked over lanes.
+        self.free_tol = capacity_plus_tol - used
+        self.latency = latency
+        #: Provider of cross-step-cached stacks of constant ledger matrices
+        #: (VecPlacementEnv._stacked_constant); capacities and unit costs do
+        #: not change between steps, so contexts share one stack per ledger
+        #: set instead of rebuilding it every decision step.
+        self._constant_stack = constant_stack
+
+    @property
+    def capacity(self) -> np.ndarray:
+        """Stacked ``(K, N, 3)`` node capacities (cached across steps)."""
+        return self._constant_stack("node_capacity")
+
+    @property
+    def capacity_safe(self) -> np.ndarray:
+        """Stacked zero-safe capacities for utilization ratios (cached)."""
+        return self._constant_stack("node_capacity_safe")
+
+    @property
+    def cost_per_unit(self) -> np.ndarray:
+        """Stacked ``(K, N, 3)`` per-unit node costs (cached across steps)."""
+        return self._constant_stack("node_cost_per_unit")
 
 
 def lane_workload_seed(seed: RandomState, lane_index: int, scenario_name: str) -> int:
@@ -47,12 +122,22 @@ def lane_workload_seed(seed: RandomState, lane_index: int, scenario_name: str) -
     return derive_seed(seed, "vec_lane", lane_index, scenario_name)
 
 
+def lane_failure_seed(seed: RandomState, lane_index: int, scenario_name: str) -> int:
+    """The derived failure-schedule seed of lane ``lane_index``.
+
+    Mirrors :func:`lane_workload_seed` for fault-injected lanes, so a lane's
+    failure pattern can be reproduced serially as well.
+    """
+    return derive_seed(seed, "vec_lane_failures", lane_index, scenario_name)
+
+
 def make_lane_env(
     scenario: Scenario,
     workload_seed: RandomState,
     env_config: Optional[EnvConfig] = None,
     reward_config: Optional[RewardConfig] = None,
     encoder_config: Optional[EncoderConfig] = None,
+    failure_config: Optional[FailureConfig] = None,
 ) -> VNFPlacementEnv:
     """Build one environment lane: own network copy, own request stream."""
     lane_scenario = scenario.with_workload_seed(workload_seed)
@@ -65,6 +150,7 @@ def make_lane_env(
         reward_config=reward_config,
         encoder_config=encoder_config,
         config=env_config,
+        failure_config=failure_config,
     )
 
 
@@ -104,6 +190,14 @@ class VecPlacementEnv:
         )
         #: Total episodes completed across all lanes since construction.
         self.episodes_completed = 0
+        self._mask_kernel = self._detect_mask_kernel()
+        #: Bumped whenever any lane advances; memoizes the decision context.
+        self._decision_version = 0
+        self._context: Optional[LaneDecisionContext] = None
+        self._context_version = -1
+        self._zero_demand = np.zeros(3)
+        #: attr -> ((attr, ledger ids), stacked matrix) for constant stacks.
+        self._const_stack_cache: Dict[str, Tuple[tuple, np.ndarray]] = {}
 
     # ------------------------------------------------------------------ #
     # Construction from scenarios
@@ -118,6 +212,7 @@ class VecPlacementEnv:
         reward_config: Optional[RewardConfig] = None,
         encoder_config: Optional[EncoderConfig] = None,
         auto_reset: bool = True,
+        failure_config: Optional[FailureConfig] = None,
     ) -> "VecPlacementEnv":
         """K lanes of one scenario with independent derived workload seeds."""
         if num_lanes <= 0:
@@ -129,6 +224,7 @@ class VecPlacementEnv:
             reward_config=reward_config,
             encoder_config=encoder_config,
             auto_reset=auto_reset,
+            failure_config=failure_config,
         )
 
     @classmethod
@@ -141,6 +237,7 @@ class VecPlacementEnv:
         encoder_config: Optional[EncoderConfig] = None,
         auto_reset: bool = True,
         derive_lane_seeds: bool = True,
+        failure_config: Optional[FailureConfig] = None,
     ) -> "VecPlacementEnv":
         """One lane per scenario — a scenario-diverse vectorized environment.
 
@@ -152,6 +249,10 @@ class VecPlacementEnv:
         request streams of a :func:`~repro.workloads.scenarios.scenario_grid`
         consumed elsewhere) — the scenarios must then be distinct, or lanes
         will duplicate one another's streams.
+
+        With a ``failure_config`` every lane injects node failures from its
+        own derived schedule seed (:func:`lane_failure_seed`), making the
+        batch a fault-diverse availability sweep.
         """
         envs = [
             make_lane_env(
@@ -162,6 +263,14 @@ class VecPlacementEnv:
                 env_config=env_config,
                 reward_config=reward_config,
                 encoder_config=encoder_config,
+                failure_config=(
+                    None
+                    if failure_config is None
+                    else dataclass_replace(
+                        failure_config,
+                        seed=lane_failure_seed(seed, index, scenario.name),
+                    )
+                ),
             )
             for index, scenario in enumerate(scenarios)
         ]
@@ -192,24 +301,172 @@ class VecPlacementEnv:
     # ------------------------------------------------------------------ #
     # Episode lifecycle
     # ------------------------------------------------------------------ #
-    def reset(self) -> np.ndarray:
-        """Reset every lane; returns the ``(K, state_dim)`` state batch."""
-        return np.stack([env.reset() for env in self.envs])
+    def reset(self, observe: bool = True) -> np.ndarray:
+        """Reset every lane; returns the ``(K, state_dim)`` state batch.
+
+        ``observe=False`` skips per-lane state encoding (zero batch).
+        """
+        self._decision_version += 1
+        return np.stack([env.reset(observe=observe) for env in self.envs])
 
     def reset_lane(self, lane: int) -> np.ndarray:
         """Reset a single lane; returns its fresh state vector."""
+        self._decision_version += 1
         return self.envs[lane].reset()
 
+    def _detect_mask_kernel(self) -> bool:
+        """Whether the batched mask kernel applies to this lane set.
+
+        The kernel requires every lane to route densely over the *same*
+        topology (identical node order, ledger row order and latency matrix)
+        and to share one ``latency_mask_check`` setting — the common case for
+        lanes built from one scenario family.  Anything else falls back to
+        the per-lane reference path.
+        """
+        reference = self.envs[0]
+        if reference.network.routing != "dense":
+            return False
+        ref_order = reference.encoder.node_order
+        ref_matrix = reference.network.latency_matrix
+        ref_latency_check = reference.config.latency_mask_check
+        for env in self.envs:
+            if env.network.routing != "dense":
+                return False
+            if env.config.latency_mask_check != ref_latency_check:
+                return False
+            if env.encoder.node_order != ref_order:
+                return False
+            if env.encoder.node_order != list(env.network.ledger.node_ids):
+                return False
+            if env is not reference and not np.array_equal(
+                env.network.latency_matrix, ref_matrix
+            ):
+                return False
+        return True
+
+    def lane_decision_context(self) -> Optional[LaneDecisionContext]:
+        """The batched decision context of the current step (memoized).
+
+        ``None`` when the lane set does not support the batched kernel
+        (mixed topologies or non-dense routing).  The context is rebuilt
+        lazily after every :meth:`step` / :meth:`reset` / :meth:`reset_lane`
+        and shared by the mask kernel and any bound baseline-policy kernels.
+        """
+        if not self._mask_kernel:
+            return None
+        if self._context is not None and self._context_version == self._decision_version:
+            return self._context
+        envs = self.envs
+        # Per-lane values accumulate in Python lists and convert to arrays in
+        # one shot: element-wise writes into preallocated numpy arrays cost
+        # roughly a microsecond each, which dominates a K=16 gather.
+        active = []
+        demands = []
+        extras = []
+        budgets = []
+        holding = []
+        anchor_rows = []
+        used_rows = []
+        ledgers = []
+        zero_demand = self._zero_demand
+        dense_index = envs[0].network.dense_routing.index
+        for env in envs:
+            ledger = env.network.ledger
+            ledgers.append(ledger)
+            used_rows.append(ledger.node_used)
+            request = env._current_request
+            if request is None:
+                active.append(False)
+                demands.append(zero_demand)
+                extras.append(0.0)
+                budgets.append(1.0)
+                holding.append(0.0)
+                anchor_rows.append(0)
+                continue
+            active.append(True)
+            next_vnf = request.chain.vnf_at(env._vnf_index)
+            demands.append(next_vnf.demand_array_for(request.bandwidth_mbps))
+            extras.append(next_vnf.processing_delay_ms + env._partial_latency)
+            budgets.append(request.sla.max_latency_ms)
+            holding.append(request.holding_time)
+            partial = env._partial_assignment
+            anchor_rows.append(
+                dense_index[partial[-1] if partial else request.source_node_id]
+            )
+        anchor_index = np.array(anchor_rows, dtype=np.int64)
+        num_lanes = len(envs)
+        num_nodes = len(used_rows[0])
+        context = LaneDecisionContext(
+            active=np.array(active, dtype=bool),
+            anchor_rows=anchor_index,
+            # concatenate+reshape instead of np.stack: same layout, roughly
+            # a third of the per-call overhead on small row lists.
+            demands=np.concatenate(demands).reshape(num_lanes, 3),
+            extras=np.array(extras),
+            budgets=np.array(budgets),
+            holding=np.array(holding),
+            used=np.concatenate(used_rows).reshape(num_lanes, num_nodes, 3),
+            capacity_plus_tol=self._stacked_constant("_capacity_plus_tol", ledgers),
+            latency=envs[0].network.latency_matrix[anchor_index],
+            constant_stack=self._stacked_constant,
+        )
+        self._context = context
+        self._context_version = self._decision_version
+        return context
+
+    def _stacked_constant(self, attr: str, ledgers: Optional[List] = None) -> np.ndarray:
+        """Stacked per-lane ledger matrices constant between allocations.
+
+        Capacities and unit costs change only when a lane's ledger object is
+        rebuilt (topology mutation), so each requested attribute is stacked
+        once per ledger set and shared by every decision step's context.
+        """
+        if ledgers is None:
+            ledgers = [env.network.ledger for env in self.envs]
+        key = (attr, tuple(id(ledger) for ledger in ledgers))
+        cached = self._const_stack_cache.get(attr)
+        if cached is None or cached[0] != key:
+            cached = (key, np.stack([getattr(l, attr) for l in ledgers]))
+            self._const_stack_cache[attr] = cached
+        return cached[1]
+
     def valid_action_masks(self) -> np.ndarray:
-        """Stacked ``(K, num_actions)`` boolean validity masks."""
-        return np.stack([env.valid_action_mask() for env in self.envs])
+        """Stacked ``(K, num_actions)`` boolean validity masks.
+
+        For topology-shared dense lanes the whole batch is computed by one
+        array kernel over the shared :meth:`lane_decision_context` — stacked
+        ledger columns, one latency-matrix gather and a single ``(K, N)``
+        comparison chain — bitwise identical to stacking the per-lane
+        :meth:`~repro.core.env.VNFPlacementEnv.valid_action_mask` calls (the
+        reference path, used whenever lanes differ structurally).
+        """
+        context = self.lane_decision_context()
+        if context is None:
+            return np.stack([env.valid_action_mask() for env in self.envs])
+        envs = self.envs
+        num_actions = self.num_actions
+        num_nodes = num_actions - 1
+        masks = np.zeros((len(envs), num_actions), dtype=bool)
+        masks[:, num_nodes] = True  # reject is always valid
+        valid = (context.demands[:, None, :] <= context.free_tol).all(axis=2)
+        if envs[0].config.latency_mask_check:
+            valid &= (
+                context.latency + context.extras[:, None]
+                <= context.budgets[:, None]
+            )
+        valid &= context.active[:, None]
+        for lane, env in enumerate(envs):
+            for node_id in env._failed_nodes:
+                valid[lane, env._node_action[node_id]] = False
+        masks[:, :num_nodes] = valid
+        return masks
 
     def lane_stats(self) -> List[EpisodeStats]:
         """The per-lane statistics of the episodes currently in progress."""
         return [env.stats for env in self.envs]
 
     def step(
-        self, actions: Sequence[int]
+        self, actions: Sequence[int], observe: bool = True
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[Dict[str, object]]]:
         """Apply one action per lane.
 
@@ -220,26 +477,29 @@ class VecPlacementEnv:
         its next episode, while ``infos[i]["terminal_state"]`` keeps the true
         terminal observation and ``infos[i]["episode_stats"]`` the finished
         episode's statistics.  Every info dict also carries its ``lane`` index
-        and ``lane_name``.
+        and ``lane_name``.  With ``observe=False`` next-state encoding is
+        skipped lane-by-lane and the state batch is all zeros — the fast path
+        for batched placement policies that read the live lane substrate.
         """
         actions = np.asarray(actions, dtype=int).ravel()
         if actions.shape[0] != self.num_lanes:
             raise ValueError(
                 f"got {actions.shape[0]} actions for {self.num_lanes} lanes"
             )
+        self._decision_version += 1
         states = np.empty((self.num_lanes, self.state_dim), dtype=float)
         rewards = np.empty(self.num_lanes, dtype=float)
         dones = np.empty(self.num_lanes, dtype=bool)
         infos: List[Dict[str, object]] = []
         for lane, env in enumerate(self.envs):
-            state, reward, done, info = env.step(int(actions[lane]))
+            state, reward, done, info = env.step(int(actions[lane]), observe=observe)
             info["lane"] = lane
             info["lane_name"] = self.lane_names[lane]
             if done:
                 self.episodes_completed += 1
                 info["terminal_state"] = state
                 if self.auto_reset:
-                    state = env.reset()
+                    state = env.reset(observe=observe)
             states[lane] = state
             rewards[lane] = reward
             dones[lane] = done

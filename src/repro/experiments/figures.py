@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.agents.dqn import make_dqn_variant
+from repro.baselines import standard_baselines
 from repro.core.env import VNFPlacementEnv
 from repro.core.manager import VNFManager
 from repro.core.reward import (
@@ -35,6 +36,11 @@ from repro.experiments.runner import (
 )
 from repro.utils.rng import derive_seed
 from repro.workloads.scenarios import scalability_scenario, scenario_grid
+
+
+def _env_eval_baselines(config: ExperimentConfig):
+    """The baseline panel evaluated through the vec lanes of ``env_eval``."""
+    return standard_baselines(seed=derive_seed(config.seed, "env_eval_baselines"))
 
 
 # --------------------------------------------------------------------------- #
@@ -81,12 +87,14 @@ def _load_sweep(
         for name, result in results.items():
             value = getattr(result.summary, metric)
             series.setdefault(name, []).append(float(value))
-    # The DRL policy's environment-level sweep runs as ONE scenario-diverse
-    # vectorized batch: one lane per load point, one batched agent pass.
+    # The environment-level sweep runs as ONE scenario-diverse vectorized
+    # batch per policy: one lane per load point, one batched pass for the
+    # agent and for every baseline of the comparison panel.
     env_eval = vec_sweep_env_eval(
         manager,
         scenario_grid(scenario, arrival_rates=config.arrival_rates),
         config,
+        baselines=_env_eval_baselines(config),
     )
     return {
         "x_label": "arrival rate (requests / time unit)",
@@ -142,11 +150,12 @@ def figure_acceptance_vs_edges(
     """
     config = config or ExperimentConfig.fast()
     series: Dict[str, List[float]] = {}
-    env_eval: Dict[str, List[float]] = {
+    env_eval: Dict[str, object] = {
         "lanes_per_size": [],
         "mean_reward": [],
         "acceptance_ratio": [],
         "mean_latency_ms": [],
+        "baselines": {},
     }
     for num_edges in config.edge_node_sweep:
         scenario = scalability_scenario(
@@ -163,7 +172,11 @@ def figure_acceptance_vs_edges(
         # change with the topology, so sizes cannot share one batch).
         lanes = 2
         size_eval = vec_sweep_env_eval(
-            manager, [scenario] * lanes, config, episodes_per_scenario=1
+            manager,
+            [scenario] * lanes,
+            config,
+            episodes_per_scenario=1,
+            baselines=_env_eval_baselines(config),
         )
         env_eval["lanes_per_size"].append(lanes)
         env_eval["mean_reward"].append(float(np.mean(size_eval["mean_reward"])))
@@ -173,6 +186,16 @@ def figure_acceptance_vs_edges(
         env_eval["mean_latency_ms"].append(
             float(np.mean(size_eval["mean_latency_ms"]))
         )
+        for name, entry in size_eval.get("baselines", {}).items():
+            folded = env_eval["baselines"].setdefault(
+                name, {"acceptance_ratio": [], "mean_latency_ms": []}
+            )
+            folded["acceptance_ratio"].append(
+                float(np.mean(entry["acceptance_ratio"]))
+            )
+            folded["mean_latency_ms"].append(
+                float(np.mean(entry["mean_latency_ms"]))
+            )
     return {
         "figure": "fig5_acceptance_vs_edges",
         "x_label": "number of edge nodes",
@@ -203,6 +226,15 @@ def figure_sla_sensitivity(
             violation_series.setdefault(name, []).append(
                 result.summary.sla_violation_ratio
             )
+    # The SLA sweep's environment-level evaluation runs as one
+    # scenario-diverse vec batch (one lane per SLA scale) for the agent and
+    # each baseline, mirroring the load sweeps of Figs. 2-4.
+    env_eval = vec_sweep_env_eval(
+        manager,
+        scenario_grid(scenario, sla_scales=config.sla_scales),
+        config,
+        baselines=_env_eval_baselines(config),
+    )
     return {
         "figure": "fig6_sla_sensitivity",
         "x_label": "SLA scale factor (1.0 = reference budgets)",
@@ -210,6 +242,7 @@ def figure_sla_sensitivity(
         "x": list(config.sla_scales),
         "series": series,
         "sla_violation_series": violation_series,
+        "env_eval": env_eval,
     }
 
 

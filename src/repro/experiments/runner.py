@@ -9,7 +9,8 @@ force the serial path.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from dataclasses import replace as dataclass_replace
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -23,6 +24,7 @@ from repro.core.training import EvaluationResult
 from repro.core.vecenv import VecPlacementEnv
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.parallel import parallel_policy_comparison
+from repro.sim.failures import FailureConfig
 from repro.sim.simulation import (
     PlacementPolicy,
     SimulationConfig,
@@ -30,6 +32,10 @@ from repro.sim.simulation import (
 )
 from repro.utils.rng import RandomState, derive_seed
 from repro.workloads.scenarios import Scenario, reference_scenario
+
+#: Anything that speaks the batched acting protocol: a learning agent or a
+#: lane-bindable placement policy.
+BatchedPolicy = Union[Agent, PlacementPolicy]
 
 
 def build_reference_scenario(
@@ -124,7 +130,7 @@ def evaluate_drl_and_baselines(
 
 
 def evaluate_agent_across_scenarios(
-    agent: Agent,
+    agent: BatchedPolicy,
     scenarios: Sequence[Scenario],
     episodes_per_scenario: int = 2,
     seed: RandomState = 0,
@@ -132,14 +138,24 @@ def evaluate_agent_across_scenarios(
     reward_config: Optional[RewardConfig] = None,
     encoder_config: Optional[EncoderConfig] = None,
     max_steps_per_episode: int = 2000,
+    failure_config: Optional[FailureConfig] = None,
 ) -> List[EvaluationResult]:
-    """Greedy-evaluate one agent over a scenario-diverse vectorized batch.
+    """Greedy-evaluate one batched policy over a scenario-diverse vec batch.
 
     Builds a :class:`VecPlacementEnv` with one lane per scenario (e.g. every
     load point of an arrival-rate sweep) and streams all lanes together, so
     the whole sweep is one batched decision loop instead of K serial
     evaluation runs.  Returns one :class:`EvaluationResult` per scenario,
     aggregated over ``episodes_per_scenario`` completed lane episodes.
+
+    ``agent`` is anything speaking the batched acting protocol: a learning
+    :class:`~repro.agents.base.Agent`, or a heuristic
+    :class:`~repro.sim.simulation.PlacementPolicy` (it is bound to the lanes
+    and — since heuristics decide from the live lane substrate — state
+    encoding is skipped entirely, the lane fast path).  With a
+    ``failure_config``, per-lane failure schedules are injected and the
+    returned results carry the disruption statistics (an availability
+    sweep).
 
     All scenarios must share the agent's observation and action space (same
     topology size); per-lane workload seeds are derived from ``seed``.
@@ -154,16 +170,22 @@ def evaluate_agent_across_scenarios(
         env_config=env_config,
         reward_config=reward_config,
         encoder_config=encoder_config,
+        failure_config=failure_config,
     )
+    is_heuristic = isinstance(agent, PlacementPolicy)
+    if is_heuristic:
+        agent.bind_lanes(venv)
+        agent.reset()
+    observe = not is_heuristic
     num_lanes = venv.num_lanes
     counts = np.zeros(num_lanes, dtype=int)
     lane_steps = np.zeros(num_lanes, dtype=int)
     per_lane: List[List[Dict[str, float]]] = [[] for _ in range(num_lanes)]
-    states = venv.reset()
+    states = venv.reset(observe=observe)
     while (counts < episodes_per_scenario).any():
         masks = venv.valid_action_masks()
         actions = agent.select_actions(states, masks, greedy=True)
-        states, _, dones, infos = venv.step(actions)
+        states, _, dones, infos = venv.step(actions, observe=observe)
         lane_steps += 1
         for lane, done in enumerate(dones):
             truncated = lane_steps[lane] >= max_steps_per_episode
@@ -190,9 +212,45 @@ def evaluate_agent_across_scenarios(
                 np.mean([s["mean_latency_ms"] for s in stats_list])
             ),
             episodes=len(stats_list),
+            mean_disrupted=float(
+                np.mean([s.get("disrupted", 0) for s in stats_list])
+            ),
         )
         for stats_list in per_lane
     ]
+
+
+def evaluate_baseline_across_scenarios(
+    policy: PlacementPolicy,
+    scenarios: Sequence[Scenario],
+    episodes_per_scenario: int = 2,
+    seed: RandomState = 0,
+    env_config: Optional[EnvConfig] = None,
+    reward_config: Optional[RewardConfig] = None,
+    failure_config: Optional[FailureConfig] = None,
+) -> List[EvaluationResult]:
+    """Evaluate one heuristic baseline over the same vec batch as an agent.
+
+    Thin wrapper over :func:`evaluate_agent_across_scenarios` that gives the
+    baseline lanes the serial admission semantics: the capacity-only action
+    masks mirror ``hosting_candidates`` (no latency pre-mask — the policy
+    proposes and the lane rejects SLA-infeasible chains at commit time,
+    exactly like :class:`~repro.sim.simulation.NFVSimulation` does with
+    :meth:`~repro.sim.simulation.PlacementPolicy.place`).  Pass the same
+    ``reward_config`` used for the agent so the reward series of both are
+    scored with identical weights.
+    """
+    env_config = env_config or EnvConfig()
+    baseline_env_config = dataclass_replace(env_config, latency_mask_check=False)
+    return evaluate_agent_across_scenarios(
+        policy,
+        scenarios,
+        episodes_per_scenario=episodes_per_scenario,
+        seed=seed,
+        env_config=baseline_env_config,
+        reward_config=reward_config,
+        failure_config=failure_config,
+    )
 
 
 def vec_sweep_env_eval(
@@ -200,28 +258,148 @@ def vec_sweep_env_eval(
     scenarios: Sequence[Scenario],
     config: ExperimentConfig,
     episodes_per_scenario: int = 2,
+    baselines: Optional[Sequence[PlacementPolicy]] = None,
+    failure_config: Optional[FailureConfig] = None,
 ) -> Dict[str, object]:
     """JSON-friendly scenario-diverse vec evaluation of a trained manager.
 
     One batched pass over all sweep points; the environment/reward/encoder
     configuration mirrors the manager's training environment so the numbers
-    are comparable with its training-time evaluations.
+    are comparable with its training-time evaluations.  With ``baselines``,
+    each baseline policy is evaluated over an identically-seeded lane batch
+    (fresh substrate copies per policy, same request streams) and reported
+    under the ``"baselines"`` key; with a ``failure_config`` the whole sweep
+    runs fault-injected and gains a ``"mean_disrupted"`` series.
     """
+    seed = derive_seed(config.seed, "vec_env_eval")
     results = evaluate_agent_across_scenarios(
         manager.agent,
         scenarios,
         episodes_per_scenario=episodes_per_scenario,
-        seed=derive_seed(config.seed, "vec_env_eval"),
+        seed=seed,
         env_config=manager.config.env,
         reward_config=manager.config.reward,
         encoder_config=manager.config.encoder,
+        failure_config=failure_config,
     )
-    return {
+    payload: Dict[str, object] = {
         "scenarios": [scenario.name for scenario in scenarios],
         "episodes_per_scenario": episodes_per_scenario,
         "mean_reward": [result.mean_reward for result in results],
         "acceptance_ratio": [result.mean_acceptance for result in results],
         "mean_latency_ms": [result.mean_latency_ms for result in results],
+    }
+    if failure_config is not None:
+        payload["mean_disrupted"] = [result.mean_disrupted for result in results]
+    if baselines:
+        baseline_payload: Dict[str, Dict[str, List[float]]] = {}
+        for policy in baselines:
+            baseline_results = evaluate_baseline_across_scenarios(
+                policy,
+                scenarios,
+                episodes_per_scenario=episodes_per_scenario,
+                seed=seed,
+                env_config=manager.config.env,
+                reward_config=manager.config.reward,
+                failure_config=failure_config,
+            )
+            entry = {
+                "mean_reward": [r.mean_reward for r in baseline_results],
+                "acceptance_ratio": [r.mean_acceptance for r in baseline_results],
+                "mean_latency_ms": [r.mean_latency_ms for r in baseline_results],
+            }
+            if failure_config is not None:
+                entry["mean_disrupted"] = [
+                    r.mean_disrupted for r in baseline_results
+                ]
+            baseline_payload[policy.name] = entry
+        payload["baselines"] = baseline_payload
+    return payload
+
+
+def availability_sweep(
+    manager: VNFManager,
+    scenario: Scenario,
+    config: ExperimentConfig,
+    mean_times_to_failure: Sequence[float] = (50.0, 100.0, 200.0, 400.0),
+    mean_time_to_repair: float = 25.0,
+    lanes_per_point: int = 2,
+    episodes_per_scenario: int = 1,
+    baselines: Optional[Sequence[PlacementPolicy]] = None,
+) -> Dict[str, object]:
+    """Fault-tolerance sweep over failure intensity, all through vec lanes.
+
+    For each mean-time-to-failure point the trained agent (and optionally
+    every baseline) is evaluated on ``lanes_per_point`` fault-injected lanes
+    of the scenario in one batched pass.  Returns index-aligned series of
+    acceptance, latency and disruptions per MTTF point, plus the model's
+    steady-state availability at each point.
+    """
+    if lanes_per_point <= 0:
+        raise ValueError(f"lanes_per_point must be positive, got {lanes_per_point}")
+    points: List[FailureConfig] = [
+        FailureConfig(
+            mean_time_to_failure=mttf, mean_time_to_repair=mean_time_to_repair
+        )
+        for mttf in mean_times_to_failure
+    ]
+    series: Dict[str, Dict[str, List[float]]] = {}
+
+    def accumulate(name: str, results: List[EvaluationResult]) -> None:
+        entry = series.setdefault(
+            name,
+            {"acceptance_ratio": [], "mean_latency_ms": [], "mean_disrupted": []},
+        )
+        entry["acceptance_ratio"].append(
+            float(np.mean([r.mean_acceptance for r in results]))
+        )
+        entry["mean_latency_ms"].append(
+            float(np.mean([r.mean_latency_ms for r in results]))
+        )
+        entry["mean_disrupted"].append(
+            float(np.mean([r.mean_disrupted for r in results]))
+        )
+
+    drl_name = f"drl_{manager.agent.name}"
+    for failure_config in points:
+        seed = derive_seed(
+            config.seed, "availability", failure_config.mean_time_to_failure
+        )
+        accumulate(
+            drl_name,
+            evaluate_agent_across_scenarios(
+                manager.agent,
+                [scenario] * lanes_per_point,
+                episodes_per_scenario=episodes_per_scenario,
+                seed=seed,
+                env_config=manager.config.env,
+                reward_config=manager.config.reward,
+                encoder_config=manager.config.encoder,
+                failure_config=failure_config,
+            ),
+        )
+        for policy in baselines or ():
+            accumulate(
+                policy.name,
+                evaluate_baseline_across_scenarios(
+                    policy,
+                    [scenario] * lanes_per_point,
+                    episodes_per_scenario=episodes_per_scenario,
+                    seed=seed,
+                    env_config=manager.config.env,
+                    reward_config=manager.config.reward,
+                    failure_config=failure_config,
+                ),
+            )
+    return {
+        "scenario": scenario.name,
+        "mean_times_to_failure": list(mean_times_to_failure),
+        "mean_time_to_repair": mean_time_to_repair,
+        "steady_state_availability": [
+            point.steady_state_availability for point in points
+        ],
+        "lanes_per_point": lanes_per_point,
+        "series": series,
     }
 
 

@@ -71,7 +71,14 @@ class VNFType:
         )
         cached = cache.get(bandwidth_mbps)
         if cached is None:
-            cached = self.demand_for(bandwidth_mbps).as_array()
+            check_non_negative(bandwidth_mbps, "bandwidth_mbps")
+            # Pure array math on the miss path: elementwise identical to
+            # demand_for(...).as_array() (same base + per_mbps * bw per
+            # dimension) without building two ResourceVector objects.
+            cached = (
+                self.base_demand.as_array()
+                + self.demand_per_mbps.as_array() * bandwidth_mbps
+            )
             if len(cache) > 4096:  # bound per-type memory for adversarial traces
                 cache.clear()
             cache[bandwidth_mbps] = cached

@@ -171,10 +171,7 @@ class FaultyNFVSimulation(NFVSimulation):
         self._evict_placements_on(node_id)
         # Fence the node: consume whatever capacity remains so that placement
         # feasibility checks reject it until recovery.
-        node = self.network.node(node_id)
-        remaining = node.available
-        if not remaining.is_zero():
-            node.allocate(self._fence_handle(node_id), remaining)
+        self._refresh_fence(node_id)
 
     def _handle_recovery(self, event: Event) -> None:
         node_id: int = event.payload
@@ -185,6 +182,47 @@ class FaultyNFVSimulation(NFVSimulation):
         node = self.network.node(node_id)
         if node.holds(self._fence_handle(node_id)):
             node.release(self._fence_handle(node_id))
+
+    def _handle_departure(self, event: Event) -> None:
+        # A departing placement should never still touch a fenced node (its
+        # placements were torn down when the node failed), but if any release
+        # does free capacity on a failed node, fold it back into the fence so
+        # a fenced node can never regain placeable capacity mid-failure.
+        placement = self._active_placements.get(event.payload)
+        super()._handle_departure(event)
+        if placement is not None and self._failed_nodes:
+            for node_id in set(placement.node_assignment) & self._failed_nodes:
+                self._refresh_fence(node_id)
+
+    def _refresh_fence(self, node_id: int) -> None:
+        """(Re)size the failure fence to consume all free capacity of a node.
+
+        Idempotent: releases any existing fence first, then reserves whatever
+        is free.  Keeps the invariant "a failed node has zero available
+        capacity" even when capacity is freed on an already-fenced node.
+        """
+        node = self.network.node(node_id)
+        handle = self._fence_handle(node_id)
+        if node.holds(handle):
+            node.release(handle)
+        remaining = node.available
+        if not remaining.is_zero():
+            node.allocate(handle, remaining)
+
+    def release_fences(self) -> None:
+        """Release every failure fence and clear the failed-node set.
+
+        Called at the start of :meth:`run` so a rerun on a substrate that
+        still carries fences from a previous (interrupted or horizon-ended)
+        run starts from a conserved state; also usable by callers that want
+        to reuse the network after a run that ended with nodes still down.
+        """
+        for node_id in sorted(self._failed_nodes):
+            node = self.network.node(node_id)
+            handle = self._fence_handle(node_id)
+            if node.holds(handle):
+                node.release(handle)
+        self._failed_nodes.clear()
 
     def _evict_placements_on(self, node_id: int) -> None:
         """Tear down every active placement hosting a VNF on ``node_id``."""
@@ -209,7 +247,10 @@ class FaultyNFVSimulation(NFVSimulation):
         # the parent run()) can be populated before arrivals are processed.
         schedule = self.injector.schedule(self.network, self.config.horizon)
         self.report = DisruptionReport()
-        self._failed_nodes.clear()
+        # Fully release fences left by a previous run (the parent run() also
+        # resets the whole network right after, but the explicit release keeps
+        # fence bookkeeping and the failed-node set consistent on their own).
+        self.release_fences()
         # The parent run() resets the engine before scheduling arrivals, so the
         # failure schedule is injected right after that reset by temporarily
         # wrapping the engine's reset method.

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.nfv.placement import Placement, PlacementError
 from repro.nfv.sfc import SFCRequest
@@ -35,6 +37,20 @@ class PlacementPolicy(ABC):
     substrate state and returns either a routed :class:`Placement` to commit
     or ``None`` to reject the request.  Policies must not mutate the network;
     the simulation commits the returned placement itself.
+
+    Batched protocol
+    ----------------
+    Beyond the per-request :meth:`place` entry point, every policy speaks the
+    same batched acting API as a learning agent: after :meth:`bind_lanes` ties
+    the policy to the lane environments of a
+    :class:`~repro.core.vecenv.VecPlacementEnv`, :meth:`select_actions` emits
+    one action per lane for each batched decision step, which makes
+    heuristics, tabular agents and neural agents interchangeable in
+    vectorized evaluation loops.  The default implementation plans each
+    lane's current request once through :meth:`plan_assignment` (the
+    per-request reference backend) and replays the planned nodes one VNF at a
+    time; vectorizable heuristics override :meth:`select_actions` with array
+    kernels over the ``(K, A)`` validity masks.
     """
 
     #: Human-readable name used in result tables.
@@ -46,11 +62,125 @@ class PlacementPolicy(ABC):
     ) -> Optional[Placement]:
         """Return a feasible placement for ``request`` or ``None`` to reject."""
 
+    def plan_assignment(
+        self, request: SFCRequest, network: SubstrateNetwork
+    ) -> Optional[Tuple[int, ...]]:
+        """The node assignment this policy would choose, or ``None`` to reject.
+
+        This is the per-request reference backend of the batched protocol.
+        The default derives it from :meth:`place`; assignment-first policies
+        override it directly and derive :meth:`place` from it instead.
+        """
+        placement = self.place(request, network)
+        return None if placement is None else tuple(placement.node_assignment)
+
+    # ------------------------------------------------------------------ #
+    # Batched acting API (vectorized-environment lanes)
+    # ------------------------------------------------------------------ #
+    def bind_lanes(self, lanes) -> "PlacementPolicy":
+        """Bind this policy to vectorized environment lanes.
+
+        ``lanes`` is a :class:`~repro.core.vecenv.VecPlacementEnv` or a plain
+        sequence of :class:`~repro.core.env.VNFPlacementEnv` objects.  Binding
+        initializes the per-lane plan cache used by the default
+        :meth:`select_actions`; returns ``self`` for chaining.
+        """
+        envs = list(getattr(lanes, "envs", lanes))
+        if not envs:
+            raise ValueError("bind_lanes() needs at least one lane")
+        self._lane_envs = envs
+        # When bound to a whole VecPlacementEnv, vectorized kernels can share
+        # its per-step LaneDecisionContext instead of re-gathering per lane.
+        self._lane_venv = lanes if hasattr(lanes, "lane_decision_context") else None
+        self._lane_plans: List[Optional[List[int]]] = [None] * len(envs)
+        self._lane_request_ids: List[Optional[int]] = [None] * len(envs)
+        return self
+
+    @property
+    def bound_context(self):
+        """The bound vec env's batched decision context, or ``None``."""
+        venv = getattr(self, "_lane_venv", None)
+        return None if venv is None else venv.lane_decision_context()
+
+    @property
+    def bound_lanes(self) -> List:
+        """The lane environments bound with :meth:`bind_lanes`."""
+        lanes = getattr(self, "_lane_envs", None)
+        if not lanes:
+            raise RuntimeError(
+                f"policy {self.name!r} is not bound to vectorized lanes; "
+                "call bind_lanes(venv) first"
+            )
+        return lanes
+
+    def select_actions(
+        self,
+        states: Optional[np.ndarray] = None,
+        masks: Optional[np.ndarray] = None,
+        greedy: bool = True,
+    ) -> np.ndarray:
+        """One action per bound lane for the current batched decision step.
+
+        Mirrors ``Agent.select_actions``: ``states`` is the ``(K, S)``
+        observation batch and ``masks`` the ``(K, A)`` validity masks.
+        Heuristic policies decide from the live lane substrate rather than
+        the encoded observations, so ``states`` may be ``None`` (and lane
+        evaluation may skip encoding entirely); ``greedy`` is accepted for
+        signature compatibility and ignored — heuristics have no exploration
+        mode.
+        """
+        return self.select_actions_reference(states, masks, greedy=greedy)
+
+    def select_actions_reference(
+        self,
+        states: Optional[np.ndarray] = None,
+        masks: Optional[np.ndarray] = None,
+        greedy: bool = True,
+    ) -> np.ndarray:
+        """The per-request reference backend of the batched acting API.
+
+        Plans each lane's current request once via :meth:`plan_assignment`
+        (against that lane's live substrate) and replays the planned nodes
+        one VNF decision at a time.  Vectorized overrides of
+        :meth:`select_actions` must be decision-for-decision identical to
+        this path; the equivalence suite asserts it bitwise.
+        """
+        lanes = self.bound_lanes
+        actions = np.empty(len(lanes), dtype=int)
+        for lane, env in enumerate(lanes):
+            actions[lane] = self._lane_reference_action(lane, env)
+        return actions
+
+    def _lane_reference_action(self, lane: int, env) -> int:
+        request = env.current_request
+        if request is None:
+            return env.actions.reject_action
+        if self._lane_request_ids[lane] != request.request_id:
+            self._lane_request_ids[lane] = request.request_id
+            assignment = self.plan_assignment(request, env.network)
+            self._lane_plans[lane] = (
+                None
+                if assignment is None
+                else [env.actions.action_for_node(node) for node in assignment]
+            )
+        plan = self._lane_plans[lane]
+        if plan is None:
+            return env.actions.reject_action
+        return plan[env.vnf_index]
+
     def on_departure(self, request_id: int, network: SubstrateNetwork) -> None:
         """Hook invoked when an accepted request departs (optional)."""
 
     def reset(self) -> None:
-        """Hook invoked at the start of every simulation run (optional)."""
+        """Hook invoked at the start of every simulation run (optional).
+
+        Clears the per-lane plan cache of the batched protocol; subclasses
+        extending this must call ``super().reset()``.
+        """
+        lanes = getattr(self, "_lane_envs", None)
+        if lanes:
+            self._lane_plans = [None] * len(lanes)
+            self._lane_request_ids = [None] * len(lanes)
 
 
 @dataclass

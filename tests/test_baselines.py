@@ -145,6 +145,71 @@ class TestBruteForce:
         assert placement.node_assignment == (1, 1)
 
 
+class TestLatencyOfPartial:
+    """latency_of_partial must agree with Placement end-to-end accounting."""
+
+    def test_full_assignment_matches_placement_without_destination(
+        self, small_network, catalog
+    ):
+        from repro.baselines import latency_of_partial
+        from repro.nfv.placement import Placement
+
+        request = build_request(catalog, source=0, sla_ms=200.0)
+        assignment = [1, 2]
+        placement = Placement.build(request, assignment, small_network)
+        assert latency_of_partial(request, assignment, small_network) == (
+            pytest.approx(placement.end_to_end_latency_ms())
+        )
+
+    def test_full_assignment_includes_egress_to_destination(
+        self, small_network, catalog
+    ):
+        from repro.baselines import latency_of_partial
+        from repro.nfv.placement import Placement
+
+        request = build_request(catalog, source=0, sla_ms=200.0)
+        request.destination_node_id = 3
+        assignment = [1, 1]
+        placement = Placement.build(request, assignment, small_network)
+        full = latency_of_partial(request, assignment, small_network)
+        assert full == pytest.approx(placement.end_to_end_latency_ms())
+        # The egress leg is real latency: dropping it underestimates.
+        egress = small_network.latency_between(1, 3)
+        assert egress > 0.0
+        prefix = latency_of_partial(request, assignment[:1], small_network)
+        assert full > prefix
+
+    def test_partial_prefix_charges_no_egress(self, small_network, catalog):
+        from repro.baselines import latency_of_partial
+
+        request = build_request(catalog, source=0, sla_ms=200.0)
+        request.destination_node_id = 3
+        # One VNF of two placed: propagation to node 1 + its processing only.
+        expected = (
+            small_network.latency_between(0, 1)
+            + request.chain.vnf_at(0).processing_delay_ms
+        )
+        assert latency_of_partial(request, [1], small_network) == pytest.approx(
+            expected
+        )
+
+    def test_partial_is_admissible_lower_bound(self, small_network, catalog):
+        """Every prefix estimate stays below the full-chain latency."""
+        from repro.baselines import latency_of_partial
+        from repro.nfv.placement import Placement
+
+        request = build_request(catalog, source=0, sla_ms=200.0)
+        request.destination_node_id = 2
+        assignment = [1, 3]
+        placement = Placement.build(request, assignment, small_network)
+        total = placement.end_to_end_latency_ms()
+        for length in range(len(assignment) + 1):
+            prefix = latency_of_partial(
+                request, assignment[:length], small_network
+            )
+            assert prefix <= total + 1e-9
+
+
 class TestStandardBaselines:
     def test_names_unique(self):
         names = [policy.name for policy in standard_baselines(seed=0)]

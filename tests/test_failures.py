@@ -1,7 +1,9 @@
 """Tests for node-failure injection and the faulty simulation."""
 
+import numpy as np
 import pytest
 
+from repro.sim.events import Event, EventType
 from repro.sim.failures import (
     FailureConfig,
     FailureInjector,
@@ -11,6 +13,22 @@ from repro.sim.simulation import SimulationConfig
 from repro.substrate.topology import TopologyConfig, linear_chain_topology, metro_edge_cloud_topology
 from tests.conftest import build_request
 from tests.test_simulation import AcceptFirstNodePolicy
+
+
+def assert_capacity_conserved(network):
+    """Per node: the sum of live allocations must equal the used vector, and
+    used + available must equal capacity (the conservation invariant)."""
+    for node in network.nodes():
+        allocated = sum(
+            (demand.as_array() for demand in node._allocations.values()),
+            np.zeros(3),
+        )
+        np.testing.assert_allclose(allocated, node._used_arr, atol=1e-6)
+        np.testing.assert_allclose(
+            node._used_arr + node.available.as_array(),
+            node._capacity_arr,
+            atol=1e-6,
+        )
 
 
 class TestFailureConfig:
@@ -133,6 +151,97 @@ class TestFaultySimulation:
         assert report.as_dict()["disrupted_requests"] == 3
         assert report.disruption_ratio(accepted_requests=6) == pytest.approx(0.5)
         assert report.disruption_ratio(accepted_requests=0) == 0.0
+
+    def test_capacity_conserved_across_fail_recover_reset_cycles(self, catalog):
+        """Fence accounting must conserve capacity through full cycles."""
+        from repro.nfv.placement import Placement
+        from repro.workloads.scenarios import reference_scenario
+
+        scenario = reference_scenario(
+            arrival_rate=1.0, num_edge_nodes=8, horizon=300.0, seed=1
+        )
+        network = scenario.build_network()
+        from repro.baselines import GreedyNearestPolicy
+
+        simulation = FaultyNFVSimulation(
+            network,
+            GreedyNearestPolicy(),
+            SimulationConfig(horizon=300.0, monitoring_interval=25.0),
+            failure_config=FailureConfig(
+                mean_time_to_failure=40.0, mean_time_to_repair=15.0, seed=3
+            ),
+        )
+        requests = scenario.generate_requests()
+        for _ in range(2):  # run twice: the reset path is exercised too
+            simulation.run(requests)
+            assert simulation.report.failure_events > 0
+            assert simulation.report.recovery_events > 0
+            assert_capacity_conserved(network)
+            # Whatever survived the run is either a fence of a still-failed
+            # node or nothing; failed nodes hold zero available capacity.
+            for node_id in simulation.failed_nodes:
+                assert network.node(node_id).available.is_zero(tol=1e-9)
+        simulation.release_fences()
+        assert simulation.failed_nodes == []
+        assert_capacity_conserved(network)
+
+    def test_fence_absorbs_capacity_freed_on_failed_node(self, catalog):
+        """Capacity released on an already-fenced node folds into the fence,
+        so a failed node can never regain placeable capacity mid-failure."""
+        network = linear_chain_topology(num_edge_nodes=4, link_latency_ms=2.0, seed=7)
+        simulation = FaultyNFVSimulation(
+            network,
+            AcceptFirstNodePolicy(1),
+            SimulationConfig(horizon=50.0),
+            failure_config=FailureConfig(mean_time_to_failure=1e9, seed=0),
+        )
+        from repro.nfv.placement import Placement
+
+        # A committed placement on node 1 that the simulation does NOT track
+        # (models any out-of-band release while the node is fenced).
+        request = build_request(catalog, source=0, arrival=1.0, holding=30.0)
+        placement = Placement.build(request, [1] * request.num_vnfs, network)
+        placement.commit(network)
+
+        simulation._handle_failure(Event.create(2.0, EventType.NODE_FAILURE, payload=1))
+        assert network.node(1).available.is_zero(tol=1e-9)
+        # The out-of-band release frees capacity on the fenced node...
+        placement.release(network)
+        assert not network.node(1).available.is_zero(tol=1e-9)
+        # ...and refreshing the fence (as the departure hook does) re-absorbs it.
+        simulation._refresh_fence(1)
+        assert network.node(1).available.is_zero(tol=1e-9)
+        assert_capacity_conserved(network)
+        simulation._handle_recovery(Event.create(3.0, EventType.NODE_RECOVERY, payload=1))
+        # Full recovery: the node is completely free again.
+        assert network.node(1).used.is_zero(tol=1e-9)
+        assert_capacity_conserved(network)
+
+    def test_tracked_departure_on_fenced_node_keeps_fence_tight(self, catalog):
+        """If a tracked placement's departure ever releases capacity on a
+        fenced node, the departure hook refreshes that node's fence."""
+        network = linear_chain_topology(num_edge_nodes=4, link_latency_ms=2.0, seed=7)
+        simulation = FaultyNFVSimulation(
+            network,
+            AcceptFirstNodePolicy(1),
+            SimulationConfig(horizon=50.0),
+            failure_config=FailureConfig(mean_time_to_failure=1e9, seed=0),
+        )
+        from repro.nfv.placement import Placement
+
+        request = build_request(catalog, source=0, arrival=1.0, holding=30.0)
+        placement = Placement.build(request, [1] * request.num_vnfs, network)
+        placement.commit(network)
+        simulation._active_placements[request.request_id] = placement
+        simulation._failed_nodes.add(1)  # fenced state without eviction
+        simulation._refresh_fence(1)
+        assert network.node(1).available.is_zero(tol=1e-9)
+        simulation._handle_departure(
+            Event.create(5.0, EventType.REQUEST_DEPARTURE, payload=request.request_id)
+        )
+        assert request.request_id not in simulation._active_placements
+        assert network.node(1).available.is_zero(tol=1e-9)
+        assert_capacity_conserved(network)
 
     def test_rerun_resets_report(self, catalog):
         failure_config = FailureConfig(mean_time_to_failure=20.0, mean_time_to_repair=5.0, seed=4)

@@ -79,3 +79,61 @@ class TestRecording:
         data = collector.summary().as_dict()
         assert data["accepted_requests"] == 1
         assert isinstance(data["acceptance_by_class"], dict)
+
+
+class TestDegenerateCases:
+    def test_summary_with_zero_accepted_requests(self, collector, catalog):
+        """All-rejected runs must reduce to well-defined zeros, not NaNs."""
+        for _ in range(3):
+            collector.record_rejection(build_request(catalog), reason="no_capacity")
+        summary = collector.summary()
+        assert summary.total_requests == 3
+        assert summary.accepted_requests == 0
+        assert summary.rejected_requests == 3
+        assert summary.acceptance_ratio == 0.0
+        assert summary.mean_latency_ms == 0.0
+        assert summary.p95_latency_ms == 0.0
+        assert summary.sla_violation_ratio == 0.0
+        assert summary.mean_cost_per_accepted == 0.0
+        assert summary.mean_edge_fraction == 0.0
+        assert summary.acceptance_by_class == {"test": 0.0}
+
+    def test_acceptance_by_class_with_rejected_only_class(self, collector, catalog):
+        """A class seen only through rejections appears with ratio 0.0."""
+        from repro.nfv.sfc import SFCRequest, ServiceFunctionChain
+        from repro.nfv.sla import ServiceLevelAgreement
+
+        accepted = build_request(catalog)
+        rejected = SFCRequest(
+            chain=ServiceFunctionChain(
+                vnf_types=(catalog.get("nat"),),
+                bandwidth_mbps=10.0,
+                service_class="rejected_only",
+            ),
+            source_node_id=0,
+            sla=ServiceLevelAgreement(max_latency_ms=50.0),
+        )
+        collector.record_acceptance(accepted, 12.0, True, 1.0, 2.0, 1.0)
+        collector.record_rejection(rejected)
+        by_class = collector.acceptance_by_class()
+        assert by_class["test"] == pytest.approx(1.0)
+        assert by_class["rejected_only"] == 0.0
+        # Classes never recorded at all stay absent, not zero-filled.
+        assert "unseen" not in by_class
+
+    def test_single_sample_percentile(self, collector, catalog):
+        """p95 over one accepted request is that request's latency."""
+        collector.record_acceptance(build_request(catalog), 42.5, True, 1.0, 2.0, 1.0)
+        summary = collector.summary()
+        assert summary.mean_latency_ms == pytest.approx(42.5)
+        assert summary.p95_latency_ms == pytest.approx(42.5)
+
+    def test_acceptance_with_none_latency_is_excluded_from_latency_stats(
+        self, collector, catalog
+    ):
+        collector.record_acceptance(build_request(catalog), 10.0, True, 1.0, 2.0, 1.0)
+        collector.outcomes[0].latency_ms = None
+        summary = collector.summary()
+        assert summary.accepted_requests == 1
+        assert summary.mean_latency_ms == 0.0
+        assert summary.p95_latency_ms == 0.0

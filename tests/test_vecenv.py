@@ -11,8 +11,14 @@ from repro.agents.policy_gradient import ReinforceAgent, ReinforceConfig
 from repro.agents.qlearning import TabularQLearningAgent
 from repro.core.env import EnvConfig
 from repro.core.training import Trainer, TrainingConfig, VecTrainer
-from repro.core.vecenv import VecPlacementEnv, lane_workload_seed, make_lane_env
+from repro.core.vecenv import (
+    VecPlacementEnv,
+    lane_failure_seed,
+    lane_workload_seed,
+    make_lane_env,
+)
 from repro.experiments.runner import evaluate_agent_across_scenarios
+from repro.sim.failures import FailureConfig
 from repro.workloads.scenarios import (
     reference_scenario,
     sample_scenarios,
@@ -198,6 +204,233 @@ class TestScenarioGridAndSampler:
         venv = VecPlacementEnv.from_scenarios(grid, env_config=ENV_CONFIG)
         assert venv.num_lanes == 2
         assert venv.lane_names == [cell.name for cell in grid]
+
+
+class TestBatchedMaskKernel:
+    """The (K, A) mask kernel must equal the stacked per-lane reference."""
+
+    @pytest.mark.parametrize("latency_check", [True, False])
+    def test_kernel_bitwise_equals_per_lane(self, latency_check):
+        config = EnvConfig(requests_per_episode=6, latency_mask_check=latency_check)
+        venv = VecPlacementEnv.from_scenario(
+            small_scenario(), 4, seed=SEED, env_config=config
+        )
+        assert venv._mask_kernel
+        rng = np.random.default_rng(0)
+        venv.reset()
+        for _ in range(80):
+            kernel = venv.valid_action_masks()
+            reference = np.stack([env.valid_action_mask() for env in venv.envs])
+            np.testing.assert_array_equal(kernel, reference)
+            actions = [masked_random_action(kernel[i], rng) for i in range(4)]
+            venv.step(actions)
+
+    def test_kernel_disabled_for_mixed_topologies(self):
+        lanes = [
+            make_lane_env(small_scenario(), 0, env_config=ENV_CONFIG),
+            make_lane_env(small_scenario(seed=9), 1, env_config=ENV_CONFIG),
+        ]
+        if lanes[0].state_dim == lanes[1].state_dim:
+            venv = VecPlacementEnv(lanes)
+            # Different topology seeds -> different latency matrices -> the
+            # kernel must fall back to the per-lane reference path.
+            assert not venv._mask_kernel
+            venv.reset()
+            reference = np.stack([env.valid_action_mask() for env in venv.envs])
+            np.testing.assert_array_equal(venv.valid_action_masks(), reference)
+            assert venv.lane_decision_context() is None
+
+    def test_context_memoized_within_step(self):
+        venv = make_venv(num_lanes=3)
+        venv.reset()
+        first = venv.lane_decision_context()
+        assert venv.lane_decision_context() is first
+        masks = venv.valid_action_masks()
+        rng = np.random.default_rng(1)
+        venv.step([masked_random_action(masks[i], rng) for i in range(3)])
+        assert venv.lane_decision_context() is not first
+
+
+class TestFaultInjectedLanes:
+    FAILURES = FailureConfig(mean_time_to_failure=6.0, mean_time_to_repair=3.0, seed=4)
+
+    def make_faulty_venv(self, num_lanes=3):
+        return VecPlacementEnv.from_scenario(
+            small_scenario(),
+            num_lanes,
+            seed=SEED,
+            env_config=ENV_CONFIG,
+            failure_config=self.FAILURES,
+        )
+
+    def drive(self, venv, steps=200):
+        rng = np.random.default_rng(0)
+        venv.reset()
+        disrupted = 0
+        saw_failure = False
+        for _ in range(steps):
+            masks = venv.valid_action_masks()
+            for env in venv.envs:
+                for node_id in env.failed_nodes:
+                    saw_failure = True
+                    assert not masks[
+                        venv.envs.index(env), env._node_action[node_id]
+                    ], "failed node not masked out"
+            actions = [
+                masked_random_action(masks[i], rng) for i in range(venv.num_lanes)
+            ]
+            _, _, dones, infos = venv.step(actions)
+            for lane, done in enumerate(dones):
+                if done:
+                    disrupted += infos[lane]["episode_stats"]["disrupted"]
+        return disrupted, saw_failure
+
+    def test_failures_fence_and_disrupt(self):
+        venv = self.make_faulty_venv()
+        disrupted, saw_failure = self.drive(venv)
+        assert saw_failure, "aggressive failure config should fail some node"
+        assert disrupted >= 0
+
+    def test_fault_injected_lane_equals_serial_env(self):
+        """A fault-injected vec lane is bitwise identical to the serial env
+        rebuilt from the same derived workload + failure seeds."""
+        num_lanes, steps = 2, 120
+        venv = self.make_faulty_venv(num_lanes)
+        rngs = [np.random.default_rng(50 + lane) for lane in range(num_lanes)]
+        venv.reset()
+        trajectories = [[] for _ in range(num_lanes)]
+        for _ in range(steps):
+            masks = venv.valid_action_masks()
+            actions = [
+                masked_random_action(masks[lane], rngs[lane])
+                for lane in range(num_lanes)
+            ]
+            states, rewards, dones, _ = venv.step(actions)
+            for lane in range(num_lanes):
+                trajectories[lane].append(
+                    (actions[lane], rewards[lane], bool(dones[lane]),
+                     states[lane].copy())
+                )
+        scenario = small_scenario()
+        from dataclasses import replace
+
+        for lane in range(num_lanes):
+            env = make_lane_env(
+                scenario,
+                lane_workload_seed(SEED, lane, scenario.name),
+                env_config=ENV_CONFIG,
+                failure_config=replace(
+                    self.FAILURES,
+                    seed=lane_failure_seed(SEED, lane, scenario.name),
+                ),
+            )
+            rng = np.random.default_rng(50 + lane)
+            state = env.reset()
+            for step in range(steps):
+                mask = env.valid_action_mask()
+                action = masked_random_action(mask, rng)
+                state, reward, done, _ = env.step(action)
+                recorded = trajectories[lane][step]
+                assert action == recorded[0]
+                assert reward == recorded[1]
+                assert done == recorded[2]
+                if done:
+                    state = env.reset()
+                np.testing.assert_array_equal(state, recorded[3])
+
+    def test_env_capacity_conserved_across_failures(self):
+        """Allocation bookkeeping stays exact through fail/recover cycles."""
+        venv = self.make_faulty_venv(num_lanes=2)
+        rng = np.random.default_rng(3)
+        venv.reset()
+        for _ in range(150):
+            masks = venv.valid_action_masks()
+            actions = [masked_random_action(masks[i], rng) for i in range(2)]
+            venv.step(actions)
+            for env in venv.envs:
+                for node in env.network.nodes():
+                    total = sum(
+                        (d.as_array() for d in node._allocations.values()),
+                        np.zeros(3),
+                    )
+                    np.testing.assert_allclose(total, node._used_arr, atol=1e-6)
+                for node_id in env.failed_nodes:
+                    assert env.network.node(node_id).available.is_zero(tol=1e-9)
+
+    def test_recovery_releases_fence(self):
+        scenario = small_scenario()
+        # A practically failure-free schedule: this test drives the fail /
+        # recover handlers manually.
+        reliable = FailureConfig(mean_time_to_failure=1e9, seed=0)
+        env = make_lane_env(
+            scenario, 0, env_config=ENV_CONFIG, failure_config=reliable
+        )
+        env.reset()
+        node_id = env.network.edge_node_ids[0]
+        env._fail_node(node_id)
+        assert env.failed_nodes == [node_id]
+        assert env.network.node(node_id).available.is_zero()
+        env._recover_node(node_id)
+        assert env.failed_nodes == []
+        assert not env.network.node(node_id).holds(env._fence_handle(node_id))
+
+
+class TestExplorationDecayEquivalence:
+    """The epsilon schedule must advance once per *transition*: K lanes
+    decay exactly as fast per environment step as the serial trainer."""
+
+    @staticmethod
+    def drive_transitions(num_lanes, total_transitions):
+        agent = DQNAgent(
+            4,
+            3,
+            DQNConfig(
+                hidden_layers=(8,),
+                min_replay_size=4,
+                batch_size=4,
+                epsilon_decay_steps=128,
+            ),
+            seed=0,
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(total_transitions // num_lanes):
+            agent.observe_batch(
+                rng.random((num_lanes, 4)),
+                np.zeros(num_lanes, dtype=int),
+                np.ones(num_lanes),
+                rng.random((num_lanes, 4)),
+                np.zeros(num_lanes, dtype=bool),
+            )
+            agent.update()
+        return agent
+
+    def test_dqn_epsilon_decays_per_transition(self):
+        serial = self.drive_transitions(1, 64)
+        vectorized = self.drive_transitions(16, 64)
+        assert serial._environment_steps == vectorized._environment_steps == 64
+        epsilon_serial = serial.exploration.schedule.value(serial._environment_steps)
+        epsilon_vec = vectorized.exploration.schedule.value(
+            vectorized._environment_steps
+        )
+        assert epsilon_serial == pytest.approx(epsilon_vec)
+        # Not decayed once per batched step: that would leave epsilon 16x
+        # closer to its start value.
+        undecayed = serial.exploration.schedule.value(64 // 16)
+        assert epsilon_vec < undecayed
+
+    def test_tabular_schedule_steps_count_transitions(self):
+        agent = TabularQLearningAgent(4, 3, seed=0)
+        rng = np.random.default_rng(0)
+        for _ in range(4):
+            agent.observe_batch(
+                rng.random((16, 4)),
+                np.zeros(16, dtype=int),
+                np.ones(16),
+                rng.random((16, 4)),
+                np.zeros(16, dtype=bool),
+            )
+            agent.update()
+        assert agent.training_steps == 64
 
 
 class TestBatchedExploration:
