@@ -4,7 +4,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: check test bench-hotpath bench-envstep bench-vecenv bench-policyeval bench-smoke bench clean-cache
+.PHONY: check test bench-hotpath bench-envstep bench-vecenv bench-policyeval bench-subproc bench-smoke bench clean-cache
 
 ## check: tier-1 tests + one tiny end-to-end figure run (< 1 minute)
 check:
@@ -30,11 +30,16 @@ bench-vecenv:
 bench-policyeval:
 	PYTHONPATH=src:. python benchmarks/bench_policyeval.py
 
+## bench-subproc: microbenchmark of the shared-memory worker env vs sync
+bench-subproc:
+	PYTHONPATH=src:. python benchmarks/bench_subproc.py
+
 ## bench-smoke: fast perf regression guards (used by scripts/check.sh)
 bench-smoke:
 	PYTHONPATH=src:. python benchmarks/bench_envstep.py --smoke
 	PYTHONPATH=src:. python benchmarks/bench_vecenv.py --smoke
 	PYTHONPATH=src:. python benchmarks/bench_policyeval.py --smoke
+	PYTHONPATH=src:. python benchmarks/bench_subproc.py --smoke --workers 2
 
 ## bench: the full figure/table benchmark suite (fast preset)
 bench:

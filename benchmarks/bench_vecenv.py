@@ -75,26 +75,9 @@ def _make_agent(venv: VecPlacementEnv) -> DQNAgent:
 
 def measure_env_steps(num_lanes: int, total_steps: int) -> Dict[str, float]:
     """Aggregate env transitions/s with masked-random actions (no agent)."""
-    venv = _make_venv(num_lanes)
-    rng = np.random.default_rng(SEED)
-    states = venv.reset()
-    steps = 0
-    start = time.perf_counter()
-    while steps < total_steps:
-        masks = venv.valid_action_masks()
-        # Vectorized masked-random action draw, same trick the batched
-        # epsilon-greedy uses.
-        draws = (rng.random(venv.num_lanes) * masks.sum(axis=1)).astype(int)
-        actions = (masks.cumsum(axis=1) > draws[:, None]).argmax(axis=1)
-        states, _, _, _ = venv.step(actions)
-        steps += venv.num_lanes
-    elapsed = time.perf_counter() - start
-    return {
-        "lanes": num_lanes,
-        "env_steps": steps,
-        "elapsed_s": elapsed,
-        "env_steps_per_s": steps / elapsed,
-    }
+    from benchmarks.common import measure_env_steps as shared_measure
+
+    return shared_measure(_make_venv(num_lanes), total_steps, seed=SEED)
 
 
 def measure_training_loop(num_lanes: int, total_steps: int, warmup_steps: int) -> Dict[str, float]:

@@ -34,6 +34,46 @@ from repro.utils.serialization import save_json
 #: Directory where each benchmark persists its raw series/rows.
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
+
+def masked_random_actions(masks, rng):
+    """One uniformly-random valid action per ``(K, A)`` mask row.
+
+    The vectorized inverse-CDF draw the batched epsilon-greedy uses; shared
+    by every env-throughput benchmark so the "random driver" costs the same
+    everywhere.  Rows must have at least one valid action (placement masks
+    always keep reject valid).
+    """
+    draws = (rng.random(masks.shape[0]) * masks.sum(axis=1)).astype(int)
+    return (masks.cumsum(axis=1) > draws[:, None]).argmax(axis=1)
+
+
+def measure_env_steps(venv, total_steps: int, seed: int = 0) -> Dict[str, float]:
+    """Aggregate env transitions/s with masked-random actions (no agent).
+
+    The one measurement loop every env-throughput benchmark shares — sync or
+    subprocess-backed, any lane count — so backend comparisons always time
+    the identical protocol (reset, then masks → random actions → step until
+    ``total_steps`` transitions).
+    """
+    import time
+
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    venv.reset()
+    steps = 0
+    start = time.perf_counter()
+    while steps < total_steps:
+        venv.step(masked_random_actions(venv.valid_action_masks(), rng))
+        steps += venv.num_lanes
+    elapsed = time.perf_counter() - start
+    return {
+        "lanes": venv.num_lanes,
+        "env_steps": steps,
+        "elapsed_s": elapsed,
+        "env_steps_per_s": steps / elapsed,
+    }
+
 #: Config-hash-keyed cache of completed figure/table payloads.
 CACHE = ResultCache(RESULTS_DIR / "cache")
 

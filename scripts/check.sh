@@ -23,6 +23,9 @@ PYTHONPATH="src:.${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_vecenv.py 
 echo "==> batched policy-eval perf smoke (vectorized baselines vs per-request reference)"
 PYTHONPATH="src:.${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_policyeval.py --smoke
 
+echo "==> subproc-env smoke (2 shared-memory workers vs sync, bitwise equivalence)"
+PYTHONPATH="src:.${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_subproc.py --smoke --workers 2
+
 echo "==> committed benchmark-result schema gate"
 python scripts/check_results_schema.py
 

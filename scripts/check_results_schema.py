@@ -30,6 +30,7 @@ ENGINEERING_SCHEMAS = {
         "aggregate_decision_speedup",
         "sweep_eval",
     },
+    "subproc.json": {"config", "sync", "subproc", "speedups", "speedup_bar"},
 }
 
 #: Required keys of every figure payload (``fig*.json`` / ``ablation*.json``).

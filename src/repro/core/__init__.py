@@ -12,6 +12,7 @@ from repro.core.reward import (
     latency_focused_config,
 )
 from repro.core.state import EncoderConfig, StateEncoder
+from repro.core.subproc import SubprocVecPlacementEnv, make_vec_env
 from repro.core.training import (
     EvaluationResult,
     Trainer,
@@ -42,6 +43,8 @@ __all__ = [
     "TrainingHistory",
     "VecTrainer",
     "VecPlacementEnv",
+    "SubprocVecPlacementEnv",
+    "make_vec_env",
     "lane_workload_seed",
     "make_lane_env",
 ]

@@ -50,6 +50,12 @@ class ManagerConfig:
     #: historical serial trainer; >1 trains on a K-lane vectorized
     #: environment with derived per-lane workload seeds.
     training_lanes: int = 1
+    #: Number of worker processes the training lanes are sharded across.
+    #: 1 keeps the in-process vectorized environment; >1 builds a
+    #: shared-memory :class:`~repro.core.subproc.SubprocVecPlacementEnv`
+    #: (degrading to in-process where subprocesses are unavailable).
+    #: Trajectories are identical either way.
+    env_workers: int = 1
 
     def __post_init__(self) -> None:
         self.training = self.training or TrainingConfig()
@@ -60,6 +66,10 @@ class ManagerConfig:
         if self.training_lanes < 1:
             raise ValueError(
                 f"training_lanes must be >= 1, got {self.training_lanes}"
+            )
+        if self.env_workers < 1:
+            raise ValueError(
+                f"env_workers must be >= 1, got {self.env_workers}"
             )
 
 
@@ -100,15 +110,31 @@ class VNFManager:
                 self.env, self.agent, self.config.training
             )
         else:
-            venv = VecPlacementEnv.from_scenario(
-                scenario,
-                self.config.training_lanes,
+            from repro.core.subproc import make_vec_env
+
+            venv = make_vec_env(
+                [scenario] * self.config.training_lanes,
                 seed=derive_seed(seed, "vec_lanes"),
                 env_config=self.config.env,
                 reward_config=self.config.reward,
                 encoder_config=self.config.encoder,
+                workers=self.config.env_workers,
             )
-            self.env = venv.envs[0]
+            if isinstance(venv, VecPlacementEnv):
+                self.env = venv.envs[0]
+            else:
+                # Worker-backed lanes live in other processes; rebuild lane 0
+                # locally as the representative environment (same derived
+                # seed, so it mirrors the worker's lane exactly).
+                from repro.core.vecenv import lane_specs_from_scenarios
+
+                self.env = lane_specs_from_scenarios(
+                    [scenario],
+                    seed=derive_seed(seed, "vec_lanes"),
+                    env_config=self.config.env,
+                    reward_config=self.config.reward,
+                    encoder_config=self.config.encoder,
+                )[0].build()
             self._training_network = self.env.network
             self._generator = self.env.generator
             self.agent = agent or DQNAgent(
@@ -183,6 +209,10 @@ class VNFManager:
         """Restore agent parameters saved by :meth:`save_agent`."""
         self.agent.load(path)
         self._trained = True
+
+    def close(self) -> None:
+        """Release training resources (stops env worker processes, if any)."""
+        self.trainer.close()
 
     def summary(self) -> Dict[str, object]:
         """A JSON-friendly description of the manager's configuration."""

@@ -1,0 +1,996 @@
+"""Process-parallel vectorized placement environments.
+
+:class:`SubprocVecPlacementEnv` shards the K lanes of a
+:class:`~repro.core.vecenv.VecPlacementEnv` across W worker processes::
+
+    parent                      worker 0                worker W-1
+    ------                      --------                ----------
+    actions ──(shm)──────────▶  lanes [0, k0)    ...    lanes [kW-1, K)
+    step cmd ──(pipe)────────▶  VecPlacementEnv         VecPlacementEnv
+    states/masks/rewards/...  ◀──(shm)── shard slices ──(shm)──┘
+
+Each worker rebuilds its shard of lanes locally from pickled
+:class:`~repro.core.vecenv.LaneSpec` objects (live environments never cross a
+process boundary) and drives them with the *same* sync
+:class:`~repro.core.vecenv.VecPlacementEnv` kernel — batched mask kernel,
+memoized :class:`~repro.core.vecenv.LaneDecisionContext`, auto-reset — so a
+sharded run is decision-for-decision identical to the sync class.  Per-step
+payloads — the ``(K, S)`` state batch, ``(K, A)`` masks, rewards/dones, info
+numerics (outcomes, episode statistics, terminal states) and fault-injection
+buffers (fenced-node ids) — travel through one
+:mod:`multiprocessing.shared_memory` block; the command pipes carry only tiny
+control tuples, so step/reset round-trips copy no pickled state.
+
+The class exposes the exact ``reset`` / ``step`` / ``valid_action_masks`` /
+``lane_decision_context`` surface of the sync class, so
+:class:`~repro.core.training.VecTrainer`,
+:func:`~repro.experiments.runner.evaluate_agent_across_scenarios` and the
+batched baseline policies run unmodified on top of it.  Heuristic policies
+additionally bind through :meth:`bind_policy`: the policy is shipped to every
+worker once and acts on the live shard substrate in-process, with only the
+chosen actions crossing back through shared memory.
+
+Use :func:`make_vec_env` to pick the backend: it degrades to the sync class
+for one worker, one lane, platforms without ``fork``, and inside worker
+processes (nested pools must not spawn grandchildren).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import traceback
+from copy import copy as shallow_copy
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.env import EnvConfig, EpisodeStats
+from repro.core.reward import RewardConfig
+from repro.core.state import EncoderConfig
+from repro.core.vecenv import (
+    LaneDecisionContext,
+    LaneSpec,
+    VecPlacementEnv,
+    lane_specs_from_scenarios,
+)
+from repro.sim.failures import FailureConfig
+from repro.utils.rng import RandomState
+from repro.workloads.scenarios import Scenario
+
+__all__ = [
+    "SubprocVecPlacementEnv",
+    "make_vec_env",
+    "in_worker_process",
+    "subproc_available",
+]
+
+#: Field order of the episode-statistics rows mirrored through shared memory.
+STATS_FIELDS = (
+    "requests_seen",
+    "accepted",
+    "rejected",
+    "infeasible",
+    "total_reward",
+    "total_latency_ms",
+    "total_cost",
+    "disrupted",
+)
+_STATS_INT_FIELDS = {"requests_seen", "accepted", "rejected", "infeasible", "disrupted"}
+
+#: Key order of ``EpisodeStats.as_dict()`` payloads (finished episodes travel
+#: through shared memory as one row of these values).
+STATS_DICT_FIELDS = (
+    "requests_seen",
+    "accepted",
+    "rejected",
+    "infeasible",
+    "total_reward",
+    "acceptance_ratio",
+    "mean_latency_ms",
+    "total_cost",
+    "disrupted",
+)
+
+#: Step outcomes encoded as one byte per lane (0 is "no outcome", never seen
+#: after a step).
+_OUTCOMES = ("", "rejected", "placed", "accepted", "no_route", "infeasible", "commit_failed")
+_OUTCOME_CODE = {name: code for code, name in enumerate(_OUTCOMES)}
+
+#: Environment variable set by :mod:`repro.experiments.parallel` inside its
+#: pool workers; :func:`make_vec_env` degrades to the sync backend there.
+POOL_WORKER_ENV = "REPRO_IN_POOL_WORKER"
+
+
+def subproc_available() -> bool:
+    """Whether this platform supports the shared-memory worker backend.
+
+    Workers are started with the ``fork`` method so that lane specs (which
+    may close over scenario topology factories) need never be picklable for
+    process *creation*; platforms without ``fork`` fall back to the sync
+    environment.
+    """
+    return "fork" in mp.get_all_start_methods()
+
+
+def in_worker_process() -> bool:
+    """True inside any multiprocessing child (pool worker or env worker).
+
+    Subprocess environments must not be created there: nested pools
+    oversubscribe the machine and ``ProcessPoolExecutor`` workers may not
+    spawn grandchildren cleanly on every platform.
+    """
+    if os.environ.get(POOL_WORKER_ENV, "") == "1":
+        return True
+    return mp.parent_process() is not None
+
+
+# --------------------------------------------------------------------------- #
+# Shared-memory layout
+# --------------------------------------------------------------------------- #
+class SharedLayout:
+    """Offsets and shapes of every array in the shared-memory block.
+
+    The layout is a pure description (picklable) computed once from the lane
+    dimensions; parent and workers both map numpy views onto the same block
+    from it.  All arrays are 8-byte aligned.
+    """
+
+    def __init__(self, num_lanes: int, state_dim: int, num_actions: int, num_nodes: int) -> None:
+        K, S, A, N = num_lanes, state_dim, num_actions, num_nodes
+        self.fields: List[Tuple[str, tuple, str]] = [
+            ("states", (K, S), "f8"),
+            ("terminal_states", (K, S), "f8"),
+            ("masks", (K, A), "b1"),
+            ("actions", (K,), "i8"),
+            ("rewards", (K,), "f8"),
+            ("dones", (K,), "b1"),
+            ("request_done", (K,), "b1"),
+            ("outcomes", (K,), "i1"),
+            ("request_ids", (K,), "i8"),
+            ("finished_stats", (K, len(STATS_DICT_FIELDS)), "f8"),
+            ("current_stats", (K, len(STATS_FIELDS)), "f8"),
+            ("failed_nodes", (K, N), "i8"),
+            ("ctx_active", (K,), "b1"),
+            ("ctx_anchor_rows", (K,), "i8"),
+            ("ctx_demands", (K, 3), "f8"),
+            ("ctx_extras", (K,), "f8"),
+            ("ctx_budgets", (K,), "f8"),
+            ("ctx_holding", (K,), "f8"),
+            ("ctx_used", (K, N, 3), "f8"),
+            ("ctx_latency", (K, N), "f8"),
+            ("const_capacity_plus_tol", (K, N, 3), "f8"),
+            ("const_node_capacity", (K, N, 3), "f8"),
+            ("const_node_capacity_safe", (K, N, 3), "f8"),
+            ("const_node_cost_per_unit", (K, N, 3), "f8"),
+        ]
+        self.offsets: Dict[str, int] = {}
+        cursor = 0
+        for name, shape, dtype in self.fields:
+            self.offsets[name] = cursor
+            nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+            cursor += (nbytes + 7) // 8 * 8
+        self.total_bytes = max(cursor, 8)
+
+    def map_views(self, buffer) -> Dict[str, np.ndarray]:
+        """Numpy views of every field over ``buffer`` (no copies)."""
+        return {
+            name: np.ndarray(shape, dtype=dtype, buffer=buffer, offset=self.offsets[name])
+            for name, shape, dtype in self.fields
+        }
+
+
+def _stats_row(stats: EpisodeStats) -> List[float]:
+    return [float(getattr(stats, field)) for field in STATS_FIELDS]
+
+
+def _stats_from_row(row: np.ndarray) -> EpisodeStats:
+    values = {
+        field: (int(row[i]) if field in _STATS_INT_FIELDS else float(row[i]))
+        for i, field in enumerate(STATS_FIELDS)
+    }
+    return EpisodeStats(**values)
+
+
+def _stats_dict_from_row(row: np.ndarray) -> Dict[str, float]:
+    return {
+        field: (int(row[i]) if field in _STATS_INT_FIELDS else float(row[i]))
+        for i, field in enumerate(STATS_DICT_FIELDS)
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Worker process
+# --------------------------------------------------------------------------- #
+def _attach_shared_memory(name: str):
+    """Attach to the parent's shared-memory block.
+
+    Workers are forked, so they share the parent's resource-tracker process:
+    their attach re-registers the same name into the tracker's (set-valued)
+    cache, which is a no-op, and the single entry is removed when the parent
+    unlinks the block on close.  Nothing to compensate for here — in
+    particular the worker must *not* unregister the name itself, or the
+    parent's unlink would find the tracker entry already gone.
+    """
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(name=name)
+
+
+def _worker_main(conn, specs: Sequence[LaneSpec], lane_lo: int, lane_hi: int, auto_reset: bool) -> None:
+    """Command loop of one environment worker.
+
+    Builds lanes ``[lane_lo, lane_hi)`` from their specs, reports the lane
+    dimensions, attaches to the parent's shared-memory block and then serves
+    step/reset/mask/context commands until told to close.  All bulk data
+    moves through the shared views; the pipe carries only command tuples and
+    tiny acknowledgements.
+    """
+    shm = None
+    try:
+        try:
+            shard = VecPlacementEnv.from_specs(specs, auto_reset=auto_reset)
+        except Exception:
+            conn.send(("error", traceback.format_exc()))
+            return
+        reference = shard.envs[0]
+        kernel_ok = shard._mask_kernel
+        conn.send(
+            (
+                "ready",
+                {
+                    "state_dim": shard.state_dim,
+                    "num_actions": shard.num_actions,
+                    "num_nodes": shard.num_actions - 1,
+                    "kernel_ok": kernel_ok,
+                    "node_order": list(reference.encoder.node_order),
+                    "latency_check": bool(reference.config.latency_mask_check),
+                    "latency_matrix": (
+                        np.asarray(reference.network.latency_matrix)
+                        if kernel_ok
+                        else None
+                    ),
+                },
+            )
+        )
+        try:
+            command, payload = conn.recv()
+        except EOFError:  # parent died before attaching
+            return
+        if command != "attach":  # parent aborted during construction
+            return
+        shm_name, layout = payload
+        shm = _attach_shared_memory(shm_name)
+        views = layout.map_views(shm.buf)
+        sl = slice(lane_lo, lane_hi)
+
+        def write_constants() -> None:
+            ledgers = [env.network.ledger for env in shard.envs]
+            views["const_capacity_plus_tol"][sl] = np.stack(
+                [ledger._capacity_plus_tol for ledger in ledgers]
+            )
+            views["const_node_capacity"][sl] = np.stack(
+                [ledger.node_capacity for ledger in ledgers]
+            )
+            views["const_node_capacity_safe"][sl] = np.stack(
+                [ledger.node_capacity_safe for ledger in ledgers]
+            )
+            views["const_node_cost_per_unit"][sl] = np.stack(
+                [ledger.node_cost_per_unit for ledger in ledgers]
+            )
+
+        def mirror_lane(local: int) -> None:
+            lane = lane_lo + local
+            env = shard.envs[local]
+            views["current_stats"][lane] = _stats_row(env.stats)
+            failed_row = views["failed_nodes"][lane]
+            failed_row[:] = -1
+            failed = env.failed_nodes
+            failed_row[: len(failed)] = failed
+
+        def mirror_all() -> None:
+            for local in range(len(shard.envs)):
+                mirror_lane(local)
+
+        write_constants()
+        mirror_all()
+        conn.send(("ok", None))
+
+        policy = None
+        while True:
+            try:
+                command, payload = conn.recv()
+            except EOFError:
+                break
+            try:
+                if command == "step":
+                    actions = views["actions"][sl]
+                    states, rewards, dones, infos = shard.step(actions, observe=payload)
+                    views["states"][sl] = states
+                    views["rewards"][sl] = rewards
+                    views["dones"][sl] = dones
+                    for local, info in enumerate(infos):
+                        lane = lane_lo + local
+                        views["request_done"][lane] = info["request_done"]
+                        views["outcomes"][lane] = _OUTCOME_CODE[info["outcome"]]
+                        views["request_ids"][lane] = info["request_id"]
+                        if dones[local]:
+                            views["terminal_states"][lane] = info["terminal_state"]
+                            stats = info["episode_stats"]
+                            views["finished_stats"][lane] = [
+                                float(stats[field]) for field in STATS_DICT_FIELDS
+                            ]
+                    mirror_all()
+                    conn.send(("ok", None))
+                elif command == "masks":
+                    views["masks"][sl] = shard.valid_action_masks()
+                    conn.send(("ok", None))
+                elif command == "reset":
+                    views["states"][sl] = shard.reset(observe=payload)
+                    mirror_all()
+                    conn.send(("ok", None))
+                elif command == "reset_lane":
+                    views["states"][lane_lo + payload] = shard.reset_lane(payload)
+                    mirror_lane(payload)
+                    conn.send(("ok", None))
+                elif command == "context":
+                    context = shard.lane_decision_context()
+                    if context is None:
+                        conn.send(("ok", False))
+                    else:
+                        views["ctx_active"][sl] = context.active
+                        views["ctx_anchor_rows"][sl] = context.anchor_rows
+                        views["ctx_demands"][sl] = context.demands
+                        views["ctx_extras"][sl] = context.extras
+                        views["ctx_budgets"][sl] = context.budgets
+                        views["ctx_holding"][sl] = context.holding
+                        views["ctx_used"][sl] = context.used
+                        views["ctx_latency"][sl] = context.latency
+                        conn.send(("ok", True))
+                elif command == "bind_policy":
+                    policy = payload
+                    policy.bind_lanes(shard)
+                    conn.send(("ok", None))
+                elif command == "policy_actions":
+                    if policy is None:
+                        raise RuntimeError("no policy bound; call bind_policy first")
+                    masks = shard.valid_action_masks()
+                    views["actions"][sl] = policy.select_actions(None, masks)
+                    conn.send(("ok", None))
+                elif command == "policy_reset":
+                    if policy is not None:
+                        policy.reset()
+                    conn.send(("ok", None))
+                elif command == "close":
+                    break
+                else:
+                    raise ValueError(f"unknown worker command {command!r}")
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+    except (KeyboardInterrupt, BrokenPipeError):  # pragma: no cover
+        pass
+    finally:
+        if shm is not None:
+            shm.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+# --------------------------------------------------------------------------- #
+# Parent-side proxy
+# --------------------------------------------------------------------------- #
+class SubprocVecPlacementEnv:
+    """K placement lanes sharded across W worker processes.
+
+    Drop-in replacement for :class:`~repro.core.vecenv.VecPlacementEnv`
+    built from lane specs (see :meth:`from_scenarios` /
+    :func:`~repro.core.vecenv.lane_specs_from_scenarios`); lanes are assigned
+    to workers in contiguous blocks, preserving lane order, so trajectories
+    are bitwise identical to the sync class on the same specs.
+    """
+
+    def __init__(
+        self,
+        lane_specs: Sequence[LaneSpec],
+        auto_reset: bool = True,
+        num_workers: int = 2,
+        lane_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not lane_specs:
+            raise ValueError("SubprocVecPlacementEnv needs at least one lane")
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if not subproc_available():
+            raise RuntimeError(
+                "subprocess environments need the 'fork' start method; "
+                "use make_vec_env() to fall back to the sync backend"
+            )
+        self._specs = list(lane_specs)
+        self.auto_reset = auto_reset
+        self.lane_names: List[str] = (
+            list(lane_names)
+            if lane_names is not None
+            else [spec.name for spec in self._specs]
+        )
+        if len(self.lane_names) != len(self._specs):
+            raise ValueError(
+                f"{len(self.lane_names)} lane names for {len(self._specs)} lanes"
+            )
+        self.episodes_completed = 0
+        self.num_workers = min(int(num_workers), len(self._specs))
+        self._closed = False
+        self._broken = False
+        self._shm = None
+        self._processes: List[mp.Process] = []
+        self._conns: List = []
+        self._bound_policy = None
+        self._version = 0
+        self._masks_cache: Optional[np.ndarray] = None
+        self._masks_version = -1
+        self._context: Optional[LaneDecisionContext] = None
+        self._context_version = -1
+
+        # Start the resource tracker *before* forking: workers then inherit
+        # and share it, so their shared-memory attach registrations land in
+        # the same (set-valued) cache the parent's unlink clears.  Forking
+        # first would leave each worker to spawn its own tracker, which
+        # tries to clean the parent's segment a second time at worker exit.
+        try:  # pragma: no cover - tracker internals
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:
+            pass
+        context = mp.get_context("fork")
+        bounds = np.linspace(0, len(self._specs), self.num_workers + 1).astype(int)
+        self._shards: List[Tuple[int, int]] = [
+            (int(bounds[w]), int(bounds[w + 1])) for w in range(self.num_workers)
+        ]
+        try:
+            for lane_lo, lane_hi in self._shards:
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(
+                        child_conn,
+                        self._specs[lane_lo:lane_hi],
+                        lane_lo,
+                        lane_hi,
+                        auto_reset,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._processes.append(process)
+                self._conns.append(parent_conn)
+            self._handshake()
+        except Exception:
+            self.close()
+            raise
+
+    def _handshake(self) -> None:
+        metas = []
+        for worker, conn in enumerate(self._conns):
+            tag, meta = self._recv(worker)
+            if tag == "error":
+                raise RuntimeError(
+                    f"environment worker {worker} failed to build its lanes:\n{meta}"
+                )
+            if tag != "ready":  # pragma: no cover - defensive
+                raise RuntimeError(f"worker {worker} sent {tag!r} instead of ready")
+            metas.append(meta)
+        reference = metas[0]
+        for worker, meta in enumerate(metas):
+            if (
+                meta["state_dim"] != reference["state_dim"]
+                or meta["num_actions"] != reference["num_actions"]
+            ):
+                raise ValueError(
+                    f"worker {worker} lanes have (state_dim, num_actions)="
+                    f"({meta['state_dim']}, {meta['num_actions']}) but worker 0 "
+                    f"has ({reference['state_dim']}, {reference['num_actions']}); "
+                    "all lanes must share one observation and action space"
+                )
+        self._state_dim = int(reference["state_dim"])
+        self._num_actions = int(reference["num_actions"])
+        self._num_nodes = int(reference["num_nodes"])
+        # The parent-side decision context mirrors the sync batched kernel's
+        # applicability rule: every shard kernel-capable *and* structurally
+        # identical across shards (same node order, latency matrix and
+        # latency-mask setting).
+        self._context_supported = all(meta["kernel_ok"] for meta in metas) and all(
+            meta["node_order"] == reference["node_order"]
+            and meta["latency_check"] == reference["latency_check"]
+            and np.array_equal(meta["latency_matrix"], reference["latency_matrix"])
+            for meta in metas[1:]
+        )
+        self._node_order = list(reference["node_order"])
+
+        from multiprocessing import shared_memory
+
+        self._layout = SharedLayout(
+            self.num_lanes, self._state_dim, self._num_actions, self._num_nodes
+        )
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=self._layout.total_bytes
+        )
+        self._views = self._layout.map_views(self._shm.buf)
+        for conn in self._conns:
+            conn.send(("attach", (self._shm.name, self._layout)))
+        self._collect()
+        # Snapshot the constant ledger stacks (written once by the workers at
+        # attach): contexts assembled later hand these out, and a snapshot
+        # keeps them valid even after close() unmaps the shared block.
+        self._constants = {
+            name: self._views[f"const_{name.lstrip('_')}"].copy()
+            for name in (
+                "node_capacity",
+                "node_capacity_safe",
+                "node_cost_per_unit",
+                "_capacity_plus_tol",
+            )
+        }
+
+    # ------------------------------------------------------------------ #
+    # Command plumbing
+    # ------------------------------------------------------------------ #
+    def _recv(self, worker: int):
+        try:
+            return self._conns[worker].recv()
+        except (EOFError, OSError) as exc:
+            self._broken = True
+            exitcode = self._processes[worker].exitcode
+            raise RuntimeError(
+                f"environment worker {worker} died (exit code {exitcode}); "
+                "the vectorized environment is unusable — close() it"
+            ) from exc
+
+    def _collect(self, workers: Optional[Sequence[int]] = None) -> List[object]:
+        """Gather one reply per worker, keeping the pipes in lockstep.
+
+        Every worker's pending reply is drained even when an earlier worker
+        reports an error — otherwise the unread acks would desynchronize all
+        later commands.  Any error marks the environment broken (the shards
+        have diverged: the failing worker's lanes never advanced) so further
+        commands refuse to run instead of returning torn results.
+        """
+        payloads = []
+        errors: List[str] = []
+        for worker in workers if workers is not None else range(len(self._conns)):
+            try:
+                tag, payload = self._recv(worker)
+            except RuntimeError as exc:  # dead worker; keep draining the rest
+                errors.append(str(exc))
+                continue
+            if tag == "error":
+                errors.append(f"environment worker {worker} failed:\n{payload}")
+                continue
+            payloads.append(payload)
+        if errors:
+            self._broken = True
+            raise RuntimeError("; ".join(errors))
+        return payloads
+
+    def _command_all(self, command: str, payload=None) -> List[object]:
+        self._ensure_open()
+        for worker, conn in enumerate(self._conns):
+            try:
+                conn.send((command, payload))
+            except (BrokenPipeError, OSError) as exc:
+                self._broken = True
+                exitcode = self._processes[worker].exitcode
+                raise RuntimeError(
+                    f"environment worker {worker} died (exit code {exitcode})"
+                ) from exc
+        return self._collect()
+
+    def _command_one(self, worker: int, command: str, payload=None) -> object:
+        self._ensure_open()
+        try:
+            self._conns[worker].send((command, payload))
+        except (BrokenPipeError, OSError) as exc:
+            self._broken = True
+            exitcode = self._processes[worker].exitcode
+            raise RuntimeError(
+                f"environment worker {worker} died (exit code {exitcode})"
+            ) from exc
+        return self._collect([worker])[0]
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("the subprocess environment has been closed")
+        if self._broken:
+            raise RuntimeError(
+                "the subprocess environment is broken (a worker failed and "
+                "its lanes diverged); close() it and build a fresh one"
+            )
+
+    def _worker_for_lane(self, lane: int) -> int:
+        for worker, (lane_lo, lane_hi) in enumerate(self._shards):
+            if lane_lo <= lane < lane_hi:
+                return worker
+        raise IndexError(f"lane {lane} out of range for {self.num_lanes} lanes")
+
+    # ------------------------------------------------------------------ #
+    # Construction from scenarios
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario: Scenario,
+        num_lanes: int,
+        seed: RandomState = 0,
+        env_config: Optional[EnvConfig] = None,
+        reward_config: Optional[RewardConfig] = None,
+        encoder_config: Optional[EncoderConfig] = None,
+        auto_reset: bool = True,
+        failure_config: Optional[FailureConfig] = None,
+        num_workers: int = 2,
+    ) -> "SubprocVecPlacementEnv":
+        """K sharded lanes of one scenario with derived workload seeds."""
+        if num_lanes <= 0:
+            raise ValueError(f"num_lanes must be positive, got {num_lanes}")
+        return cls.from_scenarios(
+            [scenario] * num_lanes,
+            seed=seed,
+            env_config=env_config,
+            reward_config=reward_config,
+            encoder_config=encoder_config,
+            auto_reset=auto_reset,
+            failure_config=failure_config,
+            num_workers=num_workers,
+        )
+
+    @classmethod
+    def from_scenarios(
+        cls,
+        scenarios: Sequence[Scenario],
+        seed: RandomState = 0,
+        env_config: Optional[EnvConfig] = None,
+        reward_config: Optional[RewardConfig] = None,
+        encoder_config: Optional[EncoderConfig] = None,
+        auto_reset: bool = True,
+        derive_lane_seeds: bool = True,
+        failure_config: Optional[FailureConfig] = None,
+        num_workers: int = 2,
+    ) -> "SubprocVecPlacementEnv":
+        """One sharded lane per scenario (seed rules match the sync class)."""
+        specs = lane_specs_from_scenarios(
+            scenarios,
+            seed=seed,
+            env_config=env_config,
+            reward_config=reward_config,
+            encoder_config=encoder_config,
+            derive_lane_seeds=derive_lane_seeds,
+            failure_config=failure_config,
+        )
+        return cls(specs, auto_reset=auto_reset, num_workers=num_workers)
+
+    # ------------------------------------------------------------------ #
+    # Dimensions
+    # ------------------------------------------------------------------ #
+    @property
+    def num_lanes(self) -> int:
+        """Number of environment lanes (K) across all workers."""
+        return len(self._specs)
+
+    @property
+    def state_dim(self) -> int:
+        """Width of each lane's observation vector."""
+        return self._state_dim
+
+    @property
+    def num_actions(self) -> int:
+        """Number of discrete actions (shared by all lanes)."""
+        return self._num_actions
+
+    @property
+    def worker_shards(self) -> List[Tuple[int, int]]:
+        """The ``[lane_lo, lane_hi)`` block of lanes owned by each worker."""
+        return list(self._shards)
+
+    # ------------------------------------------------------------------ #
+    # Episode lifecycle
+    # ------------------------------------------------------------------ #
+    def reset(self, observe: bool = True) -> np.ndarray:
+        """Reset every lane; returns the ``(K, state_dim)`` state batch."""
+        self._version += 1
+        self._command_all("reset", observe)
+        return self._views["states"].copy()
+
+    def reset_lane(self, lane: int) -> np.ndarray:
+        """Reset a single lane; returns its fresh state vector."""
+        self._version += 1
+        worker = self._worker_for_lane(lane)
+        lane_lo = self._shards[worker][0]
+        self._command_one(worker, "reset_lane", lane - lane_lo)
+        return self._views["states"][lane].copy()
+
+    def step(
+        self, actions: Sequence[int], observe: bool = True
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[Dict[str, object]]]:
+        """Apply one action per lane (same contract as the sync class)."""
+        self._ensure_open()
+        actions = np.asarray(actions, dtype=np.int64).ravel()
+        if actions.shape[0] != self.num_lanes:
+            raise ValueError(
+                f"got {actions.shape[0]} actions for {self.num_lanes} lanes"
+            )
+        self._version += 1
+        views = self._views
+        views["actions"][:] = actions
+        self._command_all("step", observe)
+        states = views["states"].copy()
+        rewards = views["rewards"].copy()
+        dones = views["dones"].copy()
+        self.episodes_completed += int(dones.sum())
+        infos: List[Dict[str, object]] = []
+        for lane in range(self.num_lanes):
+            info: Dict[str, object] = {
+                "request_id": int(views["request_ids"][lane]),
+                "request_done": bool(views["request_done"][lane]),
+                "outcome": _OUTCOMES[int(views["outcomes"][lane])],
+                "episode_stats": (
+                    _stats_dict_from_row(views["finished_stats"][lane])
+                    if dones[lane]
+                    else None
+                ),
+                "lane": lane,
+                "lane_name": self.lane_names[lane],
+            }
+            if dones[lane]:
+                info["terminal_state"] = views["terminal_states"][lane].copy()
+            infos.append(info)
+        return states, rewards, dones, infos
+
+    # ------------------------------------------------------------------ #
+    # Masks, context and per-lane state
+    # ------------------------------------------------------------------ #
+    def valid_action_masks(self) -> np.ndarray:
+        """Stacked ``(K, num_actions)`` boolean validity masks.
+
+        Each worker runs the sync batched mask kernel over its shard and
+        writes its rows into shared memory; the round-trip is memoized per
+        decision step, so repeated calls between steps cost nothing.
+        """
+        self._ensure_open()
+        if self._masks_cache is None or self._masks_version != self._version:
+            self._command_all("masks")
+            self._masks_cache = self._views["masks"].copy()
+            self._masks_version = self._version
+        return self._masks_cache.copy()
+
+    def lane_decision_context(self) -> Optional[LaneDecisionContext]:
+        """The batched decision context of the current step (memoized).
+
+        ``None`` when the lane set does not support the batched kernel,
+        mirroring the sync class.  Otherwise every worker fills its shard's
+        slice of the context buffers and the parent assembles one
+        :class:`~repro.core.vecenv.LaneDecisionContext` over all K lanes —
+        the constant stacks (capacities, unit costs) were written once at
+        construction and are shared by every context.
+        """
+        self._ensure_open()
+        if not self._context_supported:
+            return None
+        if self._context is not None and self._context_version == self._version:
+            return self._context
+        supported = self._command_all("context")
+        if not all(supported):  # pragma: no cover - shards validated at init
+            return None
+        views = self._views
+        anchor_rows = views["ctx_anchor_rows"].copy()
+        self._context = LaneDecisionContext(
+            active=views["ctx_active"].copy(),
+            anchor_rows=anchor_rows,
+            demands=views["ctx_demands"].copy(),
+            extras=views["ctx_extras"].copy(),
+            budgets=views["ctx_budgets"].copy(),
+            holding=views["ctx_holding"].copy(),
+            used=views["ctx_used"].copy(),
+            capacity_plus_tol=self._constants["_capacity_plus_tol"],
+            latency=views["ctx_latency"].copy(),
+            constant_stack=self._constant_stack,
+        )
+        self._context_version = self._version
+        return self._context
+
+    def _constant_stack(self, attr: str, ledgers=None) -> np.ndarray:
+        """Constant ledger stacks snapshotted from the workers at attach."""
+        return self._constants[attr]
+
+    def lane_stats(self) -> List[EpisodeStats]:
+        """Per-lane statistics of the episodes currently in progress.
+
+        Workers mirror every lane's live counters into shared memory after
+        each command, so this reads the same values the sync class would
+        report — without a worker round-trip.
+        """
+        self._ensure_open()
+        return [
+            _stats_from_row(self._views["current_stats"][lane])
+            for lane in range(self.num_lanes)
+        ]
+
+    def lane_failed_nodes(self) -> List[List[int]]:
+        """Per-lane node ids currently fenced by an injected failure."""
+        self._ensure_open()
+        failed = self._views["failed_nodes"]
+        return [
+            [int(node) for node in row[row >= 0]]
+            for row in (failed[lane] for lane in range(self.num_lanes))
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Remote heuristic-policy binding
+    # ------------------------------------------------------------------ #
+    def bind_policy(self, policy) -> None:
+        """Ship a heuristic placement policy to every worker (once).
+
+        Workers bind their own copy to their shard lanes, so the policy acts
+        on the live lane substrate in-process; per-lane plan caches live with
+        the lanes.  Transient lane-binding state is stripped before pickling.
+
+        Only one policy can be bound at a time: binding a second one would
+        silently hijack the first policy's parent-side proxy (its shadowed
+        ``select_actions`` fetches whatever the workers' bound copy
+        computed), so that is rejected — evaluate each policy on its own
+        environment, exactly like the runner does.  Re-binding the *same*
+        policy is allowed and refreshes the worker copies.
+        """
+        if self._bound_policy is not None and self._bound_policy is not policy:
+            raise RuntimeError(
+                f"policy {getattr(self._bound_policy, 'name', '?')!r} is "
+                "already bound to this environment; close() it and build a "
+                "fresh one per policy"
+            )
+        clone = shallow_copy(policy)
+        for transient in (
+            "_lane_envs",
+            "_lane_venv",
+            "_remote_venv",
+            "_lane_plans",
+            "_lane_request_ids",
+            "select_actions",
+        ):
+            clone.__dict__.pop(transient, None)
+        try:
+            payload = pickle.loads(pickle.dumps(clone))
+        except Exception as exc:
+            raise ValueError(
+                f"policy {getattr(policy, 'name', policy)!r} is not picklable "
+                "and cannot be shipped to environment workers; evaluate it on "
+                "the sync VecPlacementEnv instead"
+            ) from exc
+        self._command_all("bind_policy", payload)
+        self._bound_policy = policy
+
+    def policy_actions(self) -> np.ndarray:
+        """One action per lane from the worker-side bound policy copies."""
+        if self._bound_policy is None:
+            raise RuntimeError("no policy bound; call bind_policy() first")
+        self._command_all("policy_actions")
+        return self._views["actions"].copy()
+
+    def reset_bound_policy(self) -> None:
+        """Reset the worker-side policy copies (clears per-lane plan caches)."""
+        if self._bound_policy is not None:
+            self._command_all("policy_reset")
+
+    def _unbind_policy(self) -> None:
+        """Detach the parent-side policy proxy (called from :meth:`close`).
+
+        The policy object outlives the environment; leaving it proxied to a
+        closed env would crash its next ``select_actions``/``reset``, so the
+        instance-level shadowing is undone and the policy reverts to its
+        class-level (in-process) behavior until rebound.
+        """
+        policy = self._bound_policy
+        if policy is None:
+            return
+        self._bound_policy = None
+        if getattr(policy, "_remote_venv", None) is self:
+            policy.__dict__.pop("select_actions", None)
+            policy._remote_venv = None
+
+    # ------------------------------------------------------------------ #
+    # Shutdown
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop the workers and release the shared-memory block (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._unbind_policy()
+        for conn, process in zip(self._conns, self._processes):
+            if process.is_alive():
+                try:
+                    conn.send(("close", None))
+                except (BrokenPipeError, OSError):
+                    pass
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=5.0)
+        self._views = {}
+        self._context = None
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+            self._shm = None
+
+    def __enter__(self) -> "SubprocVecPlacementEnv":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# --------------------------------------------------------------------------- #
+# Backend factory
+# --------------------------------------------------------------------------- #
+def make_vec_env(
+    scenarios: Sequence[Scenario],
+    seed: RandomState = 0,
+    env_config: Optional[EnvConfig] = None,
+    reward_config: Optional[RewardConfig] = None,
+    encoder_config: Optional[EncoderConfig] = None,
+    auto_reset: bool = True,
+    derive_lane_seeds: bool = True,
+    failure_config: Optional[FailureConfig] = None,
+    workers: Optional[int] = None,
+):
+    """Build a vectorized environment, choosing the backend by worker count.
+
+    ``workers`` (default: the ``REPRO_ENV_WORKERS`` environment variable,
+    else 1) selects the backend: with more than one worker — and more than
+    one lane, a platform with ``fork``, and *not* inside another worker
+    process (nested pools degrade to sync rather than spawn grandchildren) —
+    a :class:`SubprocVecPlacementEnv` shards the lanes across processes;
+    otherwise the sync :class:`~repro.core.vecenv.VecPlacementEnv` is
+    returned.  Both backends build lanes from the same specs, so swapping
+    backends never changes trajectories.
+    """
+    if workers is None:
+        env_value = os.environ.get("REPRO_ENV_WORKERS", "").strip()
+        workers = int(env_value) if env_value else 1
+    workers = max(1, int(workers))
+    use_subproc = (
+        workers > 1
+        and len(scenarios) > 1
+        and subproc_available()
+        and not in_worker_process()
+    )
+    specs = lane_specs_from_scenarios(
+        scenarios,
+        seed=seed,
+        env_config=env_config,
+        reward_config=reward_config,
+        encoder_config=encoder_config,
+        derive_lane_seeds=derive_lane_seeds,
+        failure_config=failure_config,
+    )
+    if use_subproc:
+        return SubprocVecPlacementEnv(
+            specs, auto_reset=auto_reset, num_workers=workers
+        )
+    return VecPlacementEnv.from_specs(specs, auto_reset=auto_reset)

@@ -110,7 +110,8 @@ class VecTrainer:
 
     def __init__(
         self,
-        venv: VecPlacementEnv,
+        venv: VecPlacementEnv,  # or any env speaking the same surface,
+        # e.g. a worker-backed SubprocVecPlacementEnv from make_vec_env()
         agent: Agent,
         config: Optional[TrainingConfig] = None,
     ) -> None:
@@ -180,6 +181,7 @@ class VecTrainer:
                 if diagnostics and "loss" in diagnostics:
                     recent_losses.append(diagnostics["loss"])
             finished_this_step: List[Dict[str, float]] = []
+            lane_stats = None  # fetched once per step, only if a lane truncates
             for lane, done in enumerate(dones):
                 truncated = bool(truncations[lane])
                 if not done and not truncated:
@@ -187,7 +189,9 @@ class VecTrainer:
                 if done:
                     stats = infos[lane]["episode_stats"]
                 else:
-                    stats = venv.envs[lane].stats.as_dict()
+                    if lane_stats is None:
+                        lane_stats = venv.lane_stats()
+                    stats = lane_stats[lane].as_dict()
                 finished_this_step.append(
                     {
                         "reward": float(stats["total_reward"]),
@@ -259,6 +263,10 @@ class VecTrainer:
             mean_latency_ms=float(np.mean([s["latency"] for s in summaries])),
             episodes=episodes,
         )
+
+    def close(self) -> None:
+        """Release the vectorized environment (stops subprocess workers)."""
+        self.venv.close()
 
 
 class Trainer(VecTrainer):

@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from dataclasses import replace as dataclass_replace
+from dataclasses import dataclass, replace as dataclass_replace
 
 from repro.core.env import EnvConfig, EpisodeStats, VNFPlacementEnv
 from repro.core.reward import RewardConfig
@@ -129,6 +129,79 @@ def lane_failure_seed(seed: RandomState, lane_index: int, scenario_name: str) ->
     failure pattern can be reproduced serially as well.
     """
     return derive_seed(seed, "vec_lane_failures", lane_index, scenario_name)
+
+
+@dataclass
+class LaneSpec:
+    """Everything needed to (re)build one environment lane.
+
+    This is the construction kernel of the vectorized environments: the sync
+    :class:`VecPlacementEnv` builds all K lanes from specs in-process, while
+    :class:`~repro.core.subproc.SubprocVecPlacementEnv` ships each worker its
+    shard of specs and lets the worker build the very same lanes locally —
+    live environments never cross a process boundary.
+    """
+
+    scenario: Scenario
+    workload_seed: int
+    name: str
+    env_config: Optional[EnvConfig] = None
+    reward_config: Optional[RewardConfig] = None
+    encoder_config: Optional[EncoderConfig] = None
+    failure_config: Optional[FailureConfig] = None
+
+    def build(self) -> VNFPlacementEnv:
+        """Build this lane: own network copy, own request stream."""
+        return make_lane_env(
+            self.scenario,
+            self.workload_seed,
+            env_config=self.env_config,
+            reward_config=self.reward_config,
+            encoder_config=self.encoder_config,
+            failure_config=self.failure_config,
+        )
+
+
+def lane_specs_from_scenarios(
+    scenarios: Sequence[Scenario],
+    seed: RandomState = 0,
+    env_config: Optional[EnvConfig] = None,
+    reward_config: Optional[RewardConfig] = None,
+    encoder_config: Optional[EncoderConfig] = None,
+    derive_lane_seeds: bool = True,
+    failure_config: Optional[FailureConfig] = None,
+) -> List[LaneSpec]:
+    """One :class:`LaneSpec` per scenario, with derived per-lane seeds.
+
+    The seed-derivation rules are exactly those of
+    :meth:`VecPlacementEnv.from_scenarios` (workload seeds via
+    :func:`lane_workload_seed`, failure seeds via :func:`lane_failure_seed`),
+    so lanes built from these specs — in-process or in worker processes —
+    reproduce the same request and failure streams.
+    """
+    return [
+        LaneSpec(
+            scenario=scenario,
+            workload_seed=(
+                lane_workload_seed(seed, index, scenario.name)
+                if derive_lane_seeds
+                else scenario.workload_config.seed
+            ),
+            name=scenario.name,
+            env_config=env_config,
+            reward_config=reward_config,
+            encoder_config=encoder_config,
+            failure_config=(
+                None
+                if failure_config is None
+                else dataclass_replace(
+                    failure_config,
+                    seed=lane_failure_seed(seed, index, scenario.name),
+                )
+            ),
+        )
+        for index, scenario in enumerate(scenarios)
+    ]
 
 
 def make_lane_env(
@@ -254,30 +327,26 @@ class VecPlacementEnv:
         own derived schedule seed (:func:`lane_failure_seed`), making the
         batch a fault-diverse availability sweep.
         """
-        envs = [
-            make_lane_env(
-                scenario,
-                lane_workload_seed(seed, index, scenario.name)
-                if derive_lane_seeds
-                else scenario.workload_config.seed,
-                env_config=env_config,
-                reward_config=reward_config,
-                encoder_config=encoder_config,
-                failure_config=(
-                    None
-                    if failure_config is None
-                    else dataclass_replace(
-                        failure_config,
-                        seed=lane_failure_seed(seed, index, scenario.name),
-                    )
-                ),
-            )
-            for index, scenario in enumerate(scenarios)
-        ]
+        specs = lane_specs_from_scenarios(
+            scenarios,
+            seed=seed,
+            env_config=env_config,
+            reward_config=reward_config,
+            encoder_config=encoder_config,
+            derive_lane_seeds=derive_lane_seeds,
+            failure_config=failure_config,
+        )
+        return cls.from_specs(specs, auto_reset=auto_reset)
+
+    @classmethod
+    def from_specs(
+        cls, specs: Sequence[LaneSpec], auto_reset: bool = True
+    ) -> "VecPlacementEnv":
+        """Build one lane per :class:`LaneSpec` (the shard-construction path)."""
         return cls(
-            envs,
+            [spec.build() for spec in specs],
             auto_reset=auto_reset,
-            lane_names=[scenario.name for scenario in scenarios],
+            lane_names=[spec.name for spec in specs],
         )
 
     # ------------------------------------------------------------------ #
@@ -464,6 +533,24 @@ class VecPlacementEnv:
     def lane_stats(self) -> List[EpisodeStats]:
         """The per-lane statistics of the episodes currently in progress."""
         return [env.stats for env in self.envs]
+
+    def lane_failed_nodes(self) -> List[List[int]]:
+        """Per-lane node ids currently fenced by an injected failure."""
+        return [env.failed_nodes for env in self.envs]
+
+    def close(self) -> None:
+        """Release lane resources (a no-op for the in-process lane set).
+
+        Part of the shared vectorized-environment surface: callers close
+        whatever :func:`~repro.core.subproc.make_vec_env` handed them without
+        caring whether worker processes back it.
+        """
+
+    def __enter__(self) -> "VecPlacementEnv":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def step(
         self, actions: Sequence[int], observe: bool = True

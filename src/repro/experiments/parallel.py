@@ -97,6 +97,20 @@ def _call_star(payload: Tuple[Callable, tuple]) -> Any:
     return fn(*args)
 
 
+def _mark_pool_worker() -> None:
+    """Pool-worker initializer: flag the process as a worker.
+
+    :func:`repro.core.subproc.make_vec_env` reads this flag (and the process
+    parentage) and degrades subprocess environments to the in-process
+    backend — a task already running inside the experiment pool must not
+    spawn a second tier of environment workers and oversubscribe the
+    machine.
+    """
+    from repro.core.subproc import POOL_WORKER_ENV
+
+    os.environ[POOL_WORKER_ENV] = "1"
+
+
 def run_parallel(
     fn: Callable,
     tasks: Sequence[tuple],
@@ -122,7 +136,9 @@ def run_parallel(
     except Exception:
         return [fn(*args) for args in tasks]
     try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_mark_pool_worker
+        ) as pool:
             return list(pool.map(_call_star, payloads))
     except (OSError, BrokenProcessPool, pickle.PicklingError):
         # Sandboxes without process spawning, reaped workers, or pickling

@@ -20,8 +20,8 @@ from repro.core.env import EnvConfig
 from repro.core.manager import VNFManager
 from repro.core.reward import RewardConfig
 from repro.core.state import EncoderConfig
+from repro.core.subproc import make_vec_env
 from repro.core.training import EvaluationResult
-from repro.core.vecenv import VecPlacementEnv
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.parallel import parallel_policy_comparison
 from repro.sim.failures import FailureConfig
@@ -139,10 +139,11 @@ def evaluate_agent_across_scenarios(
     encoder_config: Optional[EncoderConfig] = None,
     max_steps_per_episode: int = 2000,
     failure_config: Optional[FailureConfig] = None,
+    env_workers: Optional[int] = None,
 ) -> List[EvaluationResult]:
     """Greedy-evaluate one batched policy over a scenario-diverse vec batch.
 
-    Builds a :class:`VecPlacementEnv` with one lane per scenario (e.g. every
+    Builds a vectorized environment with one lane per scenario (e.g. every
     load point of an arrival-rate sweep) and streams all lanes together, so
     the whole sweep is one batched decision loop instead of K serial
     evaluation runs.  Returns one :class:`EvaluationResult` per scenario,
@@ -159,49 +160,65 @@ def evaluate_agent_across_scenarios(
 
     All scenarios must share the agent's observation and action space (same
     topology size); per-lane workload seeds are derived from ``seed``.
+
+    With ``env_workers`` > 1 the lanes are sharded across that many worker
+    processes behind shared memory (see
+    :func:`~repro.core.subproc.make_vec_env`); trajectories — and therefore
+    results — are identical to the in-process backend, heuristic policies
+    included (their worker-side copies act on the live shard substrate).
     """
     if episodes_per_scenario <= 0:
         raise ValueError(
             f"episodes_per_scenario must be positive, got {episodes_per_scenario}"
         )
-    venv = VecPlacementEnv.from_scenarios(
+    venv = make_vec_env(
         scenarios,
         seed=seed,
         env_config=env_config,
         reward_config=reward_config,
         encoder_config=encoder_config,
         failure_config=failure_config,
+        workers=env_workers,
     )
-    is_heuristic = isinstance(agent, PlacementPolicy)
-    if is_heuristic:
-        agent.bind_lanes(venv)
-        agent.reset()
-    observe = not is_heuristic
-    num_lanes = venv.num_lanes
-    counts = np.zeros(num_lanes, dtype=int)
-    lane_steps = np.zeros(num_lanes, dtype=int)
-    per_lane: List[List[Dict[str, float]]] = [[] for _ in range(num_lanes)]
-    states = venv.reset(observe=observe)
-    while (counts < episodes_per_scenario).any():
-        masks = venv.valid_action_masks()
-        actions = agent.select_actions(states, masks, greedy=True)
-        states, _, dones, infos = venv.step(actions, observe=observe)
-        lane_steps += 1
-        for lane, done in enumerate(dones):
-            truncated = lane_steps[lane] >= max_steps_per_episode
-            if not done and not truncated:
-                continue
-            if counts[lane] < episodes_per_scenario:
-                stats = (
-                    infos[lane]["episode_stats"]
-                    if done
-                    else venv.envs[lane].stats.as_dict()
-                )
-                per_lane[lane].append(stats)
-                counts[lane] += 1
-            if truncated and not done:
-                states[lane] = venv.reset_lane(lane)
-            lane_steps[lane] = 0
+    try:
+        is_heuristic = isinstance(agent, PlacementPolicy)
+        if is_heuristic:
+            agent.bind_lanes(venv)
+            agent.reset()
+        observe = not is_heuristic
+        # A policy remote-bound to a worker-backed env decides inside the
+        # workers (which compute their shard masks locally), so fetching the
+        # stacked masks here would be one wasted worker round-trip per step.
+        skip_masks = is_heuristic and getattr(agent, "_remote_venv", None) is venv
+        num_lanes = venv.num_lanes
+        counts = np.zeros(num_lanes, dtype=int)
+        lane_steps = np.zeros(num_lanes, dtype=int)
+        per_lane: List[List[Dict[str, float]]] = [[] for _ in range(num_lanes)]
+        states = venv.reset(observe=observe)
+        while (counts < episodes_per_scenario).any():
+            masks = None if skip_masks else venv.valid_action_masks()
+            actions = agent.select_actions(states, masks, greedy=True)
+            states, _, dones, infos = venv.step(actions, observe=observe)
+            lane_steps += 1
+            lane_stats = None  # fetched once per step, only if a lane truncates
+            for lane, done in enumerate(dones):
+                truncated = lane_steps[lane] >= max_steps_per_episode
+                if not done and not truncated:
+                    continue
+                if counts[lane] < episodes_per_scenario:
+                    if done:
+                        stats = infos[lane]["episode_stats"]
+                    else:
+                        if lane_stats is None:
+                            lane_stats = venv.lane_stats()
+                        stats = lane_stats[lane].as_dict()
+                    per_lane[lane].append(stats)
+                    counts[lane] += 1
+                if truncated and not done:
+                    states[lane] = venv.reset_lane(lane)
+                lane_steps[lane] = 0
+    finally:
+        venv.close()
     return [
         EvaluationResult(
             mean_reward=float(np.mean([s["total_reward"] for s in stats_list])),
@@ -228,6 +245,7 @@ def evaluate_baseline_across_scenarios(
     env_config: Optional[EnvConfig] = None,
     reward_config: Optional[RewardConfig] = None,
     failure_config: Optional[FailureConfig] = None,
+    env_workers: Optional[int] = None,
 ) -> List[EvaluationResult]:
     """Evaluate one heuristic baseline over the same vec batch as an agent.
 
@@ -250,6 +268,7 @@ def evaluate_baseline_across_scenarios(
         env_config=baseline_env_config,
         reward_config=reward_config,
         failure_config=failure_config,
+        env_workers=env_workers,
     )
 
 
@@ -260,6 +279,7 @@ def vec_sweep_env_eval(
     episodes_per_scenario: int = 2,
     baselines: Optional[Sequence[PlacementPolicy]] = None,
     failure_config: Optional[FailureConfig] = None,
+    env_workers: Optional[int] = None,
 ) -> Dict[str, object]:
     """JSON-friendly scenario-diverse vec evaluation of a trained manager.
 
@@ -281,6 +301,7 @@ def vec_sweep_env_eval(
         reward_config=manager.config.reward,
         encoder_config=manager.config.encoder,
         failure_config=failure_config,
+        env_workers=env_workers,
     )
     payload: Dict[str, object] = {
         "scenarios": [scenario.name for scenario in scenarios],
@@ -302,6 +323,7 @@ def vec_sweep_env_eval(
                 env_config=manager.config.env,
                 reward_config=manager.config.reward,
                 failure_config=failure_config,
+                env_workers=env_workers,
             )
             entry = {
                 "mean_reward": [r.mean_reward for r in baseline_results],

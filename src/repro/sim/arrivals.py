@@ -94,9 +94,15 @@ class MMPPProcess(ArrivalProcess):
         )
         while time <= horizon:
             rate = self.high_rate if in_burst else self.low_rate
-            time += float(exponential_sample(self._rng, rate))
-            # Advance phases until the candidate arrival falls inside one.
-            while time > phase_end:
+            candidate = time + float(exponential_sample(self._rng, rate))
+            # A candidate drawn at this phase's rate is only valid inside the
+            # phase.  When it crosses the boundary, restart the residual draw
+            # *from the boundary* at the next phase's rate (truncating an
+            # exponential is exact by memorylessness); keeping the old
+            # candidate would carry the previous phase's rate into the new
+            # phase and bias the process towards the longer-lived rate.
+            while candidate > phase_end:
+                time = phase_end
                 in_burst = not in_burst
                 mean_duration = (
                     self.mean_high_duration if in_burst else self.mean_low_duration
@@ -104,6 +110,9 @@ class MMPPProcess(ArrivalProcess):
                 phase_end += float(
                     exponential_sample(self._rng, 1.0 / mean_duration)
                 )
+                rate = self.high_rate if in_burst else self.low_rate
+                candidate = time + float(exponential_sample(self._rng, rate))
+            time = candidate
             if time > horizon:
                 return
             yield time

@@ -9,6 +9,7 @@ full request trace one simulation run consumes.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -69,6 +70,33 @@ class RequestGenerator:
         self._template_probabilities = weights / weights.sum()
         if not network.edge_node_ids:
             raise ValueError("the substrate network has no edge nodes for ingress")
+        # Validate the hotspot configuration against this network up front:
+        # silently dropping non-edge hotspots (or skewing towards an empty
+        # hotspot set) would degrade to uniform ingress without any signal.
+        # With the skew inactive (hotspot_fraction == 0) stale ids cannot
+        # distort anything, so they only warrant a warning — configs carrying
+        # hotspot sets are commonly re-pointed at other topologies.
+        edge_ids = set(network.edge_node_ids)
+        non_edge = [n for n in self.config.hotspot_nodes if n not in edge_ids]
+        if non_edge and self.config.hotspot_fraction > 0:
+            raise ValueError(
+                f"hotspot_nodes {sorted(non_edge)} are not edge nodes of this "
+                f"network (edge nodes: {sorted(edge_ids)}); hotspot ingress "
+                "skew only applies to edge nodes"
+            )
+        if non_edge:
+            warnings.warn(
+                f"hotspot_nodes {sorted(non_edge)} are not edge nodes of this "
+                "network; they are inert while hotspot_fraction=0",
+                stacklevel=2,
+            )
+        if self.config.hotspot_fraction > 0 and not self.config.hotspot_nodes:
+            raise ValueError(
+                f"hotspot_fraction={self.config.hotspot_fraction} with an "
+                "empty hotspot_nodes set would silently degrade to uniform "
+                "ingress; configure hotspot_nodes or set hotspot_fraction=0"
+            )
+        self._hotspots: List[int] = list(self.config.hotspot_nodes)
 
     # ------------------------------------------------------------------ #
     # Single-request sampling
@@ -80,11 +108,9 @@ class RequestGenerator:
 
     def sample_source_node(self) -> int:
         """Draw an ingress edge node, honouring the hotspot skew."""
-        edge_ids = self.network.edge_node_ids
-        hotspots = [n for n in self.config.hotspot_nodes if n in edge_ids]
-        if hotspots and self._rng.uniform() < self.config.hotspot_fraction:
-            return int(self._rng.choice(hotspots))
-        return int(self._rng.choice(edge_ids))
+        if self._hotspots and self._rng.uniform() < self.config.hotspot_fraction:
+            return int(self._rng.choice(self._hotspots))
+        return int(self._rng.choice(self.network.edge_node_ids))
 
     def sample_request(self, arrival_time: float = 0.0) -> SFCRequest:
         """Sample one complete request arriving at ``arrival_time``."""

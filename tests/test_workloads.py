@@ -66,6 +66,53 @@ class TestRequestGenerator:
         hotspot_fraction = sum(1 for s in sources if s in hotspots) / len(sources)
         assert hotspot_fraction > 0.7
 
+    def test_non_edge_hotspot_nodes_rejected(self, edge_cloud_network, catalog, templates):
+        non_edge = [
+            n
+            for n in edge_cloud_network.node_ids
+            if n not in edge_cloud_network.edge_node_ids
+        ]
+        assert non_edge, "fixture network needs at least one non-edge node"
+        with pytest.raises(ValueError, match="not edge nodes"):
+            RequestGenerator(
+                edge_cloud_network,
+                catalog,
+                templates,
+                WorkloadConfig(
+                    hotspot_fraction=0.5,
+                    hotspot_nodes=(edge_cloud_network.edge_node_ids[0], non_edge[0]),
+                ),
+            )
+
+    def test_inactive_non_edge_hotspots_warn_only(
+        self, edge_cloud_network, catalog, templates
+    ):
+        non_edge = [
+            n
+            for n in edge_cloud_network.node_ids
+            if n not in edge_cloud_network.edge_node_ids
+        ]
+        with pytest.warns(UserWarning, match="inert"):
+            generator = RequestGenerator(
+                edge_cloud_network,
+                catalog,
+                templates,
+                WorkloadConfig(hotspot_fraction=0.0, hotspot_nodes=(non_edge[0],)),
+            )
+        # the inert set never influences ingress
+        assert generator.sample_source_node() in edge_cloud_network.edge_node_ids
+
+    def test_hotspot_fraction_without_hotspots_rejected(
+        self, edge_cloud_network, catalog, templates
+    ):
+        with pytest.raises(ValueError, match="empty hotspot_nodes"):
+            RequestGenerator(
+                edge_cloud_network,
+                catalog,
+                templates,
+                WorkloadConfig(hotspot_fraction=0.4, hotspot_nodes=()),
+            )
+
     def test_sla_scale_stretches_budgets(self, edge_cloud_network, catalog, templates):
         tight = RequestGenerator(
             edge_cloud_network, catalog, templates,
