@@ -4,7 +4,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: check test bench-hotpath bench-envstep bench-vecenv bench-policyeval bench-subproc bench-smoke bench clean-cache
+.PHONY: check test test-diff bench-hotpath bench-envstep bench-vecenv bench-policyeval bench-subproc bench-smoke bench clean-cache
 
 ## check: tier-1 tests + one tiny end-to-end figure run (< 1 minute)
 check:
@@ -13,6 +13,10 @@ check:
 ## test: the tier-1 test suite only
 test:
 	python -m pytest -x -q
+
+## test-diff: the SoA-vs-reference differential equivalence suite only
+test-diff:
+	python -m pytest -x -q tests/test_soa_equivalence.py
 
 ## bench-hotpath: microbenchmark of the vectorized training hot path
 bench-hotpath:

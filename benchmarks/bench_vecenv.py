@@ -1,19 +1,33 @@
-"""Microbenchmark of the vectorized multi-environment training loop.
+"""Microbenchmark of the vectorized environments and the training loop.
 
-Two measurements over the same scenario family, as a function of the lane
-count K (1, 4, 16):
+Three measurements over the same scenario family, as a function of the lane
+count K:
 
-* ``env_steps`` — raw environment throughput: masked-random actions driven
-  through :class:`VecPlacementEnv` with no agent in the loop.  Lanes step
-  serially in Python, so aggregate steps/s stays roughly flat in K; this
-  isolates the vectorization overhead of the env layer itself.
+* ``env_steps`` — aggregate environment throughput with masked-random
+  actions (no agent), for both backends of
+  :func:`~repro.core.subproc.make_vec_env`: the per-lane ``reference``
+  backend (:class:`VecPlacementEnv`, lanes step serially in Python, so
+  aggregate steps/s stays roughly flat in K) and the structure-of-arrays
+  ``soa`` backend (:class:`SoAVecPlacementEnv`).  This protocol includes
+  episode boundaries, where both backends pay the same per-lane O(K)
+  workload-generation cost.
+* ``env_steps.soa_steady_state`` — SoA **stepping** throughput measured
+  inside one long episode, so the timed window contains no episode
+  boundary.  Episode-boundary workload generation is backend-independent
+  per-lane work (the reference backend samples the identical requests);
+  timing it separately (``episode_reset_s``) isolates what the SoA core
+  actually changes — the per-step mask/observe/step pipeline.
+* ``env_steps.soa_scaling`` — the K=4 -> K=64 stepping-throughput ratio,
+  measured as **interleaved window pairs** (see
+  :func:`measure_soa_scaling_pairwise`): on shared hosts the effective CPU
+  speed drifts by tens of percent over seconds, so back-to-back per-K
+  sweeps can compare two different machine-speed phases.  The scaling bar
+  below is asserted on the median pair ratio of this series.
 * ``training_loop`` — the full DQN training decision loop (mask → batched
   ``select_actions`` → ``step`` → ``observe_batch`` → ``update``), i.e.
   exactly the per-step work of :class:`~repro.core.training.VecTrainer`.
-  K=1 routes through the agent's serial paths and is the per-step work of the
-  serial :class:`~repro.core.training.Trainer` baseline.  All K run the same
-  number of *total environment steps*; the win comes from amortizing one
-  batched forward pass and one replay update over K transitions.
+  K=1 routes through the agent's serial paths and is the per-step work of
+  the serial :class:`~repro.core.training.Trainer` baseline.
 
 Run standalone::
 
@@ -21,7 +35,9 @@ Run standalone::
     PYTHONPATH=src:. python benchmarks/bench_vecenv.py --smoke   # seconds
 
 Raw numbers are persisted to ``benchmarks/results/vecenv.json``; the script
-asserts the K=16 training loop is at least 4x faster than serial.
+asserts the K=16 training loop is at least 4x faster than serial and that
+SoA stepping scales at least ``MIN_SOA_SCALING_K4_K64`` from K=4 to K=64
+(median interleaved pair ratio).
 """
 
 from __future__ import annotations
@@ -33,17 +49,46 @@ import numpy as np
 
 from repro.agents.dqn import DQNAgent, DQNConfig
 from repro.core.env import EnvConfig
-from repro.core.vecenv import VecPlacementEnv
+from repro.core.soa import SoAVecPlacementEnv
+from repro.core.vecenv import (
+    VecPlacementEnv,
+    lane_specs_from_scenarios,
+    lane_workload_seed,
+)
 from repro.workloads.scenarios import Scenario, reference_scenario
 
 #: Required speedup of the K=16 training loop over the serial baseline.
 MIN_SPEEDUP_K16 = 4.0
+#: Enforced floor on SoA stepping-throughput scaling from K=4 to K=64,
+#: asserted on the median of the interleaved pairwise windows.  The measured
+#: batch-step cost model is T(K) ~= f + p*K with f ~= 110 us of per-call
+#: overhead (numpy kernel launches, action sampling) and p ~= 8 us of
+#: per-lane bookkeeping (commit pipeline, per-lane info dicts), which puts
+#: the true ratio near 3.5x on a quiet host; the floor leaves margin for
+#: residual timer noise.  Reaching the 4x design target needs p <= 7 us —
+#: the remaining per-lane Python work is itemized in ROADMAP.md.
+MIN_SOA_SCALING_K4_K64 = 3.0
 
 K_VALUES = (1, 4, 16)
+ENV_K_VALUES = (1, 4, 16, 64)
+SOA_K_VALUES = (1, 4, 16, 64, 256)
 TOTAL_TRAINING_STEPS = 4000
 WARMUP_STEPS = 600
 ENV_ONLY_STEPS = 4000
+#: Vectorized step() calls timed per K in the steady-state measurement.
+STEADY_BATCH_STEPS = {1: 2000, 4: 1000, 16: 600, 64: 300, 256: 120}
+STEADY_WARMUP_BATCH_STEPS = 10
+#: Safety margin on the steady-state episode length: every request consumes
+#: at least one step, so ``warmup + batch_steps + margin`` requests per
+#: episode guarantee no lane's episode ends inside the timed window (which
+#: the measurement additionally asserts via ``episodes_completed``).
+STEADY_REQUEST_MARGIN = 50
+#: Interleaved scaling measurement: window pairs and per-window step counts.
+SCALING_PAIRS = 10
+SCALING_WINDOW_BATCH_STEPS = {4: 400, 64: 150}
 SEED = 0
+
+_BACKENDS = {"reference": VecPlacementEnv, "soa": SoAVecPlacementEnv}
 
 
 def _scenario() -> Scenario:
@@ -52,16 +97,39 @@ def _scenario() -> Scenario:
     )
 
 
-def _make_venv(num_lanes: int) -> VecPlacementEnv:
-    return VecPlacementEnv.from_scenario(
-        _scenario(),
-        num_lanes,
-        seed=SEED,
-        env_config=EnvConfig(requests_per_episode=40),
+def _lane_specs(scenario: Scenario, num_lanes: int, env_config: EnvConfig):
+    """Explicit per-lane specs with the standard derived workload seeds.
+
+    The lane seeds must come from :func:`lane_workload_seed` — *not* from
+    the scenario seed itself, which would give every lane the same workload
+    stream; the derivation is asserted here so the benchmark can never
+    silently measure K copies of one lane.
+    """
+    specs = lane_specs_from_scenarios(
+        [scenario] * num_lanes, seed=SEED, env_config=env_config
     )
+    for index, spec in enumerate(specs):
+        expected = lane_workload_seed(SEED, index, scenario.name)
+        assert spec.workload_seed == expected, (
+            f"lane {index} workload seed {spec.workload_seed} is not the "
+            f"derived lane seed {expected}; lanes must not be re-seeded "
+            "from the scenario seed"
+        )
+    assert len({spec.workload_seed for spec in specs}) == num_lanes, (
+        "derived lane workload seeds collide; lanes would replay the same "
+        "request stream"
+    )
+    return specs
 
 
-def _make_agent(venv: VecPlacementEnv) -> DQNAgent:
+def _make_venv(num_lanes: int, backend: str = "reference"):
+    specs = _lane_specs(
+        _scenario(), num_lanes, EnvConfig(requests_per_episode=40)
+    )
+    return _BACKENDS[backend].from_specs(specs)
+
+
+def _make_agent(venv) -> DQNAgent:
     # Deliberately the reference network size: the point of the benchmark is
     # the real per-step agent cost that lane-parallelism amortizes.
     config = DQNConfig(
@@ -73,11 +141,141 @@ def _make_agent(venv: VecPlacementEnv) -> DQNAgent:
     return DQNAgent(venv.state_dim, venv.num_actions, config=config, seed=SEED)
 
 
-def measure_env_steps(num_lanes: int, total_steps: int) -> Dict[str, float]:
+def measure_env_steps(
+    num_lanes: int, total_steps: int, backend: str = "reference"
+) -> Dict[str, float]:
     """Aggregate env transitions/s with masked-random actions (no agent)."""
     from benchmarks.common import measure_env_steps as shared_measure
 
-    return shared_measure(_make_venv(num_lanes), total_steps, seed=SEED)
+    return shared_measure(_make_venv(num_lanes, backend), total_steps, seed=SEED)
+
+
+def measure_steady_state_env_steps(
+    num_lanes: int,
+    batch_steps: int,
+    warmup_batch_steps: int = STEADY_WARMUP_BATCH_STEPS,
+) -> Dict[str, float]:
+    """SoA stepping throughput inside one episode (no boundary in-window).
+
+    The untimed reset — per-lane workload generation plus request-view
+    precomputation, identical work to what the reference backend spreads
+    over its per-lane resets — is reported separately as
+    ``episode_reset_s``.  The measurement refuses to report a window that
+    crossed an episode boundary.
+    """
+    from benchmarks.common import masked_random_actions
+
+    requests_per_episode = (
+        batch_steps + warmup_batch_steps + STEADY_REQUEST_MARGIN
+    )
+    specs = _lane_specs(
+        _scenario(),
+        num_lanes,
+        EnvConfig(requests_per_episode=requests_per_episode),
+    )
+    venv = SoAVecPlacementEnv.from_specs(specs)
+    rng = np.random.default_rng(SEED)
+    reset_start = time.perf_counter()
+    venv.reset()
+    reset_s = time.perf_counter() - reset_start
+    for _ in range(warmup_batch_steps):
+        venv.step(masked_random_actions(venv.valid_action_masks(), rng))
+    episodes_before = venv.episodes_completed
+    start = time.perf_counter()
+    for _ in range(batch_steps):
+        venv.step(masked_random_actions(venv.valid_action_masks(), rng))
+    elapsed = time.perf_counter() - start
+    assert venv.episodes_completed == episodes_before, (
+        f"K={num_lanes}: the steady-state window crossed an episode "
+        "boundary; raise STEADY_REQUEST_MARGIN"
+    )
+    steps = batch_steps * num_lanes
+    return {
+        "lanes": num_lanes,
+        "env_steps": steps,
+        "elapsed_s": elapsed,
+        "env_steps_per_s": steps / elapsed,
+        "episode_reset_s": reset_s,
+        "requests_per_episode": requests_per_episode,
+    }
+
+
+def measure_soa_scaling_pairwise(
+    k_low: int = 4,
+    k_high: int = 64,
+    pairs: int = SCALING_PAIRS,
+    window_batch_steps: Dict[int, int] = SCALING_WINDOW_BATCH_STEPS,
+) -> Dict[str, object]:
+    """K-scaling of SoA stepping, measured in interleaved window pairs.
+
+    On shared hosts the effective CPU speed drifts by tens of percent over
+    seconds, so timing every ``k_low`` window and then every ``k_high``
+    window can compare two different machine-speed phases and report an
+    arbitrary ratio.  Both environments are therefore built once — with
+    episodes long enough that no timed window crosses an episode boundary —
+    and the two lane counts are timed in *adjacent* windows, pair by pair.
+    Each pair yields one throughput ratio taken within one machine-speed
+    phase; the distribution is summarized by its median (the asserted
+    scaling number) and its best pair.
+    """
+    from benchmarks.common import masked_random_actions
+
+    windows = {k: window_batch_steps[k] for k in (k_low, k_high)}
+    envs = {}
+    for k, batch_steps in windows.items():
+        requests_per_episode = (
+            pairs * batch_steps
+            + STEADY_WARMUP_BATCH_STEPS
+            + STEADY_REQUEST_MARGIN
+        )
+        specs = _lane_specs(
+            _scenario(), k, EnvConfig(requests_per_episode=requests_per_episode)
+        )
+        envs[k] = SoAVecPlacementEnv.from_specs(specs)
+        envs[k].reset()
+    rng = np.random.default_rng(SEED)
+
+    def run_window(k: int) -> float:
+        venv = envs[k]
+        batch_steps = windows[k]
+        episodes_before = venv.episodes_completed
+        start = time.perf_counter()
+        for _ in range(batch_steps):
+            venv.step(masked_random_actions(venv.valid_action_masks(), rng))
+        elapsed = time.perf_counter() - start
+        assert venv.episodes_completed == episodes_before, (
+            f"K={k}: a scaling window crossed an episode boundary; raise "
+            "STEADY_REQUEST_MARGIN"
+        )
+        return batch_steps * k / elapsed
+
+    for k in (k_low, k_high):
+        venv = envs[k]
+        for _ in range(STEADY_WARMUP_BATCH_STEPS):
+            venv.step(masked_random_actions(venv.valid_action_masks(), rng))
+    low_rates, high_rates, ratios = [], [], []
+    for _ in range(pairs):
+        low = run_window(k_low)
+        high = run_window(k_high)
+        low_rates.append(low)
+        high_rates.append(high)
+        ratios.append(high / low)
+    for venv in envs.values():
+        venv.close()
+    ordered = sorted(ratios)
+    return {
+        "k_low": k_low,
+        "k_high": k_high,
+        "pairs": pairs,
+        "window_batch_steps": {str(k): v for k, v in windows.items()},
+        "pair_ratios": ratios,
+        "median_ratio": ordered[len(ordered) // 2],
+        "best_ratio": ordered[-1],
+        "median_env_steps_per_s": {
+            str(k_low): sorted(low_rates)[len(low_rates) // 2],
+            str(k_high): sorted(high_rates)[len(high_rates) // 2],
+        },
+    }
 
 
 def measure_training_loop(num_lanes: int, total_steps: int, warmup_steps: int) -> Dict[str, float]:
@@ -130,19 +328,45 @@ def run_vecenv_benchmark(
     k_values=K_VALUES,
     check_speedup: bool = True,
 ) -> Dict[str, object]:
-    """Run both measurements, persist the JSON and check the speedup bar."""
+    """Run all measurements, persist the JSON and check the speedup bars."""
     results: Dict[str, object] = {
         "config": {
             "scenario": _scenario().name,
             "k_values": list(k_values),
+            "env_k_values": list(ENV_K_VALUES),
+            "soa_k_values": list(SOA_K_VALUES),
             "total_training_steps": total_steps,
             "env_only_steps": env_only_steps,
             "warmup_steps": warmup_steps,
+            "steady_state_batch_steps": dict(
+                sorted((str(k), v) for k, v in STEADY_BATCH_STEPS.items())
+            ),
+            "steady_state_request_margin": STEADY_REQUEST_MARGIN,
+            "scaling_pairs": SCALING_PAIRS,
+            "scaling_window_batch_steps": {
+                str(k): v for k, v in sorted(SCALING_WINDOW_BATCH_STEPS.items())
+            },
             "agent": "dqn(128x128, batch=64)",
             "seed": SEED,
         },
         "env_steps": {
-            f"K={k}": measure_env_steps(k, env_only_steps) for k in k_values
+            "reference": {
+                f"K={k}": measure_env_steps(
+                    k, max(env_only_steps, 60 * k), backend="reference"
+                )
+                for k in ENV_K_VALUES
+            },
+            "soa": {
+                f"K={k}": measure_env_steps(
+                    k, max(env_only_steps, 60 * k), backend="soa"
+                )
+                for k in SOA_K_VALUES
+            },
+            "soa_steady_state": {
+                f"K={k}": measure_steady_state_env_steps(k, STEADY_BATCH_STEPS[k])
+                for k in SOA_K_VALUES
+            },
+            "soa_scaling": measure_soa_scaling_pairwise(),
         },
         "training_loop": {
             f"K={k}": measure_training_loop(k, total_steps, warmup_steps)
@@ -150,23 +374,38 @@ def run_vecenv_benchmark(
         },
     }
     serial = results["training_loop"][f"K={k_values[0]}"]["env_steps_per_s"]
-    results["speedups"] = {
+    env_steps = results["env_steps"]
+    scaling_row = env_steps["soa_scaling"]
+    speedups = {
         f"training_K{k}_vs_serial": results["training_loop"][f"K={k}"][
             "env_steps_per_s"
         ]
         / serial
         for k in k_values[1:]
     }
+    speedups["env_steps_soa_K64_vs_K4"] = scaling_row["median_ratio"]
+    speedups["env_steps_soa_K64_vs_K4_best_pair"] = scaling_row["best_ratio"]
+    speedups["env_steps_soa_vs_reference_K64"] = (
+        env_steps["soa"]["K=64"]["env_steps_per_s"]
+        / env_steps["reference"]["K=64"]["env_steps_per_s"]
+    )
+    results["speedups"] = speedups
     from benchmarks.common import RESULTS_DIR
     from repro.utils.serialization import save_json
 
     save_json(results, RESULTS_DIR / "vecenv.json")
     if check_speedup:
         top_k = k_values[-1]
-        speedup = results["speedups"][f"training_K{top_k}_vs_serial"]
+        speedup = speedups[f"training_K{top_k}_vs_serial"]
         assert speedup >= MIN_SPEEDUP_K16, (
             f"K={top_k} training loop is only {speedup:.1f}x faster than the "
             f"serial trainer (required: {MIN_SPEEDUP_K16}x)"
+        )
+        scaling = speedups["env_steps_soa_K64_vs_K4"]
+        assert scaling >= MIN_SOA_SCALING_K4_K64, (
+            f"SoA stepping scales only {scaling:.1f}x from K=4 to K=64 "
+            f"(median interleaved pair ratio; required: "
+            f"{MIN_SOA_SCALING_K4_K64}x)"
         )
     return results
 
@@ -175,8 +414,12 @@ def run_smoke() -> Dict[str, float]:
     """Seconds-fast perf regression guard for CI.
 
     Compares the serial training loop against K=16 over a few hundred steps
-    and asserts a conservative 2x bar (the full benchmark's bar is 4x over a
-    longer, steadier measurement).
+    (conservative 2x bar) and checks SoA stepping scales from K=4 to K=64
+    with a three-pair interleaved measurement (conservative 2.5x bar on the
+    median; the full benchmark's bar is ``MIN_SOA_SCALING_K4_K64`` over
+    more and longer window pairs).  Lane construction goes through
+    :func:`_lane_specs`, which asserts every lane's workload seed is the
+    derived ``lane_workload_seed`` — not a re-seed from the scenario seed.
     """
     serial = measure_training_loop(1, total_steps=400, warmup_steps=160)
     vec = measure_training_loop(16, total_steps=640, warmup_steps=160)
@@ -185,10 +428,21 @@ def run_smoke() -> Dict[str, float]:
         f"K=16 training loop is only {speedup:.1f}x faster than serial on the "
         "smoke measurement (required: 2x)"
     )
+    scaling_row = measure_soa_scaling_pairwise(
+        pairs=3, window_batch_steps={4: 200, 64: 60}
+    )
+    scaling = scaling_row["median_ratio"]
+    assert scaling >= 2.5, (
+        f"SoA stepping scales only {scaling:.1f}x from K=4 to K=64 on the "
+        "smoke measurement (median of 3 interleaved pairs; required: 2.5x)"
+    )
     return {
         "serial_env_steps_per_s": serial["env_steps_per_s"],
         "vec16_env_steps_per_s": vec["env_steps_per_s"],
         "speedup": speedup,
+        "soa4_env_steps_per_s": scaling_row["median_env_steps_per_s"]["4"],
+        "soa64_env_steps_per_s": scaling_row["median_env_steps_per_s"]["64"],
+        "soa_scaling": scaling,
     }
 
 
@@ -199,6 +453,7 @@ def bench_vecenv(benchmark) -> None:
     )
     top_k = results["config"]["k_values"][-1]
     assert results["speedups"][f"training_K{top_k}_vs_serial"] >= MIN_SPEEDUP_K16
+    assert results["speedups"]["env_steps_soa_K64_vs_K4"] >= MIN_SOA_SCALING_K4_K64
 
 
 def main() -> None:
@@ -209,13 +464,31 @@ def main() -> None:
         print(
             f"vec-env smoke: serial {smoke['serial_env_steps_per_s']:.0f} "
             f"env-steps/s vs K=16 {smoke['vec16_env_steps_per_s']:.0f} "
-            f"env-steps/s ({smoke['speedup']:.1f}x, bar: >= 2x)"
+            f"env-steps/s ({smoke['speedup']:.1f}x, bar: >= 2x); "
+            f"soa stepping K=4 {smoke['soa4_env_steps_per_s']:.0f} vs "
+            f"K=64 {smoke['soa64_env_steps_per_s']:.0f} "
+            f"({smoke['soa_scaling']:.1f}x median of interleaved pairs, "
+            "bar: >= 2.5x)"
         )
         return
     results = run_vecenv_benchmark()
     print("env-only throughput (masked-random actions, aggregate steps/s)")
-    for key, row in results["env_steps"].items():
-        print(f"  {key:5s}: {row['env_steps_per_s']:10.0f}")
+    for backend in ("reference", "soa"):
+        for key, row in results["env_steps"][backend].items():
+            print(f"  {backend:9s} {key:6s}: {row['env_steps_per_s']:10.0f}")
+    print("soa steady-state stepping (episode boundaries excluded)")
+    for key, row in results["env_steps"]["soa_steady_state"].items():
+        print(
+            f"  {key:6s}: {row['env_steps_per_s']:10.0f} steps/s "
+            f"(episode reset {row['episode_reset_s']*1e3:.0f} ms, untimed)"
+        )
+    scaling_row = results["env_steps"]["soa_scaling"]
+    print(
+        f"soa K={scaling_row['k_low']} -> K={scaling_row['k_high']} scaling "
+        f"({scaling_row['pairs']} interleaved window pairs): "
+        f"median {scaling_row['median_ratio']:.2f}x, "
+        f"best {scaling_row['best_ratio']:.2f}x"
+    )
     print("training-loop throughput (DQN decision loop, env transitions/s)")
     for key, row in results["training_loop"].items():
         print(
@@ -224,8 +497,12 @@ def main() -> None:
             f"{row['gradient_updates']} updates)"
         )
     for name, value in results["speedups"].items():
-        print(f"  {name}: {value:.1f}x (bar at K={results['config']['k_values'][-1]}: "
-              f">= {MIN_SPEEDUP_K16}x)")
+        print(f"  {name}: {value:.1f}x")
+    print(
+        f"  bars: training K={results['config']['k_values'][-1]} >= "
+        f"{MIN_SPEEDUP_K16}x, soa K=64/K=4 median pair ratio >= "
+        f"{MIN_SOA_SCALING_K4_K64}x"
+    )
 
 
 if __name__ == "__main__":

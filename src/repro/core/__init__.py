@@ -11,6 +11,7 @@ from repro.core.reward import (
     cost_focused_config,
     latency_focused_config,
 )
+from repro.core.soa import SoAVecPlacementEnv, soa_supported
 from repro.core.state import EncoderConfig, StateEncoder
 from repro.core.subproc import SubprocVecPlacementEnv, make_vec_env
 from repro.core.training import (
@@ -43,6 +44,8 @@ __all__ = [
     "TrainingHistory",
     "VecTrainer",
     "VecPlacementEnv",
+    "SoAVecPlacementEnv",
+    "soa_supported",
     "SubprocVecPlacementEnv",
     "make_vec_env",
     "lane_workload_seed",

@@ -119,13 +119,15 @@ class VNFManager:
                 reward_config=self.config.reward,
                 encoder_config=self.config.encoder,
                 workers=self.config.env_workers,
+                backend="auto",
             )
             if isinstance(venv, VecPlacementEnv):
                 self.env = venv.envs[0]
             else:
-                # Worker-backed lanes live in other processes; rebuild lane 0
-                # locally as the representative environment (same derived
-                # seed, so it mirrors the worker's lane exactly).
+                # Worker-backed or SoA lanes expose no in-process per-lane
+                # environments; rebuild lane 0 locally as the representative
+                # environment (same derived seed, so it mirrors the training
+                # lane exactly).
                 from repro.core.vecenv import lane_specs_from_scenarios
 
                 self.env = lane_specs_from_scenarios(

@@ -1,0 +1,1447 @@
+"""Structure-of-arrays vectorized placement environment.
+
+:class:`SoAVecPlacementEnv` is the batched counterpart of
+:class:`~repro.core.vecenv.VecPlacementEnv`: instead of stepping K live
+:class:`~repro.core.env.VNFPlacementEnv` objects (each carrying its own
+substrate network, ledger and placement objects), it keeps **one** set of
+cross-lane arrays
+
+* ``node_used``  — ``(K, N, 3)`` node ledger (cpu/memory/storage),
+* ``link_used``  — ``(K, E)`` link ledger,
+
+over a single shared read-only *template* topology (capacities, unit costs,
+the all-pairs latency matrix and routed paths are identical across lanes by
+construction and therefore stored once), plus per-lane departure state in a
+:class:`ColumnarDepartureStore`.  The step/mask/observe pipeline is fused:
+one decision-context gather per step feeds the batched mask kernel, the
+batched step-reward precompute and the batched state encoder.
+
+The per-lane object path is retained as the reference backend; this class is
+**bitwise-equivalent** to it — every arithmetic expression below mirrors the
+reference operation order (see ``tests/differential.py`` for the harness that
+enforces this).  The only intentional difference is memory layout: lanes
+share constants and routed-path caches instead of duplicating them K times.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.env import EnvConfig, EpisodeStats
+from repro.core.reward import RewardConfig
+from repro.core.state import NODE_FEATURES, REQUEST_SCALARS, EncoderConfig
+from repro.core.vecenv import LaneDecisionContext, LaneSpec, lane_specs_from_scenarios
+from repro.nfv.sfc import SFCRequest
+from repro.nfv.sla import DEFAULT_NODE_AVAILABILITY
+from repro.sim.failures import FailureConfig, FailureEvent, FailureInjector
+from repro.substrate.network import NoRouteError, SubstrateNetwork
+from repro.utils.rng import RandomState, derive_seed
+from repro.workloads.scenarios import Scenario
+
+from dataclasses import replace as dataclass_replace
+
+
+class ColumnarDepartureStore:
+    """Columnar event store for committed placements awaiting departure.
+
+    The reference backend keeps one ``heapq`` of ``(departure_time, counter,
+    Placement)`` tuples *per lane*, each Placement owning segment/instance
+    objects.  Here every committed placement is one **record index** into
+    parallel columns (lane id, departure time, bandwidth, hosting rows,
+    per-instance demand arrays, per-segment link slots, distinct-row set,
+    committed flag).  Per-lane heaps order ``(departure_time, counter,
+    record)`` keys into this store — the ``(time, counter)`` key pair is
+    identical to the reference heap keys, so heap-internal order (and hence
+    the raw-heap iteration order used by failure teardown) is replicated
+    exactly.  Freed records are recycled through a free list.
+    """
+
+    __slots__ = (
+        "lane",
+        "departure",
+        "bandwidth",
+        "rows",
+        "demands",
+        "segments",
+        "row_sets",
+        "committed",
+        "_free",
+    )
+
+    def __init__(self) -> None:
+        self.lane: List[int] = []
+        self.departure: List[float] = []
+        self.bandwidth: List[float] = []
+        self.rows: List[Optional[Tuple[int, ...]]] = []
+        self.demands: List[Optional[List[np.ndarray]]] = []
+        self.segments: List[Optional[List[List[int]]]] = []
+        self.row_sets: List[Optional[frozenset]] = []
+        self.committed: List[bool] = []
+        self._free: List[int] = []
+
+    def alloc(
+        self,
+        lane: int,
+        departure: float,
+        bandwidth: float,
+        rows: Tuple[int, ...],
+        demands: List[List[float]],
+        segments: List[List[int]],
+        row_set: frozenset,
+    ) -> int:
+        """Store one committed placement; returns its record index."""
+        if self._free:
+            rec = self._free.pop()
+            self.lane[rec] = lane
+            self.departure[rec] = departure
+            self.bandwidth[rec] = bandwidth
+            self.rows[rec] = rows
+            self.demands[rec] = demands
+            self.segments[rec] = segments
+            self.row_sets[rec] = row_set
+            self.committed[rec] = True
+        else:
+            rec = len(self.lane)
+            self.lane.append(lane)
+            self.departure.append(departure)
+            self.bandwidth.append(bandwidth)
+            self.rows.append(rows)
+            self.demands.append(demands)
+            self.segments.append(segments)
+            self.row_sets.append(row_set)
+            self.committed.append(True)
+        return rec
+
+    def free(self, rec: int) -> None:
+        """Recycle a record (after its heap entry has been popped)."""
+        self.committed[rec] = False
+        self.rows[rec] = None
+        self.demands[rec] = None
+        self.segments[rec] = None
+        self.row_sets[rec] = None
+        self._free.append(rec)
+
+    @property
+    def live_records(self) -> int:
+        """Number of records currently allocated (diagnostics)."""
+        return len(self.lane) - len(self._free)
+
+
+class _RequestView:
+    """Precomputed per-request constants consumed by the SoA step kernel."""
+
+    __slots__ = (
+        "request_id",
+        "source_row",
+        "dest_row",
+        "sla",
+        "min_avail",
+        "bw",
+        "holding",
+        "arrival",
+        "departure",
+        "num_vnfs",
+        "total_proc",
+        "vnfs",
+        "ctx_row",
+    )
+
+    def __init__(
+        self,
+        request_id: int,
+        source_row: int,
+        dest_row: Optional[int],
+        sla: float,
+        min_avail: float,
+        bw: float,
+        holding: float,
+        arrival: float,
+        departure: float,
+        num_vnfs: int,
+        total_proc: float,
+        vnfs: List[tuple],
+    ) -> None:
+        self.request_id = request_id
+        self.source_row = source_row
+        self.dest_row = dest_row
+        self.sla = sla
+        self.min_avail = min_avail
+        self.bw = bw
+        self.holding = holding
+        self.arrival = arrival
+        self.departure = departure
+        self.num_vnfs = num_vnfs
+        self.total_proc = total_proc
+        #: One tuple per VNF of the chain:
+        #: (demand array, demand float list, processing delay, one-hot index,
+        #:  license cost).
+        self.vnfs = vnfs
+        #: Decision-context row at the head of the chain (vnf_index 0, no
+        #: partial placements); field order matches
+        #: :meth:`SoAVecPlacementEnv.lane_decision_context`.
+        head = vnfs[0]
+        proc = head[2]
+        self.ctx_row = (
+            True,
+            head[1],
+            proc + 0.0,
+            sla,
+            holding,
+            source_row,
+            proc,
+            head[3],
+            num_vnfs,
+            bw,
+            0.0,
+            0,
+            num_vnfs,
+        )
+
+
+class _LaneState:
+    """Mutable per-lane bookkeeping (everything that is not an array)."""
+
+    __slots__ = (
+        "generator",
+        "failure_config",
+        "requests",
+        "views",
+        "request_index",
+        "current",
+        "vnf_index",
+        "partial_rows",
+        "partial_latency",
+        "episode_done",
+        "stats",
+        "schedule",
+        "failure_cursor",
+        "failed_rows",
+        "fences",
+        "episode_counter",
+        "heap",
+        "counter",
+    )
+
+    def __init__(self, generator, failure_config: Optional[FailureConfig]) -> None:
+        self.generator = generator
+        self.failure_config = failure_config
+        self.requests: List[SFCRequest] = []
+        self.views: List[_RequestView] = []
+        self.request_index = 0
+        self.current: Optional[_RequestView] = None
+        self.vnf_index = 0
+        self.partial_rows: List[int] = []
+        self.partial_latency = 0.0
+        self.episode_done = True
+        self.stats = EpisodeStats()
+        self.schedule: List[FailureEvent] = []
+        self.failure_cursor = 0
+        self.failed_rows: set = set()
+        self.fences: Dict[int, np.ndarray] = {}
+        self.episode_counter = 0
+        self.heap: List[Tuple[float, int, int]] = []
+        self.counter = 0
+
+
+def _resolved_configs(
+    spec: LaneSpec,
+) -> Tuple[EnvConfig, RewardConfig, EncoderConfig]:
+    return (
+        spec.env_config or EnvConfig(),
+        spec.reward_config or RewardConfig(),
+        spec.encoder_config or EncoderConfig(),
+    )
+
+
+def _network_signature(network: SubstrateNetwork) -> tuple:
+    """Structural fingerprint used to validate cross-lane topology equality."""
+    nodes = tuple(
+        (
+            node.node_id,
+            node.tier.value,
+            node.capacity.as_tuple(),
+            node.cost_per_unit.as_tuple(),
+            node.activation_cost,
+        )
+        for node in network.nodes()
+    )
+    links = tuple(
+        (link.endpoints, link.bandwidth_capacity, link.latency_ms, link.cost_per_mbps)
+        for link in network.links()
+    )
+    return (nodes, links)
+
+
+class SoAVecPlacementEnv:
+    """K placement lanes over one set of structure-of-arrays ledgers.
+
+    Construction requires every lane to share one dense-routed topology (and
+    one resolved env/reward/encoder configuration and catalog); a
+    ``ValueError`` is raised otherwise — callers that need mixed lane sets
+    fall back to the reference :class:`~repro.core.vecenv.VecPlacementEnv`
+    (see :func:`~repro.core.subproc.make_vec_env` with ``backend="auto"``).
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[LaneSpec],
+        auto_reset: bool = True,
+        lane_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        specs = list(specs)
+        if not specs:
+            raise ValueError("SoAVecPlacementEnv needs at least one lane")
+        self._specs = specs
+        self.auto_reset = auto_reset
+        if lane_names is not None and len(lane_names) != len(specs):
+            raise ValueError(f"{len(lane_names)} lane names for {len(specs)} lanes")
+        self.lane_names: List[str] = (
+            list(lane_names)
+            if lane_names is not None
+            else [spec.name for spec in specs]
+        )
+
+        # ---- cross-lane compatibility validation ----------------------- #
+        ref_env_cfg, ref_reward_cfg, ref_encoder_cfg = _resolved_configs(specs[0])
+        ref_catalog = specs[0].scenario.catalog
+        ref_names = list(ref_catalog.names)
+        for index, spec in enumerate(specs[1:], start=1):
+            env_cfg, reward_cfg, encoder_cfg = _resolved_configs(spec)
+            if env_cfg != ref_env_cfg:
+                raise ValueError(
+                    f"lane {index} env config {env_cfg} differs from lane 0 "
+                    f"{ref_env_cfg}; the SoA core requires one shared EnvConfig"
+                )
+            if reward_cfg != ref_reward_cfg:
+                raise ValueError(
+                    f"lane {index} reward config differs from lane 0; the SoA "
+                    "core requires one shared RewardConfig"
+                )
+            if encoder_cfg != ref_encoder_cfg:
+                raise ValueError(
+                    f"lane {index} encoder config differs from lane 0; the SoA "
+                    "core requires one shared EncoderConfig"
+                )
+            if list(spec.scenario.catalog.names) != ref_names:
+                raise ValueError(
+                    f"lane {index} catalog {list(spec.scenario.catalog.names)} "
+                    f"differs from lane 0 {ref_names}; the SoA core requires "
+                    "one shared VNF catalog"
+                )
+
+        network = specs[0].scenario.build_network()
+        if network.routing != "dense":
+            raise ValueError(
+                f"the SoA core requires dense routing, got {network.routing!r}"
+            )
+        ref_signature = _network_signature(network)
+        ref_matrix = network.latency_matrix
+        seen_factories = {id(specs[0].scenario.topology_factory)}
+        for index, spec in enumerate(specs[1:], start=1):
+            factory = spec.scenario.topology_factory
+            if id(factory) in seen_factories:
+                continue
+            seen_factories.add(id(factory))
+            other = spec.scenario.build_network()
+            if other.routing != "dense":
+                raise ValueError(
+                    f"lane {index} routes {other.routing!r}; the SoA core "
+                    "requires dense routing on every lane"
+                )
+            if _network_signature(other) != ref_signature or not np.array_equal(
+                other.latency_matrix, ref_matrix
+            ):
+                raise ValueError(
+                    f"lane {index} topology differs structurally from lane 0; "
+                    "the SoA core requires one shared topology across lanes"
+                )
+
+        # ---- shared template topology + constants ---------------------- #
+        self._network = network
+        ledger = network.ledger
+        self._ledger = ledger
+        self._num_nodes = ledger.num_nodes
+        self._num_links = ledger.num_links
+        self._latency = network.latency_matrix
+        self._capacity = ledger.node_capacity
+        self._capacity_safe = ledger.node_capacity_safe
+        self._capacity_plus_tol = ledger._capacity_plus_tol
+        self._cost_per_unit = ledger.node_cost_per_unit
+        self._link_capacity = ledger.link_capacity
+        # Python-float copies for the scalar commit/feasibility hot paths.
+        self._capacity_rows = [tuple(row) for row in self._capacity.tolist()]
+        self._cap_tol_rows = [tuple(row) for row in self._capacity_plus_tol.tolist()]
+        self._cost_rows = [tuple(row) for row in self._cost_per_unit.tolist()]
+        self._link_cap_list = self._link_capacity.tolist()
+        self._node_row: Dict[int, int] = dict(ledger.node_row)
+        self._row_ids: List[int] = list(ledger.node_ids)
+        cloud = ledger.cloud_tier_mask
+        self._row_avail = [
+            DEFAULT_NODE_AVAILABILITY["cloud"] if bool(cloud[row]) else DEFAULT_NODE_AVAILABILITY["edge"]
+            for row in range(self._num_nodes)
+        ]
+
+        # ---- resolved configuration ------------------------------------ #
+        self.config = ref_env_cfg
+        self._latency_mask_check = ref_env_cfg.latency_mask_check
+        self._requests_per_episode = ref_env_cfg.requests_per_episode
+        self._reward_config = ref_reward_cfg
+        self._encoder_config = ref_encoder_cfg
+        self._catalog = ref_catalog
+        self._catalog_size = len(ref_catalog)
+        self._reject_penalty = ref_reward_cfg.reject_penalty
+        self._infeasible_penalty = ref_reward_cfg.infeasible_penalty
+        self._accept_reward = ref_reward_cfg.accept_reward
+        self._latency_weight = ref_reward_cfg.latency_weight
+        self._cost_weight = ref_reward_cfg.cost_weight
+        self._step_latency_weight = ref_reward_cfg.step_latency_weight
+        self._step_cost_weight = ref_reward_cfg.step_cost_weight
+        # Reference: load_balance_weight * 0.1 * utilization (left-assoc).
+        self._balance_weight01 = ref_reward_cfg.load_balance_weight * 0.1
+        self._revenue_scale = ref_reward_cfg.revenue_scale
+        self._cost_normalizer = ref_reward_cfg.cost_normalizer
+        self._max_chain_length = ref_encoder_cfg.max_chain_length
+        self._bandwidth_normalizer = ref_encoder_cfg.bandwidth_normalizer_mbps
+        self._holding_normalizer = ref_encoder_cfg.holding_time_normalizer
+
+        # ---- SoA state arrays ------------------------------------------ #
+        num_lanes = len(specs)
+        self._node_used = np.zeros((num_lanes, self._num_nodes, 3))
+        self._link_used = np.zeros((num_lanes, self._num_links))
+        #: Python-float shadows of the usage ledgers for the scalar
+        #: commit/feasibility/teardown paths.  Every scalar write mirrors
+        #: into the numpy ledgers (which stay authoritative for the batched
+        #: mask/observe kernels); bulk numpy mutations resync the shadow row.
+        self._node_used_py: List[List[List[float]]] = [
+            [[0.0, 0.0, 0.0] for _ in range(self._num_nodes)]
+            for _ in range(num_lanes)
+        ]
+        self._link_used_py: List[List[float]] = [
+            [0.0] * self._num_links for _ in range(num_lanes)
+        ]
+        #: (K, N) fence mask folded into the batched action-mask kernel; a
+        #: lane's row is cleared on reset so stale fences never leak into the
+        #: next episode's masks (regression-tested).
+        self._fence_rows = np.zeros((num_lanes, self._num_nodes), dtype=bool)
+        self._store = ColumnarDepartureStore()
+
+        self._lanes: List[_LaneState] = []
+        for spec in specs:
+            lane_scenario = spec.scenario.with_workload_seed(spec.workload_seed)
+            generator = lane_scenario.build_generator(self._network)
+            self._lanes.append(_LaneState(generator, spec.failure_config))
+
+        #: Per-VNFType constants keyed by object identity (the type object is
+        #: kept in the value so the id stays valid).
+        self._type_info: Dict[int, tuple] = {}
+        #: (row pair) -> (latency, oriented slot list, cost-per-mbps) or the
+        #: NoRoute sentinel; delegated to the shared template network/ledger
+        #: caches so every lane reuses one routed-path set.
+        self._paths: Dict[Tuple[int, int], Optional[Tuple[float, List[int], float]]] = {}
+
+        self.episodes_completed = 0
+        self._decision_version = 0
+        self._context: Optional[LaneDecisionContext] = None
+        self._context_version = -1
+        #: (K, N) "demands fit free capacity" matrix, shared between the mask
+        #: and observation kernels of one decision step.
+        self._canhost: Optional[np.ndarray] = None
+        self._canhost_version = -1
+        self._obs_extras: Optional[tuple] = None
+        self._procs: Optional[Sequence[float]] = None
+        #: Context row for lanes with no active request; field order must
+        #: match the active-lane tuples in :meth:`lane_decision_context`.
+        self._inactive_row = (
+            False, (0.0, 0.0, 0.0), 0.0, 1.0, 0.0, 0, 0.0, 0, 0, 0.0, 0.0, 0, 1,
+        )
+        #: Per-lane decision-context rows, maintained incrementally at the
+        #: two mutation sites (request advance, mid-chain placement) so the
+        #: batched context never re-walks lane object graphs.
+        self._ctx_rows: List[tuple] = [self._inactive_row] * num_lanes
+        self._arange_k = np.arange(num_lanes)
+        self._broadcast_cache: Dict[str, np.ndarray] = {}
+        zero_state = np.zeros(self.state_dim, dtype=float)
+        zero_state.setflags(write=False)
+        self._zero_state = zero_state
+
+    # ------------------------------------------------------------------ #
+    # Construction from scenarios (mirrors VecPlacementEnv)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario: Scenario,
+        num_lanes: int,
+        seed: RandomState = 0,
+        env_config: Optional[EnvConfig] = None,
+        reward_config: Optional[RewardConfig] = None,
+        encoder_config: Optional[EncoderConfig] = None,
+        auto_reset: bool = True,
+        failure_config: Optional[FailureConfig] = None,
+    ) -> "SoAVecPlacementEnv":
+        """K lanes of one scenario with independent derived workload seeds."""
+        if num_lanes <= 0:
+            raise ValueError(f"num_lanes must be positive, got {num_lanes}")
+        return cls.from_scenarios(
+            [scenario] * num_lanes,
+            seed=seed,
+            env_config=env_config,
+            reward_config=reward_config,
+            encoder_config=encoder_config,
+            auto_reset=auto_reset,
+            failure_config=failure_config,
+        )
+
+    @classmethod
+    def from_scenarios(
+        cls,
+        scenarios: Sequence[Scenario],
+        seed: RandomState = 0,
+        env_config: Optional[EnvConfig] = None,
+        reward_config: Optional[RewardConfig] = None,
+        encoder_config: Optional[EncoderConfig] = None,
+        auto_reset: bool = True,
+        derive_lane_seeds: bool = True,
+        failure_config: Optional[FailureConfig] = None,
+    ) -> "SoAVecPlacementEnv":
+        """One lane per scenario, with the standard per-lane seed derivation."""
+        specs = lane_specs_from_scenarios(
+            scenarios,
+            seed=seed,
+            env_config=env_config,
+            reward_config=reward_config,
+            encoder_config=encoder_config,
+            derive_lane_seeds=derive_lane_seeds,
+            failure_config=failure_config,
+        )
+        return cls.from_specs(specs, auto_reset=auto_reset)
+
+    @classmethod
+    def from_specs(
+        cls, specs: Sequence[LaneSpec], auto_reset: bool = True
+    ) -> "SoAVecPlacementEnv":
+        """Build one lane per :class:`LaneSpec`."""
+        return cls(
+            specs,
+            auto_reset=auto_reset,
+            lane_names=[spec.name for spec in specs],
+        )
+
+    # ------------------------------------------------------------------ #
+    # Dimensions
+    # ------------------------------------------------------------------ #
+    @property
+    def num_lanes(self) -> int:
+        """Number of environment lanes (K)."""
+        return len(self._lanes)
+
+    @property
+    def state_dim(self) -> int:
+        """Width of each lane's observation vector."""
+        return NODE_FEATURES * self._num_nodes + self._catalog_size + REQUEST_SCALARS
+
+    @property
+    def num_actions(self) -> int:
+        """Number of discrete actions (one per node plus reject)."""
+        return self._num_nodes + 1
+
+    @property
+    def backend(self) -> str:
+        """Backend tag of this vectorized environment."""
+        return "soa"
+
+    # ------------------------------------------------------------------ #
+    # Request views and routed paths
+    # ------------------------------------------------------------------ #
+    def _vnf_info(self, vnf_type) -> tuple:
+        info = self._type_info.get(id(vnf_type))
+        if info is None:
+            info = (
+                vnf_type.processing_delay_ms,
+                self._catalog.index_of(vnf_type.name),
+                vnf_type.license_cost,
+                vnf_type,
+            )
+            self._type_info[id(vnf_type)] = info
+        return info
+
+    def _request_view(self, request: SFCRequest) -> _RequestView:
+        bw = request.bandwidth_mbps
+        vnfs: List[tuple] = []
+        for vnf_type in request.chain.vnf_types:
+            proc, onehot, license_cost, _ = self._vnf_info(vnf_type)
+            darr = vnf_type.demand_array_for(bw)
+            vnfs.append((darr, darr.tolist(), proc, onehot, license_cost))
+        dest = request.destination_node_id
+        return _RequestView(
+            request_id=request.request_id,
+            source_row=self._node_row[request.source_node_id],
+            dest_row=None if dest is None else self._node_row[dest],
+            sla=request.sla.max_latency_ms,
+            min_avail=request.sla.min_availability,
+            bw=bw,
+            holding=request.holding_time,
+            arrival=request.arrival_time,
+            departure=request.departure_time,
+            num_vnfs=request.num_vnfs,
+            total_proc=request.chain.total_processing_delay_ms(),
+            vnfs=vnfs,
+        )
+
+    def _path(self, a_row: int, b_row: int) -> Optional[Tuple[float, List[int], float]]:
+        """Routed path between two rows: (latency, oriented slots, cost).
+
+        ``None`` encodes NoRoute.  Delegates to the template network's
+        canonical-pair path cache and the template ledger's oriented-tuple
+        slot/cost memo, so latency and cost floats are bitwise identical to
+        what per-lane networks would compute.
+        """
+        key = (a_row, b_row)
+        entry = self._paths.get(key, False)
+        if entry is False:
+            try:
+                path = self._network.shortest_path(
+                    self._row_ids[a_row], self._row_ids[b_row]
+                )
+            except NoRouteError:
+                entry = None
+            else:
+                slots, cost = self._ledger.path_entry(path.nodes)
+                entry = (path.latency_ms, slots.tolist(), cost)
+            self._paths[key] = entry
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Episode lifecycle
+    # ------------------------------------------------------------------ #
+    def reset(self, observe: bool = True) -> np.ndarray:
+        """Reset every lane; returns the ``(K, state_dim)`` state batch."""
+        self._decision_version += 1
+        for lane, st in enumerate(self._lanes):
+            self._reset_lane_state(lane, st)
+        if not observe:
+            return np.zeros((self.num_lanes, self.state_dim), dtype=float)
+        return self._observe_batch()
+
+    def reset_lane(self, lane: int) -> np.ndarray:
+        """Reset a single lane; returns its fresh state vector."""
+        self._decision_version += 1
+        st = self._lanes[lane]
+        self._reset_lane_state(lane, st)
+        return self._observe_lane(lane, st)
+
+    def _reset_lane_state(self, lane: int, st: _LaneState) -> None:
+        """Start a new episode on one lane (mirrors VNFPlacementEnv.reset)."""
+        self._node_used[lane].fill(0.0)
+        self._link_used[lane].fill(0.0)
+        self._node_used_py[lane] = self._node_used[lane].tolist()
+        self._link_used_py[lane] = self._link_used[lane].tolist()
+        store = self._store
+        while st.heap:
+            _, _, rec = st.heap.pop()
+            store.free(rec)
+        st.failed_rows.clear()
+        st.fences.clear()
+        self._fence_rows[lane] = False
+        st.failure_cursor = 0
+        st.requests = st.generator.generate_batch(self._requests_per_episode)
+        # Request views are precomputed at the episode boundary (they depend
+        # only on immutable request/catalog data), keeping per-request view
+        # construction out of the steady-state step path.
+        view = self._request_view
+        st.views = [view(request) for request in st.requests]
+        st.schedule = self._draw_failure_schedule(st)
+        st.episode_counter += 1
+        st.request_index = 0
+        st.stats = EpisodeStats()
+        st.episode_done = False
+        self._begin_next_request(lane, st)
+
+    def _draw_failure_schedule(self, st: _LaneState) -> List[FailureEvent]:
+        """Per-episode failure schedule (mirrors the reference derivation)."""
+        if st.failure_config is None or not st.requests:
+            return []
+        horizon = st.requests[-1].arrival_time
+        if horizon <= 0:
+            return []
+        episode_config = dataclass_replace(
+            st.failure_config,
+            seed=derive_seed(
+                st.failure_config.seed, "env_failures", st.episode_counter
+            ),
+        )
+        return FailureInjector(episode_config).schedule(self._network, horizon)
+
+    def _begin_next_request(self, lane: int, st: _LaneState) -> None:
+        index = st.request_index
+        views = st.views
+        if index >= len(views):
+            st.current = None
+            st.episode_done = True
+            self._ctx_rows[lane] = self._inactive_row
+            return
+        st.request_index = index + 1
+        view = views[index]
+        if st.schedule:
+            self._advance_time(lane, st, view.arrival)
+        else:
+            self._release_departed(lane, st, view.arrival)
+        st.current = view
+        st.vnf_index = 0
+        st.partial_rows = []
+        st.partial_latency = 0.0
+        st.stats.requests_seen += 1
+        self._ctx_rows[lane] = view.ctx_row
+
+    # ------------------------------------------------------------------ #
+    # Departures and failures
+    # ------------------------------------------------------------------ #
+    def _advance_time(self, lane: int, st: _LaneState, now: float) -> None:
+        schedule = st.schedule
+        while st.failure_cursor < len(schedule) and schedule[st.failure_cursor].time <= now:
+            event = schedule[st.failure_cursor]
+            st.failure_cursor += 1
+            self._release_departed(lane, st, event.time)
+            row = self._node_row[event.node_id]
+            if event.is_failure:
+                self._fail_node(lane, st, row)
+            else:
+                self._recover_node(lane, st, row)
+        self._release_departed(lane, st, now)
+
+    def _release_departed(self, lane: int, st: _LaneState, now: float) -> None:
+        heap = st.heap
+        store = self._store
+        while heap and heap[0][0] <= now:
+            _, _, rec = heapq.heappop(heap)
+            if store.committed[rec]:
+                self._release_record(lane, rec)
+            store.free(rec)
+
+    def _release_record(self, lane: int, rec: int) -> None:
+        """Free a committed record's reservations (segments first, then nodes)."""
+        store = self._store
+        bw = store.bandwidth[rec]
+        link_used = self._link_used[lane]
+        link_used_py = self._link_used_py[lane]
+        for slots in store.segments[rec]:
+            for slot in slots:
+                value = max(0.0, link_used_py[slot] - bw)
+                link_used_py[slot] = value
+                link_used[slot] = value
+        used = self._node_used[lane]
+        used_py = self._node_used_py[lane]
+        for row, demand_t in zip(store.rows[rec], store.demands[rec]):
+            row_py = used_py[row]
+            v0 = max(0.0, row_py[0] - demand_t[0])
+            v1 = max(0.0, row_py[1] - demand_t[1])
+            v2 = max(0.0, row_py[2] - demand_t[2])
+            row_py[0] = v0
+            row_py[1] = v1
+            row_py[2] = v2
+            used[row, 0] = v0
+            used[row, 1] = v1
+            used[row, 2] = v2
+        store.committed[rec] = False
+
+    def _fail_node(self, lane: int, st: _LaneState, row: int) -> None:
+        """Fence one row and tear down every active placement hosting on it."""
+        if row in st.failed_rows:
+            return
+        st.failed_rows.add(row)
+        self._fence_rows[lane, row] = True
+        store = self._store
+        for _, _, rec in st.heap:
+            if store.committed[rec] and row in store.row_sets[rec]:
+                self._release_record(lane, rec)
+                st.stats.disrupted += 1
+        used_row = self._node_used[lane, row]
+        remaining = np.maximum(self._capacity[row] - used_row, 0.0)
+        r = remaining.tolist()
+        # ResourceVector.is_zero: (cpu + memory) + storage <= 1e-12.
+        if not ((r[0] + r[1]) + r[2] <= 1e-12):
+            used_row += remaining
+            st.fences[row] = remaining
+        self._node_used_py[lane][row] = used_row.tolist()
+
+    def _recover_node(self, lane: int, st: _LaneState, row: int) -> None:
+        if row not in st.failed_rows:
+            return
+        st.failed_rows.discard(row)
+        self._fence_rows[lane, row] = False
+        fence = st.fences.pop(row, None)
+        if fence is not None:
+            used_row = self._node_used[lane, row]
+            np.maximum(used_row - fence, 0.0, out=used_row)
+            self._node_used_py[lane][row] = used_row.tolist()
+
+    # ------------------------------------------------------------------ #
+    # Decision context and masks
+    # ------------------------------------------------------------------ #
+    def _broadcast_constant(self, attr: str) -> np.ndarray:
+        """(K, N, 3) read-only broadcast of one shared template matrix."""
+        cached = self._broadcast_cache.get(attr)
+        if cached is None:
+            source = {
+                "node_capacity": self._capacity,
+                "node_capacity_safe": self._capacity_safe,
+                "node_cost_per_unit": self._cost_per_unit,
+                "_capacity_plus_tol": self._capacity_plus_tol,
+            }[attr]
+            cached = np.broadcast_to(source, (self.num_lanes,) + source.shape)
+            self._broadcast_cache[attr] = cached
+        return cached
+
+    def lane_decision_context(self) -> LaneDecisionContext:
+        """The batched decision context of the current step (memoized).
+
+        Same structure and contents as the reference
+        :meth:`VecPlacementEnv.lane_decision_context`; constants are
+        broadcast views of the shared template matrices rather than K-fold
+        stacks.
+        """
+        if self._context is not None and self._context_version == self._decision_version:
+            return self._context
+        (
+            active,
+            demands,
+            extras,
+            budgets,
+            holding,
+            anchor_rows,
+            procs,
+            onehots,
+            remaining,
+            bandwidths,
+            partials,
+            vnf_indices,
+            chain_lengths,
+        ) = zip(*self._ctx_rows)
+        anchor_index = np.array(anchor_rows, dtype=np.int64)
+        context = LaneDecisionContext(
+            active=np.array(active, dtype=bool),
+            anchor_rows=anchor_index,
+            demands=np.array(demands),
+            extras=np.array(extras),
+            budgets=np.array(budgets),
+            holding=np.array(holding),
+            used=self._node_used.copy(),
+            capacity_plus_tol=self._broadcast_constant("_capacity_plus_tol"),
+            latency=self._latency[anchor_index],
+            constant_stack=lambda attr: self._broadcast_constant(attr),
+        )
+        self._context = context
+        self._context_version = self._decision_version
+        self._procs = procs
+        self._obs_extras = (
+            onehots,
+            remaining,
+            bandwidths,
+            partials,
+            vnf_indices,
+            chain_lengths,
+        )
+        return context
+
+    def _canhost_matrix(self, context: LaneDecisionContext) -> np.ndarray:
+        """(K, N) demand-fits-free-capacity matrix, memoized per decision.
+
+        Both the mask and observation kernels consume it; callers must not
+        mutate the returned array in place.
+        """
+        if self._canhost is None or self._canhost_version != self._context_version:
+            self._canhost = (context.demands[:, None, :] <= context.free_tol).all(
+                axis=2
+            )
+            self._canhost_version = self._context_version
+        return self._canhost
+
+    def valid_action_masks(self) -> np.ndarray:
+        """Stacked ``(K, num_actions)`` boolean validity masks.
+
+        Identical kernel to the reference batched mask path, with the
+        per-lane failed-node loop replaced by the columnar ``(K, N)`` fence
+        mask.
+        """
+        context = self.lane_decision_context()
+        num_actions = self.num_actions
+        num_nodes = self._num_nodes
+        masks = np.zeros((self.num_lanes, num_actions), dtype=bool)
+        masks[:, num_nodes] = True  # reject is always valid
+        canhost = self._canhost_matrix(context)
+        if self._latency_mask_check:
+            valid = canhost & (
+                context.latency + context.extras[:, None]
+                <= context.budgets[:, None]
+            )
+        else:
+            valid = canhost.copy()
+        valid &= context.active[:, None]
+        valid &= ~self._fence_rows
+        masks[:, :num_nodes] = valid
+        return masks
+
+    # ------------------------------------------------------------------ #
+    # Observations
+    # ------------------------------------------------------------------ #
+    def _observe_batch(self) -> np.ndarray:
+        """Fused batched state encoding (bitwise equal to per-lane encode)."""
+        context = self.lane_decision_context()
+        onehots, remaining, bandwidths, partials, vnf_indices, chain_lengths = (
+            self._obs_extras
+        )
+        num_lanes = self.num_lanes
+        num_nodes = self._num_nodes
+        states = np.zeros((num_lanes, self.state_dim), dtype=float)
+        node_block = states[:, : NODE_FEATURES * num_nodes].reshape(
+            num_lanes, num_nodes, NODE_FEATURES
+        )
+        used = context.used
+        utilization = used / self._capacity_safe
+        np.minimum(utilization[:, :, 0], 1.0, out=node_block[:, :, 0])
+        np.minimum(utilization[:, :, 1], 1.0, out=node_block[:, :, 1])
+        np.minimum(
+            context.latency / context.budgets[:, None], 1.0, out=node_block[:, :, 2]
+        )
+        node_block[:, :, 3] = self._canhost_matrix(context)
+        offset = NODE_FEATURES * num_nodes
+        lanes_idx = self._arange_k
+        states[lanes_idx, offset + np.array(onehots, dtype=np.int64)] = 1.0
+        offset += self._catalog_size
+        np.minimum(
+            np.array(remaining, dtype=np.int64) / self._max_chain_length,
+            1.0,
+            out=states[:, offset + 0],
+        )
+        np.minimum(
+            np.array(bandwidths) / self._bandwidth_normalizer,
+            1.0,
+            out=states[:, offset + 1],
+        )
+        np.minimum(
+            np.array(partials) / context.budgets, 1.0, out=states[:, offset + 2]
+        )
+        np.minimum(
+            context.holding / self._holding_normalizer, 1.0, out=states[:, offset + 3]
+        )
+        states[:, offset + 4] = np.array(vnf_indices, dtype=np.int64) / np.array(
+            chain_lengths, dtype=np.int64
+        )
+        inactive = ~context.active
+        if inactive.any():
+            states[inactive] = 0.0
+        return states
+
+    def _observe_lane(self, lane: int, st: _LaneState) -> np.ndarray:
+        """Single-lane state encoding (mirrors StateEncoder.encode)."""
+        if st.current is None:
+            return np.zeros(self.state_dim, dtype=float)
+        view = st.current
+        vnf = view.vnfs[st.vnf_index]
+        demand = vnf[0]
+        sla = view.sla
+        anchor = st.partial_rows[-1] if st.partial_rows else view.source_row
+        num_nodes = self._num_nodes
+        features = np.zeros(self.state_dim, dtype=float)
+        used = self._node_used[lane]
+        utilization = used / self._capacity_safe
+        latency = self._latency[anchor]
+        can_host = (demand <= (self._capacity_plus_tol - used)).all(axis=1)
+        node_block = features[: NODE_FEATURES * num_nodes].reshape(
+            num_nodes, NODE_FEATURES
+        )
+        np.minimum(utilization[:, 0], 1.0, out=node_block[:, 0])
+        np.minimum(utilization[:, 1], 1.0, out=node_block[:, 1])
+        np.minimum(latency / sla, 1.0, out=node_block[:, 2])
+        node_block[:, 3] = can_host
+        offset = NODE_FEATURES * num_nodes
+        features[offset + vnf[3]] = 1.0
+        offset += self._catalog_size
+        features[offset + 0] = min(
+            1.0, (view.num_vnfs - st.vnf_index) / self._max_chain_length
+        )
+        features[offset + 1] = min(1.0, view.bw / self._bandwidth_normalizer)
+        features[offset + 2] = min(1.0, st.partial_latency / sla)
+        features[offset + 3] = min(1.0, view.holding / self._holding_normalizer)
+        features[offset + 4] = st.vnf_index / max(1, view.num_vnfs)
+        return features
+
+    # ------------------------------------------------------------------ #
+    # Stepping
+    # ------------------------------------------------------------------ #
+    def step(
+        self, actions: Sequence[int], observe: bool = True
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[Dict[str, object]]]:
+        """Apply one action per lane (same contract as VecPlacementEnv.step).
+
+        The dense-reward arithmetic for placement actions is evaluated as one
+        batched expression (elementwise, in the reference association order,
+        so every float is bitwise equal to the per-lane scalar computation);
+        the remaining per-lane work is the irreducible bookkeeping — partial
+        chain state, the commit pipeline on chain completion, and the info
+        dictionaries of the step contract.
+        """
+        acts = np.asarray(actions, dtype=int).ravel()
+        num_lanes = self.num_lanes
+        if acts.shape[0] != num_lanes:
+            raise ValueError(f"got {acts.shape[0]} actions for {num_lanes} lanes")
+        # Pre-step batched reward inputs: latency to the chosen node, hosting
+        # dot product and bottleneck utilization, gathered from the pre-step
+        # decision context (each lane only ever reads its own rows, which no
+        # other lane mutates, so the shared snapshot is exact).
+        context = self.lane_decision_context()
+        num_nodes = self._num_nodes
+        rows_sel = np.clip(acts, 0, num_nodes - 1)
+        lanes_idx = self._arange_k
+        lat_vec = context.latency[lanes_idx, rows_sel]
+        # (K,1,3) @ (K,3,1) batched matmul is bitwise equal to the per-pair
+        # `demand @ cost_row` the reference reward path computes.
+        host_vec = np.matmul(
+            context.demands[:, None, :],
+            self._cost_per_unit[rows_sel][:, :, None],
+        ).ravel()
+        util_vec = np.max(
+            context.used[lanes_idx, rows_sel] / self._capacity_safe[rows_sel], axis=1
+        )
+        # Dense step reward, reference association order:
+        #   -( w_lat*(added/sla) + w_cost*((host*holding)/norm) + b01*util )
+        # with added = latency + processing delay.  Unroutable anchors carry
+        # inf latency; those lanes take the infeasible branch below and never
+        # read the (inf-valued) batched reward, but the arithmetic is guarded
+        # against inf-propagation warnings.
+        added_vec = lat_vec + np.asarray(self._procs)
+        with np.errstate(invalid="ignore"):
+            latency_terms = self._step_latency_weight * (added_vec / context.budgets)
+            cost_terms = self._step_cost_weight * (
+                (host_vec * context.holding) / self._cost_normalizer
+            )
+            balance_terms = self._balance_weight01 * util_vec
+            place_rewards = -((latency_terms + cost_terms) + balance_terms)
+        lat_list = lat_vec.tolist()
+        added_list = added_vec.tolist()
+        place_list = place_rewards.tolist()
+        self._decision_version += 1
+
+        rewards = place_rewards  # lanes that do not place are overwritten
+        dones = np.zeros(num_lanes, dtype=bool)
+        infos: List[Dict[str, object]] = []
+        action_list = acts.tolist()
+        lane_names = self.lane_names
+        num_actions = self.num_actions
+        inf = np.inf
+        reject_penalty = self._reject_penalty
+        infeasible_penalty = self._infeasible_penalty
+        append_info = infos.append
+        for lane, st in enumerate(self._lanes):
+            view = st.current
+            if st.episode_done or view is None:
+                raise RuntimeError(
+                    "step() called on a finished episode; call reset()"
+                )
+            action = action_list[lane]
+            if not 0 <= action < num_actions:
+                raise ValueError(f"action {action} outside the action space")
+            stats = st.stats
+            if action == num_nodes:
+                reward = -reject_penalty
+                rewards[lane] = reward
+                stats.rejected += 1
+                outcome = "rejected"
+                request_done = True
+                self._begin_next_request(lane, st)
+            elif lat_list[lane] == inf:
+                reward = -infeasible_penalty
+                rewards[lane] = reward
+                stats.infeasible += 1
+                outcome = "no_route"
+                request_done = True
+                self._begin_next_request(lane, st)
+            else:
+                st.partial_rows.append(action)
+                st.partial_latency += added_list[lane]
+                st.vnf_index += 1
+                if st.vnf_index < view.num_vnfs:
+                    # Mid-chain placement: the batched reward is already in
+                    # the rewards array; advance this lane's context row to
+                    # the next VNF of the chain.
+                    vnf_index = st.vnf_index
+                    vnf = view.vnfs[vnf_index]
+                    proc = vnf[2]
+                    partial_latency = st.partial_latency
+                    self._ctx_rows[lane] = (
+                        True,
+                        vnf[1],
+                        proc + partial_latency,
+                        view.sla,
+                        view.holding,
+                        action,
+                        proc,
+                        vnf[3],
+                        view.num_vnfs - vnf_index,
+                        view.bw,
+                        partial_latency,
+                        vnf_index,
+                        view.num_vnfs,
+                    )
+                    reward = place_list[lane]
+                    outcome = "placed"
+                    request_done = False
+                else:
+                    reward, _, outcome = self._finalize_request(
+                        lane, st, view, place_list[lane]
+                    )
+                    rewards[lane] = reward
+                    request_done = True
+                    self._begin_next_request(lane, st)
+            stats.total_reward += reward
+            if st.episode_done:
+                info = {
+                    "request_id": view.request_id,
+                    "request_done": request_done,
+                    "outcome": outcome,
+                    "episode_stats": stats.as_dict(),
+                    "lane": lane,
+                    "lane_name": lane_names[lane],
+                    "terminal_state": (
+                        np.zeros(self.state_dim, dtype=float)
+                        if observe
+                        else self._zero_state
+                    ),
+                }
+                dones[lane] = True
+                self.episodes_completed += 1
+                if self.auto_reset:
+                    self._reset_lane_state(lane, st)
+            else:
+                info = {
+                    "request_id": view.request_id,
+                    "request_done": request_done,
+                    "outcome": outcome,
+                    "episode_stats": None,
+                    "lane": lane,
+                    "lane_name": lane_names[lane],
+                }
+            append_info(info)
+        if observe:
+            states = self._observe_batch()
+        else:
+            states = np.zeros((num_lanes, self.state_dim), dtype=float)
+        return states, rewards, dones, infos
+
+    # ------------------------------------------------------------------ #
+    # Commit pipeline (routing, feasibility, atomic commit)
+    # ------------------------------------------------------------------ #
+    def _finalize_request(
+        self, lane: int, st: _LaneState, view: _RequestView, reward: float
+    ) -> Tuple[float, bool, str]:
+        rows = st.partial_rows
+        # Route the service path: source -> hosts (-> destination), summing
+        # propagation latency and per-mbps transport cost along the way (the
+        # accumulation order matches the reference per-segment sums).
+        anchors = [view.source_row, *rows]
+        if view.dest_row is not None:
+            anchors.append(view.dest_row)
+        paths = self._paths
+        segments: List[Tuple[float, List[int], float]] = []
+        propagation = 0.0
+        per_mbps = 0.0
+        prev = anchors[0]
+        for anchor in anchors[1:]:
+            entry = paths.get((prev, anchor), False)
+            if entry is False:
+                entry = self._path(prev, anchor)
+            if entry is None:
+                st.stats.infeasible += 1
+                return reward + -self._infeasible_penalty, True, "no_route"
+            propagation += entry[0]
+            per_mbps += entry[2]
+            segments.append(entry)
+            prev = anchor
+
+        feasible, e2e, total_cost = self._check_feasible(
+            lane, view, rows, segments, propagation, per_mbps
+        )
+        if not feasible:
+            st.stats.infeasible += 1
+            return reward + -self._infeasible_penalty, True, "infeasible"
+        if not self._commit(lane, view, rows, segments):
+            st.stats.infeasible += 1
+            return reward + -self._infeasible_penalty, True, "commit_failed"
+
+        st.counter += 1
+        rec = self._store.alloc(
+            lane,
+            view.departure,
+            view.bw,
+            tuple(rows),
+            [vnf[1] for vnf in view.vnfs],
+            [entry[1] for entry in segments],
+            frozenset(rows),
+        )
+        heapq.heappush(st.heap, (view.departure, st.counter, rec))
+        st.stats.accepted += 1
+        st.stats.total_latency_ms += e2e
+        st.stats.total_cost += total_cost
+        # Terminal acceptance reward, exact reference association order.
+        sla_fraction = e2e / view.sla
+        cost_fraction = total_cost / self._cost_normalizer
+        revenue = (
+            self._revenue_scale * (1.0 * view.bw * view.holding / 100.0) / 100.0
+        )
+        terminal = (
+            self._accept_reward
+            + revenue
+            - self._latency_weight * sla_fraction
+            - self._cost_weight * cost_fraction
+        )
+        return reward + terminal, True, "accepted"
+
+    def _check_feasible(
+        self,
+        lane: int,
+        view: _RequestView,
+        rows: List[int],
+        segments: List[Tuple[float, List[int], float]],
+        propagation: float,
+        per_mbps: float,
+    ) -> Tuple[bool, float, float]:
+        """Placement.is_feasible + cost/latency aggregation in one pass.
+
+        Returns ``(feasible, end_to_end_latency, total_cost)``; the latency
+        and cost are only meaningful when feasible (they feed the stats and
+        the terminal reward on the accept path).  ``propagation`` and
+        ``per_mbps`` are the segment sums accumulated by the routing loop.
+        """
+        used_py = self._node_used_py[lane]
+        capacity_rows = self._capacity_rows
+        # Per-node aggregated demand, grouped by row in instance order.
+        grouped: Dict[int, List[float]] = {}
+        for vnf, row in zip(view.vnfs, rows):
+            demand_t = vnf[1]
+            prior = grouped.get(row)
+            if prior is None:
+                grouped[row] = demand_t
+            else:
+                grouped[row] = [
+                    prior[0] + demand_t[0],
+                    prior[1] + demand_t[1],
+                    prior[2] + demand_t[2],
+                ]
+        for row, demand in grouped.items():
+            cap_row = capacity_rows[row]
+            used_row = used_py[row]
+            if not (
+                demand[0] <= (cap_row[0] - used_row[0]) + 1e-9
+                and demand[1] <= (cap_row[1] - used_row[1]) + 1e-9
+                and demand[2] <= (cap_row[2] - used_row[2]) + 1e-9
+            ):
+                return False, 0.0, 0.0
+        # A link shared by several segments must carry each traversal.
+        bw = view.bw
+        traversals: Dict[int, int] = {}
+        get_count = traversals.get
+        for entry in segments:
+            for slot in entry[1]:
+                traversals[slot] = get_count(slot, 0) + 1
+        link_capacity = self._link_cap_list
+        link_used_py = self._link_used_py[lane]
+        for slot, count in traversals.items():
+            if count * bw > link_capacity[slot] - link_used_py[slot] + 1e-9:
+                return False, 0.0, 0.0
+        # SLA: end-to-end latency then series-system availability.
+        e2e = propagation + view.total_proc
+        if not e2e <= view.sla + 1e-9:
+            return False, 0.0, 0.0
+        availability = 1.0
+        seen: set = set()
+        row_avail = self._row_avail
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                availability *= row_avail[row]
+        if not availability + 1e-12 >= view.min_avail:
+            return False, 0.0, 0.0
+        # Hosting cost (per instance, interleaved with license cost) plus
+        # transport cost — exact reference accumulation order.
+        holding = view.holding
+        cost_rows = self._cost_rows
+        cost = 0.0
+        for vnf, row in zip(view.vnfs, rows):
+            demand_t = vnf[1]
+            cost_row = cost_rows[row]
+            cost += (
+                demand_t[0] * cost_row[0]
+                + demand_t[1] * cost_row[1]
+                + demand_t[2] * cost_row[2]
+            ) * holding
+            cost += vnf[4]
+        total_cost = cost + bw * per_mbps * holding
+        return True, e2e, total_cost
+
+    def _commit(
+        self,
+        lane: int,
+        view: _RequestView,
+        rows: List[int],
+        segments: List[Tuple[float, List[int], float]],
+    ) -> bool:
+        """Atomic commit with exact reference rollback order on failure."""
+        used = self._node_used[lane]
+        committed_nodes = 0
+        node_failure = False
+        cap_tol_rows = self._cap_tol_rows
+        used_py = self._node_used_py[lane]
+        for vnf, row in zip(view.vnfs, rows):
+            row_py = used_py[row]
+            demand_t = vnf[1]
+            cap_tol = cap_tol_rows[row]
+            next0 = row_py[0] + demand_t[0]
+            next1 = row_py[1] + demand_t[1]
+            next2 = row_py[2] + demand_t[2]
+            # ComputeNode.can_host: used[d] + demand[d] <= capacity[d] + tol.
+            if not (
+                next0 <= cap_tol[0]
+                and next1 <= cap_tol[1]
+                and next2 <= cap_tol[2]
+            ):
+                node_failure = True
+                break
+            row_py[0] = next0
+            row_py[1] = next1
+            row_py[2] = next2
+            used[row, 0] = next0
+            used[row, 1] = next1
+            used[row, 2] = next2
+            committed_nodes += 1
+        if node_failure:
+            self._rollback(lane, view, rows, [], committed_nodes)
+            return False
+        bw = view.bw
+        link_capacity = self._link_cap_list
+        link_used = self._link_used[lane]
+        committed_segments: List[List[int]] = []
+        link_used_py = self._link_used_py[lane]
+        for entry in segments:
+            slots = entry[1]
+            reserved = 0
+            segment_failure = False
+            for slot in slots:
+                current = link_used_py[slot]
+                # Link.can_carry: bw <= max(0, capacity - used) + 1e-9.
+                if not bw <= max(0.0, link_capacity[slot] - current) + 1e-9:
+                    # allocate_path rolls back this segment's own partial
+                    # reservations (forward order) before re-raising.
+                    for done_slot in slots[:reserved]:
+                        undone = max(0.0, link_used_py[done_slot] - bw)
+                        link_used_py[done_slot] = undone
+                        link_used[done_slot] = undone
+                    segment_failure = True
+                    break
+                next_used = current + bw
+                link_used_py[slot] = next_used
+                link_used[slot] = next_used
+                reserved += 1
+            if segment_failure:
+                self._rollback(lane, view, rows, committed_segments, len(rows))
+                return False
+            committed_segments.append(slots)
+        return True
+
+    def _rollback(
+        self,
+        lane: int,
+        view: _RequestView,
+        rows: List[int],
+        committed_segments: List[List[int]],
+        committed_nodes: int,
+    ) -> None:
+        """Release fully-committed paths then nodes, in commit order."""
+        bw = view.bw
+        link_used = self._link_used[lane]
+        link_used_py = self._link_used_py[lane]
+        for slots in committed_segments:
+            for slot in slots:
+                value = max(0.0, link_used_py[slot] - bw)
+                link_used_py[slot] = value
+                link_used[slot] = value
+        used = self._node_used[lane]
+        used_py = self._node_used_py[lane]
+        for index in range(committed_nodes):
+            row = rows[index]
+            demand_t = view.vnfs[index][1]
+            row_py = used_py[row]
+            v0 = max(0.0, row_py[0] - demand_t[0])
+            v1 = max(0.0, row_py[1] - demand_t[1])
+            v2 = max(0.0, row_py[2] - demand_t[2])
+            row_py[0] = v0
+            row_py[1] = v1
+            row_py[2] = v2
+            used[row, 0] = v0
+            used[row, 1] = v1
+            used[row, 2] = v2
+
+    # ------------------------------------------------------------------ #
+    # Introspection (shared vec-env surface)
+    # ------------------------------------------------------------------ #
+    def worker_metadata(self) -> Dict[str, object]:
+        """Shard-compatibility metadata for the subprocess worker handshake.
+
+        Same keys as :meth:`VecPlacementEnv.worker_metadata`; the SoA core
+        only constructs when the batched kernel's structural requirements
+        hold, so ``kernel_ok`` is always true here.
+        """
+        return {
+            "state_dim": self.state_dim,
+            "num_actions": self.num_actions,
+            "num_nodes": self._num_nodes,
+            "kernel_ok": True,
+            "node_order": list(self._row_ids),
+            "latency_check": bool(self._latency_mask_check),
+            "latency_matrix": np.asarray(self._latency),
+        }
+
+    def constant_stacks(self) -> Dict[str, np.ndarray]:
+        """Per-lane ``(K, N, 3)`` stacks of the constant ledger matrices.
+
+        All lanes share one template topology, so these are broadcast views
+        rather than copies — same contents as stacking K per-lane ledgers.
+        """
+        return {
+            name: self._broadcast_constant(name)
+            for name in (
+                "node_capacity",
+                "node_capacity_safe",
+                "node_cost_per_unit",
+                "_capacity_plus_tol",
+            )
+        }
+
+    def lane_stats(self) -> List[EpisodeStats]:
+        """The per-lane statistics of the episodes currently in progress."""
+        return [st.stats for st in self._lanes]
+
+    def lane_failed_nodes(self) -> List[List[int]]:
+        """Per-lane node ids currently fenced by an injected failure."""
+        row_ids = self._row_ids
+        return [sorted(row_ids[row] for row in st.failed_rows) for st in self._lanes]
+
+    def close(self) -> None:
+        """Release lane resources (a no-op for the in-process SoA core)."""
+
+    def __enter__(self) -> "SoAVecPlacementEnv":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def soa_supported(specs: Sequence[LaneSpec]) -> bool:
+    """Whether a lane-spec set satisfies the SoA core's shared-topology rules."""
+    try:
+        SoAVecPlacementEnv.from_specs(specs)
+    except ValueError:
+        return False
+    return True

@@ -218,42 +218,36 @@ def _attach_shared_memory(name: str):
     return shared_memory.SharedMemory(name=name)
 
 
-def _worker_main(conn, specs: Sequence[LaneSpec], lane_lo: int, lane_hi: int, auto_reset: bool) -> None:
+def _worker_main(
+    conn,
+    specs: Sequence[LaneSpec],
+    lane_lo: int,
+    lane_hi: int,
+    auto_reset: bool,
+    backend: str = "reference",
+) -> None:
     """Command loop of one environment worker.
 
-    Builds lanes ``[lane_lo, lane_hi)`` from their specs, reports the lane
-    dimensions, attaches to the parent's shared-memory block and then serves
-    step/reset/mask/context commands until told to close.  All bulk data
-    moves through the shared views; the pipe carries only command tuples and
-    tiny acknowledgements.
+    Builds lanes ``[lane_lo, lane_hi)`` from their specs — as one SoA
+    lane-block (``backend="soa"``) or as per-lane reference environments —
+    reports the lane dimensions, attaches to the parent's shared-memory block
+    and then serves step/reset/mask/context commands until told to close.
+    All bulk data moves through the shared views; the pipe carries only
+    command tuples and tiny acknowledgements.
     """
     shm = None
     try:
         try:
-            shard = VecPlacementEnv.from_specs(specs, auto_reset=auto_reset)
+            if backend == "soa":
+                from repro.core.soa import SoAVecPlacementEnv
+
+                shard = SoAVecPlacementEnv.from_specs(specs, auto_reset=auto_reset)
+            else:
+                shard = VecPlacementEnv.from_specs(specs, auto_reset=auto_reset)
         except Exception:
             conn.send(("error", traceback.format_exc()))
             return
-        reference = shard.envs[0]
-        kernel_ok = shard._mask_kernel
-        conn.send(
-            (
-                "ready",
-                {
-                    "state_dim": shard.state_dim,
-                    "num_actions": shard.num_actions,
-                    "num_nodes": shard.num_actions - 1,
-                    "kernel_ok": kernel_ok,
-                    "node_order": list(reference.encoder.node_order),
-                    "latency_check": bool(reference.config.latency_mask_check),
-                    "latency_matrix": (
-                        np.asarray(reference.network.latency_matrix)
-                        if kernel_ok
-                        else None
-                    ),
-                },
-            )
-        )
+        conn.send(("ready", shard.worker_metadata()))
         try:
             command, payload = conn.recv()
         except EOFError:  # parent died before attaching
@@ -266,32 +260,25 @@ def _worker_main(conn, specs: Sequence[LaneSpec], lane_lo: int, lane_hi: int, au
         sl = slice(lane_lo, lane_hi)
 
         def write_constants() -> None:
-            ledgers = [env.network.ledger for env in shard.envs]
-            views["const_capacity_plus_tol"][sl] = np.stack(
-                [ledger._capacity_plus_tol for ledger in ledgers]
-            )
-            views["const_node_capacity"][sl] = np.stack(
-                [ledger.node_capacity for ledger in ledgers]
-            )
-            views["const_node_capacity_safe"][sl] = np.stack(
-                [ledger.node_capacity_safe for ledger in ledgers]
-            )
-            views["const_node_cost_per_unit"][sl] = np.stack(
-                [ledger.node_cost_per_unit for ledger in ledgers]
-            )
+            for name, stack in shard.constant_stacks().items():
+                views[f"const_{name.lstrip('_')}"][sl] = stack
+
+        def mirror_all() -> None:
+            failed_block = views["failed_nodes"][sl]
+            failed_block[:] = -1
+            for local, (stats, failed) in enumerate(
+                zip(shard.lane_stats(), shard.lane_failed_nodes())
+            ):
+                views["current_stats"][lane_lo + local] = _stats_row(stats)
+                failed_block[local, : len(failed)] = failed
 
         def mirror_lane(local: int) -> None:
             lane = lane_lo + local
-            env = shard.envs[local]
-            views["current_stats"][lane] = _stats_row(env.stats)
+            views["current_stats"][lane] = _stats_row(shard.lane_stats()[local])
             failed_row = views["failed_nodes"][lane]
             failed_row[:] = -1
-            failed = env.failed_nodes
+            failed = shard.lane_failed_nodes()[local]
             failed_row[: len(failed)] = failed
-
-        def mirror_all() -> None:
-            for local in range(len(shard.envs)):
-                mirror_lane(local)
 
         write_constants()
         mirror_all()
@@ -398,11 +385,18 @@ class SubprocVecPlacementEnv:
         auto_reset: bool = True,
         num_workers: int = 2,
         lane_names: Optional[Sequence[str]] = None,
+        backend: str = "reference",
     ) -> None:
         if not lane_specs:
             raise ValueError("SubprocVecPlacementEnv needs at least one lane")
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if backend not in ("reference", "soa"):
+            raise ValueError(
+                f"unknown shard backend {backend!r}; expected 'reference' or "
+                "'soa' (resolve 'auto' through make_vec_env)"
+            )
+        self._backend = backend
         if not subproc_available():
             raise RuntimeError(
                 "subprocess environments need the 'fork' start method; "
@@ -460,6 +454,7 @@ class SubprocVecPlacementEnv:
                         lane_lo,
                         lane_hi,
                         auto_reset,
+                        backend,
                     ),
                     daemon=True,
                 )
@@ -630,6 +625,7 @@ class SubprocVecPlacementEnv:
         auto_reset: bool = True,
         failure_config: Optional[FailureConfig] = None,
         num_workers: int = 2,
+        backend: str = "reference",
     ) -> "SubprocVecPlacementEnv":
         """K sharded lanes of one scenario with derived workload seeds."""
         if num_lanes <= 0:
@@ -643,6 +639,7 @@ class SubprocVecPlacementEnv:
             auto_reset=auto_reset,
             failure_config=failure_config,
             num_workers=num_workers,
+            backend=backend,
         )
 
     @classmethod
@@ -657,6 +654,7 @@ class SubprocVecPlacementEnv:
         derive_lane_seeds: bool = True,
         failure_config: Optional[FailureConfig] = None,
         num_workers: int = 2,
+        backend: str = "reference",
     ) -> "SubprocVecPlacementEnv":
         """One sharded lane per scenario (seed rules match the sync class)."""
         specs = lane_specs_from_scenarios(
@@ -668,7 +666,9 @@ class SubprocVecPlacementEnv:
             derive_lane_seeds=derive_lane_seeds,
             failure_config=failure_config,
         )
-        return cls(specs, auto_reset=auto_reset, num_workers=num_workers)
+        return cls(
+            specs, auto_reset=auto_reset, num_workers=num_workers, backend=backend
+        )
 
     # ------------------------------------------------------------------ #
     # Dimensions
@@ -692,6 +692,11 @@ class SubprocVecPlacementEnv:
     def worker_shards(self) -> List[Tuple[int, int]]:
         """The ``[lane_lo, lane_hi)`` block of lanes owned by each worker."""
         return list(self._shards)
+
+    @property
+    def backend(self) -> str:
+        """Backend tag of the worker shards (``"reference"`` or ``"soa"``)."""
+        return self._backend
 
     # ------------------------------------------------------------------ #
     # Episode lifecycle
@@ -842,6 +847,13 @@ class SubprocVecPlacementEnv:
         environment, exactly like the runner does.  Re-binding the *same*
         policy is allowed and refreshes the worker copies.
         """
+        if self._backend == "soa":
+            raise RuntimeError(
+                "heuristic policies bind to live per-lane environments, which "
+                "SoA lane-blocks do not expose; build the environment with "
+                "backend='reference' (make_vec_env does this automatically "
+                "for heuristic evaluation)"
+            )
         if self._bound_policy is not None and self._bound_policy is not policy:
             raise RuntimeError(
                 f"policy {getattr(self._bound_policy, 'name', '?')!r} is "
@@ -958,22 +970,43 @@ def make_vec_env(
     derive_lane_seeds: bool = True,
     failure_config: Optional[FailureConfig] = None,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ):
-    """Build a vectorized environment, choosing the backend by worker count.
+    """Build a vectorized environment, choosing worker count and lane core.
 
     ``workers`` (default: the ``REPRO_ENV_WORKERS`` environment variable,
-    else 1) selects the backend: with more than one worker — and more than
-    one lane, a platform with ``fork``, and *not* inside another worker
-    process (nested pools degrade to sync rather than spawn grandchildren) —
-    a :class:`SubprocVecPlacementEnv` shards the lanes across processes;
-    otherwise the sync :class:`~repro.core.vecenv.VecPlacementEnv` is
-    returned.  Both backends build lanes from the same specs, so swapping
-    backends never changes trajectories.
+    else 1) selects the process topology: with more than one worker — and
+    more than one lane, a platform with ``fork``, and *not* inside another
+    worker process (nested pools degrade to sync rather than spawn
+    grandchildren) — a :class:`SubprocVecPlacementEnv` shards the lanes
+    across processes; otherwise the lanes run in-process.
+
+    ``backend`` (default: the ``REPRO_ENV_BACKEND`` environment variable,
+    else ``"reference"``) selects the lane core:
+
+    * ``"reference"`` — per-lane :class:`~repro.core.env.VNFPlacementEnv`
+      objects behind :class:`~repro.core.vecenv.VecPlacementEnv`,
+    * ``"soa"`` — the fused structure-of-arrays core
+      (:class:`~repro.core.soa.SoAVecPlacementEnv`); raises ``ValueError``
+      when the lane set violates its shared-topology requirements,
+    * ``"auto"`` — ``"soa"`` when the lane set supports it, else
+      ``"reference"``.
+
+    All combinations build lanes from the same specs and are bitwise
+    trajectory-equivalent (the differential suite asserts it), so swapping
+    backends never changes results — only throughput.
     """
     if workers is None:
         env_value = os.environ.get("REPRO_ENV_WORKERS", "").strip()
         workers = int(env_value) if env_value else 1
     workers = max(1, int(workers))
+    if backend is None:
+        backend = os.environ.get("REPRO_ENV_BACKEND", "").strip() or "reference"
+    if backend not in ("reference", "soa", "auto"):
+        raise ValueError(
+            f"unknown env backend {backend!r}; expected 'reference', 'soa' "
+            "or 'auto'"
+        )
     use_subproc = (
         workers > 1
         and len(scenarios) > 1
@@ -989,8 +1022,14 @@ def make_vec_env(
         derive_lane_seeds=derive_lane_seeds,
         failure_config=failure_config,
     )
+    from repro.core.soa import SoAVecPlacementEnv, soa_supported
+
+    if backend == "auto":
+        backend = "soa" if soa_supported(specs) else "reference"
     if use_subproc:
         return SubprocVecPlacementEnv(
-            specs, auto_reset=auto_reset, num_workers=workers
+            specs, auto_reset=auto_reset, num_workers=workers, backend=backend
         )
+    if backend == "soa":
+        return SoAVecPlacementEnv.from_specs(specs, auto_reset=auto_reset)
     return VecPlacementEnv.from_specs(specs, auto_reset=auto_reset)

@@ -367,6 +367,11 @@ class VecPlacementEnv:
         """Number of discrete actions (shared by all lanes)."""
         return self.envs[0].num_actions
 
+    @property
+    def backend(self) -> str:
+        """Backend tag of this vectorized environment."""
+        return "reference"
+
     # ------------------------------------------------------------------ #
     # Episode lifecycle
     # ------------------------------------------------------------------ #
@@ -529,6 +534,40 @@ class VecPlacementEnv:
                 valid[lane, env._node_action[node_id]] = False
         masks[:, :num_nodes] = valid
         return masks
+
+    def worker_metadata(self) -> Dict[str, object]:
+        """Shard-compatibility metadata for the subprocess worker handshake.
+
+        Every backend a worker can host exposes the same keys; the parent
+        compares them across shards to decide whether the cross-shard
+        batched decision context applies.
+        """
+        reference = self.envs[0]
+        kernel_ok = self._mask_kernel
+        return {
+            "state_dim": self.state_dim,
+            "num_actions": self.num_actions,
+            "num_nodes": self.num_actions - 1,
+            "kernel_ok": kernel_ok,
+            "node_order": list(reference.encoder.node_order),
+            "latency_check": bool(reference.config.latency_mask_check),
+            "latency_matrix": (
+                np.asarray(reference.network.latency_matrix) if kernel_ok else None
+            ),
+        }
+
+    def constant_stacks(self) -> Dict[str, np.ndarray]:
+        """Per-lane ``(K, N, 3)`` stacks of the constant ledger matrices."""
+        ledgers = [env.network.ledger for env in self.envs]
+        return {
+            name: self._stacked_constant(name, ledgers)
+            for name in (
+                "node_capacity",
+                "node_capacity_safe",
+                "node_cost_per_unit",
+                "_capacity_plus_tol",
+            )
+        }
 
     def lane_stats(self) -> List[EpisodeStats]:
         """The per-lane statistics of the episodes currently in progress."""

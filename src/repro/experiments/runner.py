@@ -171,6 +171,10 @@ def evaluate_agent_across_scenarios(
         raise ValueError(
             f"episodes_per_scenario must be positive, got {episodes_per_scenario}"
         )
+    # Heuristics plan against live per-lane substrate, which only the
+    # reference lane core exposes; learning agents act purely on encoded
+    # batches and take the SoA core whenever the lane set supports it.
+    is_heuristic = isinstance(agent, PlacementPolicy)
     venv = make_vec_env(
         scenarios,
         seed=seed,
@@ -179,9 +183,9 @@ def evaluate_agent_across_scenarios(
         encoder_config=encoder_config,
         failure_config=failure_config,
         workers=env_workers,
+        backend="reference" if is_heuristic else "auto",
     )
     try:
-        is_heuristic = isinstance(agent, PlacementPolicy)
         if is_heuristic:
             agent.bind_lanes(venv)
             agent.reset()

@@ -103,6 +103,12 @@ class PlacementPolicy(ABC):
             # overrides) on this instance only; unbinding removes it.
             self.select_actions = self._remote_select_actions
             return self
+        if getattr(lanes, "backend", None) == "soa":
+            raise TypeError(
+                "heuristic policies plan against live per-lane environments, "
+                "which the SoA lane-block does not expose; build the "
+                "vectorized environment with backend='reference' instead"
+            )
         self.__dict__.pop("select_actions", None)
         self._remote_venv = None
         envs = list(getattr(lanes, "envs", lanes))

@@ -225,6 +225,15 @@ class SubstrateLedger:
             self._path_edge_cache[key] = cached
         return cached
 
+    def path_entry(self, nodes: Sequence[int]) -> Tuple[np.ndarray, float]:
+        """(link slots, cost-per-Mbps sum) of an explicit path (memoized).
+
+        One lookup serving consumers that need both halves — e.g. the SoA
+        environment core's shared routed-path cache — without paying the memo
+        probe twice.
+        """
+        return self._path_entry(nodes)
+
     def path_edge_indices(self, nodes: Sequence[int]) -> np.ndarray:
         """Ledger slots of the links along an explicit node sequence (memoized)."""
         return self._path_entry(nodes)[0]

@@ -1,0 +1,255 @@
+"""Differential-equivalence harness for vectorized environment backends.
+
+The SoA core (:class:`~repro.core.soa.SoAVecPlacementEnv`) promises **bitwise
+equality** with the per-lane reference backend
+(:class:`~repro.core.vecenv.VecPlacementEnv`): same states, masks, rewards,
+dones, infos, :class:`~repro.core.env.EpisodeStats` and fenced-node sets for
+the same seeds and actions.  This module is the contract's enforcement
+machinery, shared by ``tests/test_soa_equivalence.py`` and usable by any
+future backend:
+
+* :func:`campaign_from_seed` — derive a randomized :class:`Campaign`
+  (scenario shape, workload intensity, fault injection) from one integer,
+* :func:`drive` — run one backend through a campaign with seeded
+  masked-random actions, recording the full trajectory,
+* :func:`assert_trajectories_equal` — compare two recordings bitwise.
+
+The only sanctioned difference between backends is ``request_id``: the global
+request counter is process-local, so worker-sharded backends label requests
+per worker.  Cross-process comparisons pass
+``ignore_info_keys=PROCESS_LOCAL_INFO_KEYS``; in-process comparisons compare
+it too (after :func:`~repro.nfv.sfc.reset_request_counter`, which
+:func:`drive` calls before construction so both backends count from zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.env import EnvConfig
+from repro.nfv.sfc import reset_request_counter
+from repro.sim.failures import FailureConfig
+from repro.workloads.scenarios import Scenario, reference_scenario
+
+#: Info keys that are process-local labels rather than trajectory content.
+#: Worker-sharded backends rebuild lanes in separate processes, each with its
+#: own global request counter, so ``request_id`` differs across process
+#: topologies while every other field stays bitwise identical.
+PROCESS_LOCAL_INFO_KEYS: Tuple[str, ...] = ("request_id",)
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """One randomized differential scenario/workload/fault configuration."""
+
+    seed: int
+    num_lanes: int
+    steps: int
+    num_edge_nodes: int
+    arrival_rate: float
+    horizon: float
+    requests_per_episode: int
+    failure_config: Optional[FailureConfig]
+
+    def scenario(self) -> Scenario:
+        """The shared scenario both backends are built from."""
+        return reference_scenario(
+            arrival_rate=self.arrival_rate,
+            num_edge_nodes=self.num_edge_nodes,
+            horizon=self.horizon,
+            seed=self.seed,
+        )
+
+    def env_config(self) -> EnvConfig:
+        """The shared environment configuration."""
+        return EnvConfig(requests_per_episode=self.requests_per_episode)
+
+    @property
+    def faulted(self) -> bool:
+        """Whether the campaign injects node failures."""
+        return self.failure_config is not None
+
+
+def campaign_from_seed(seed: int) -> Campaign:
+    """Derive a randomized campaign from one integer seed.
+
+    Even seeds inject node failures (so roughly half of any contiguous seed
+    range exercises the fence/teardown/recovery paths); all other knobs are
+    drawn from ranges wide enough to hit accepts, rejects, infeasibilities,
+    mid-episode departures and auto-resets within a short drive.
+    """
+    rng = np.random.default_rng(seed)
+    failure_config = None
+    if seed % 2 == 0:
+        failure_config = FailureConfig(
+            mean_time_to_failure=float(rng.uniform(20.0, 60.0)),
+            mean_time_to_repair=float(rng.uniform(5.0, 25.0)),
+            seed=int(rng.integers(0, 2**31 - 1)),
+        )
+    return Campaign(
+        seed=seed,
+        num_lanes=int(rng.integers(1, 5)),
+        steps=int(rng.integers(25, 61)),
+        num_edge_nodes=int(rng.choice([4, 6])),
+        arrival_rate=float(rng.uniform(0.4, 1.1)),
+        horizon=float(rng.uniform(60.0, 160.0)),
+        requests_per_episode=int(rng.integers(6, 15)),
+        failure_config=failure_config,
+    )
+
+
+def masked_random_actions(masks: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """One uniformly-random valid action per lane (vectorized draw)."""
+    counts = masks.sum(axis=1)
+    draws = (rng.random(masks.shape[0]) * counts).astype(int)
+    return (masks.cumsum(axis=1) > draws[:, None]).argmax(axis=1)
+
+
+def _normalized_info(info: Dict[str, object]) -> Tuple[Dict[str, object], Optional[np.ndarray]]:
+    """Split an info dict into comparable payload and terminal-state array."""
+    payload = dict(info)
+    terminal = payload.pop("terminal_state", None)
+    return payload, None if terminal is None else np.asarray(terminal, dtype=float)
+
+
+def drive(
+    factory: Callable[[], object],
+    steps: int,
+    action_seed: int = 123,
+    record_context: bool = True,
+    reset_lane_at: Optional[Dict[int, int]] = None,
+) -> Dict[str, object]:
+    """Run one backend through ``steps`` masked-random actions.
+
+    ``factory`` builds the environment; the global request counter is reset
+    first so in-process backends number requests identically.  The recorded
+    trajectory holds, per step: masks, actions, (optionally) the decision
+    context, post-step states/rewards/dones/infos, per-lane running
+    :class:`EpisodeStats` dictionaries and fenced-node id lists.
+    ``reset_lane_at`` maps step index -> lane to call ``reset_lane`` on
+    *before* that step's mask query (exercising mid-episode lane resets).
+    """
+    reset_request_counter()
+    env = factory()
+    try:
+        rng = np.random.default_rng(action_seed)
+        record: Dict[str, object] = {
+            "reset": np.array(env.reset(), dtype=float, copy=True),
+            "steps": [],
+        }
+        for step_index in range(steps):
+            if reset_lane_at and step_index in reset_lane_at:
+                lane = reset_lane_at[step_index]
+                record["steps"].append(
+                    {
+                        "reset_lane": lane,
+                        "reset_lane_state": np.array(
+                            env.reset_lane(lane), dtype=float, copy=True
+                        ),
+                    }
+                )
+            masks = np.array(env.valid_action_masks(), dtype=bool, copy=True)
+            actions = masked_random_actions(masks, rng)
+            entry: Dict[str, object] = {"masks": masks, "actions": actions.copy()}
+            if record_context:
+                context = env.lane_decision_context()
+                entry["context"] = {
+                    "active": np.array(context.active, copy=True),
+                    "anchor_rows": np.array(context.anchor_rows, copy=True),
+                    "demands": np.array(context.demands, copy=True),
+                    "extras": np.array(context.extras, copy=True),
+                    "budgets": np.array(context.budgets, copy=True),
+                    "holding": np.array(context.holding, copy=True),
+                    "used": np.array(context.used, copy=True),
+                    "latency": np.array(context.latency, copy=True),
+                    "free_tol": np.array(context.free_tol, copy=True),
+                }
+            states, rewards, dones, infos = env.step(actions)
+            entry["states"] = np.array(states, dtype=float, copy=True)
+            entry["rewards"] = np.array(rewards, dtype=float, copy=True)
+            entry["dones"] = np.array(dones, dtype=bool, copy=True)
+            entry["infos"] = [_normalized_info(info) for info in infos]
+            entry["stats"] = [stats.as_dict() for stats in env.lane_stats()]
+            entry["failed_nodes"] = [list(failed) for failed in env.lane_failed_nodes()]
+            record["steps"].append(entry)
+        return record
+    finally:
+        env.close()
+
+
+def _assert_bitwise(name: str, step: int, a: np.ndarray, b: np.ndarray) -> None:
+    if not np.array_equal(np.asarray(a), np.asarray(b)):
+        raise AssertionError(
+            f"step {step}: {name} diverged\n  a={np.asarray(a)!r}\n  b={np.asarray(b)!r}"
+        )
+
+
+def assert_trajectories_equal(
+    a: Dict[str, object],
+    b: Dict[str, object],
+    ignore_info_keys: Tuple[str, ...] = (),
+) -> None:
+    """Assert two :func:`drive` recordings are bitwise identical.
+
+    ``ignore_info_keys`` drops process-local info labels (see
+    :data:`PROCESS_LOCAL_INFO_KEYS`) before comparison; everything else —
+    including float payloads — must match exactly, so any arithmetic
+    reordering in a backend fails loudly rather than "close enough".
+    """
+    _assert_bitwise("reset states", -1, a["reset"], b["reset"])
+    assert len(a["steps"]) == len(b["steps"]), (
+        f"recordings have {len(a['steps'])} vs {len(b['steps'])} steps"
+    )
+    for step, (ea, eb) in enumerate(zip(a["steps"], b["steps"])):
+        if "reset_lane" in ea or "reset_lane" in eb:
+            assert ea.get("reset_lane") == eb.get("reset_lane"), (
+                f"step {step}: lane resets diverged"
+            )
+            _assert_bitwise(
+                "reset_lane state", step, ea["reset_lane_state"], eb["reset_lane_state"]
+            )
+            continue
+        _assert_bitwise("masks", step, ea["masks"], eb["masks"])
+        _assert_bitwise("actions", step, ea["actions"], eb["actions"])
+        if "context" in ea and "context" in eb:
+            for field in ea["context"]:
+                _assert_bitwise(
+                    f"context.{field}", step, ea["context"][field], eb["context"][field]
+                )
+        _assert_bitwise("states", step, ea["states"], eb["states"])
+        _assert_bitwise("rewards", step, ea["rewards"], eb["rewards"])
+        _assert_bitwise("dones", step, ea["dones"], eb["dones"])
+        assert len(ea["infos"]) == len(eb["infos"])
+        for lane, ((info_a, term_a), (info_b, term_b)) in enumerate(
+            zip(ea["infos"], eb["infos"])
+        ):
+            payload_a = {k: v for k, v in info_a.items() if k not in ignore_info_keys}
+            payload_b = {k: v for k, v in info_b.items() if k not in ignore_info_keys}
+            assert payload_a == payload_b, (
+                f"step {step} lane {lane}: infos diverged\n  a={payload_a}\n  b={payload_b}"
+            )
+            assert (term_a is None) == (term_b is None), (
+                f"step {step} lane {lane}: terminal_state presence diverged"
+            )
+            if term_a is not None:
+                _assert_bitwise("terminal_state", step, term_a, term_b)
+        assert ea["stats"] == eb["stats"], (
+            f"step {step}: lane stats diverged\n  a={ea['stats']}\n  b={eb['stats']}"
+        )
+        assert ea["failed_nodes"] == eb["failed_nodes"], (
+            f"step {step}: fenced-node sets diverged\n"
+            f"  a={ea['failed_nodes']}\n  b={eb['failed_nodes']}"
+        )
+
+
+__all__ = [
+    "PROCESS_LOCAL_INFO_KEYS",
+    "Campaign",
+    "assert_trajectories_equal",
+    "campaign_from_seed",
+    "drive",
+    "masked_random_actions",
+]
