@@ -4,7 +4,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: check test test-diff bench-hotpath bench-envstep bench-vecenv bench-policyeval bench-subproc bench-smoke bench clean-cache
+.PHONY: check test test-diff bench-hotpath bench-envstep bench-vecenv bench-policyeval bench-subproc bench-serving bench-smoke bench clean-cache
 
 ## check: tier-1 tests + one tiny end-to-end figure run (< 1 minute)
 check:
@@ -38,12 +38,17 @@ bench-policyeval:
 bench-subproc:
 	PYTHONPATH=src:. python benchmarks/bench_subproc.py
 
+## bench-serving: 1M-request serving soak (memory-flat, ~25 minutes)
+bench-serving:
+	PYTHONPATH=src:. python benchmarks/bench_serving.py
+
 ## bench-smoke: fast perf regression guards (used by scripts/check.sh)
 bench-smoke:
 	PYTHONPATH=src:. python benchmarks/bench_envstep.py --smoke
 	PYTHONPATH=src:. python benchmarks/bench_vecenv.py --smoke
 	PYTHONPATH=src:. python benchmarks/bench_policyeval.py --smoke
 	PYTHONPATH=src:. python benchmarks/bench_subproc.py --smoke --workers 2
+	PYTHONPATH=src:. python benchmarks/bench_serving.py --smoke
 
 ## bench: the full figure/table benchmark suite (fast preset)
 bench:

@@ -39,6 +39,9 @@ PYTHONPATH="src:.${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_policyeval
 echo "==> subproc-env smoke (2 shared-memory workers vs sync, bitwise equivalence)"
 PYTHONPATH="src:.${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_subproc.py --smoke --workers 2
 
+echo "==> serving-loop smoke (graceful degradation under 4x MMPP overload)"
+PYTHONPATH="src:.${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_serving.py --smoke
+
 echo "==> committed benchmark-result schema gate"
 python scripts/check_results_schema.py
 

@@ -31,6 +31,7 @@ ENGINEERING_SCHEMAS = {
         "sweep_eval",
     },
     "subproc.json": {"config", "sync", "subproc", "speedups", "speedup_bar"},
+    "serving.json": {"smoke", "soak"},
 }
 
 #: Required keys of every figure payload (``fig*.json`` / ``ablation*.json``).

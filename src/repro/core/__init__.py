@@ -14,6 +14,7 @@ from repro.core.reward import (
 from repro.core.soa import SoAVecPlacementEnv, soa_supported
 from repro.core.state import EncoderConfig, StateEncoder
 from repro.core.subproc import SubprocVecPlacementEnv, make_vec_env
+from repro.core.timeout import BudgetedPolicy, DecisionOutcome
 from repro.core.training import (
     EvaluationResult,
     Trainer,
@@ -48,6 +49,8 @@ __all__ = [
     "soa_supported",
     "SubprocVecPlacementEnv",
     "make_vec_env",
+    "BudgetedPolicy",
+    "DecisionOutcome",
     "lane_workload_seed",
     "make_lane_env",
 ]

@@ -443,6 +443,10 @@ class SubprocVecPlacementEnv:
         self._shards: List[Tuple[int, int]] = [
             (int(bounds[w]), int(bounds[w + 1])) for w in range(self.num_workers)
         ]
+        # Last command sent to each worker, kept for crash diagnostics: a
+        # soak-run failure report then names the dead worker's lane range and
+        # what it was doing, which is all the log context triage needs.
+        self._last_commands: List[Optional[str]] = [None] * self.num_workers
         try:
             for lane_lo, lane_hi in self._shards:
                 parent_conn, child_conn = context.Pipe()
@@ -533,6 +537,13 @@ class SubprocVecPlacementEnv:
     # ------------------------------------------------------------------ #
     # Command plumbing
     # ------------------------------------------------------------------ #
+    def _worker_context(self, worker: int) -> str:
+        """Crash-diagnostic context: the worker's lane range and last command."""
+        lane_lo, lane_hi = self._shards[worker]
+        last = self._last_commands[worker]
+        command = f"last command {last!r}" if last is not None else "no command sent yet"
+        return f"lanes [{lane_lo}:{lane_hi}), {command}"
+
     def _recv(self, worker: int):
         try:
             return self._conns[worker].recv()
@@ -540,8 +551,9 @@ class SubprocVecPlacementEnv:
             self._broken = True
             exitcode = self._processes[worker].exitcode
             raise RuntimeError(
-                f"environment worker {worker} died (exit code {exitcode}); "
-                "the vectorized environment is unusable — close() it"
+                f"environment worker {worker} ({self._worker_context(worker)}) "
+                f"died (exit code {exitcode}); the vectorized environment is "
+                "unusable — close() it"
             ) from exc
 
     def _collect(self, workers: Optional[Sequence[int]] = None) -> List[object]:
@@ -573,25 +585,31 @@ class SubprocVecPlacementEnv:
     def _command_all(self, command: str, payload=None) -> List[object]:
         self._ensure_open()
         for worker, conn in enumerate(self._conns):
+            self._last_commands[worker] = command
             try:
                 conn.send((command, payload))
             except (BrokenPipeError, OSError) as exc:
                 self._broken = True
                 exitcode = self._processes[worker].exitcode
                 raise RuntimeError(
-                    f"environment worker {worker} died (exit code {exitcode})"
+                    f"environment worker {worker} "
+                    f"({self._worker_context(worker)}) died "
+                    f"(exit code {exitcode})"
                 ) from exc
         return self._collect()
 
     def _command_one(self, worker: int, command: str, payload=None) -> object:
         self._ensure_open()
+        self._last_commands[worker] = command
         try:
             self._conns[worker].send((command, payload))
         except (BrokenPipeError, OSError) as exc:
             self._broken = True
             exitcode = self._processes[worker].exitcode
             raise RuntimeError(
-                f"environment worker {worker} died (exit code {exitcode})"
+                f"environment worker {worker} "
+                f"({self._worker_context(worker)}) died "
+                f"(exit code {exitcode})"
             ) from exc
         return self._collect([worker])[0]
 

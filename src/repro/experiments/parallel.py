@@ -246,13 +246,25 @@ class ResultCache:
             return None
 
     def store(self, name: str, data: Dict, *config: Any) -> Optional[Path]:
-        """Persist ``data`` for ``name``/``config``; returns the path written."""
+        """Persist ``data`` for ``name``/``config``; returns the path written.
+
+        The write is atomic (temp file in the same directory, then
+        ``os.replace``): concurrent sweep workers storing the same key race
+        harmlessly — a reader only ever sees a complete payload, never torn
+        JSON from an in-progress write.
+        """
         if not self.enabled:
             return None
         path = self.path_for(name, *config)
         path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("w", encoding="utf-8") as handle:
-            json.dump(to_jsonable(data), handle, indent=2)
+        temp_path = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            with temp_path.open("w", encoding="utf-8") as handle:
+                json.dump(to_jsonable(data), handle, indent=2)
+            os.replace(temp_path, path)
+        finally:
+            if temp_path.exists():
+                temp_path.unlink()
         return path
 
     def get_or_compute(

@@ -24,7 +24,14 @@ from repro.core.subproc import make_vec_env
 from repro.core.training import EvaluationResult
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.parallel import parallel_policy_comparison
-from repro.sim.failures import FailureConfig
+from repro.serving.service import FallbackChain, OnlinePlacementService, ServingConfig
+from repro.sim.arrivals import ArrivalProcess
+from repro.sim.failures import (
+    DomainFailureConfig,
+    DomainFailureInjector,
+    FailureConfig,
+    fault_domains_from_network,
+)
 from repro.sim.simulation import (
     PlacementPolicy,
     SimulationConfig,
@@ -427,6 +434,37 @@ def availability_sweep(
         "lanes_per_point": lanes_per_point,
         "series": series,
     }
+
+
+def run_serving_soak(
+    scenario: Scenario,
+    chain: FallbackChain,
+    serving_config: ServingConfig,
+    domain_config: Optional[DomainFailureConfig] = None,
+    arrival_process: Optional[ArrivalProcess] = None,
+):
+    """Replay a scenario's trace through the online serving loop.
+
+    Builds a fresh substrate, wires the fallback ``chain`` and (with a
+    ``domain_config``) correlated fault-domain chaos into an
+    :class:`~repro.serving.service.OnlinePlacementService`, and streams the
+    scenario's request trace through it lazily — the trace is never
+    materialized, so the soak is memory-flat at any horizon.  Returns the
+    :class:`~repro.serving.report.ServingReport`.
+    """
+    network = scenario.build_network()
+    chaos = None
+    if domain_config is not None:
+        chaos = DomainFailureInjector(
+            fault_domains_from_network(network), domain_config
+        )
+    service = OnlinePlacementService(network, chain, serving_config, chaos=chaos)
+    generator = scenario.build_generator()
+    stream = generator.iter_trace(
+        arrival_process=arrival_process or scenario.build_arrival_process(),
+        horizon=serving_config.horizon,
+    )
+    return service.run(stream)
 
 
 def results_to_rows(results: Dict[str, SimulationResult]) -> List[Dict[str, object]]:

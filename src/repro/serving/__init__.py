@@ -1,0 +1,26 @@
+"""Online placement serving: admission, budgeted fallback chains, chaos."""
+
+from repro.serving.admission import AdmissionConfig, AdmissionController
+from repro.serving.report import (
+    BoundedTrajectory,
+    ServingReport,
+    StreamingHistogram,
+)
+from repro.serving.service import (
+    ChainDecision,
+    FallbackChain,
+    OnlinePlacementService,
+    ServingConfig,
+)
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "BoundedTrajectory",
+    "ServingReport",
+    "StreamingHistogram",
+    "ChainDecision",
+    "FallbackChain",
+    "OnlinePlacementService",
+    "ServingConfig",
+]

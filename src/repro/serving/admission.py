@@ -1,0 +1,115 @@
+"""Admission control for the online serving loop.
+
+Two gates compose, both cheap enough to sit on the hot path:
+
+* a **token bucket** bounds the sustained admit rate (with burst headroom), and
+* a **queue-depth gate with hysteresis** sheds load once the decision queue
+  reaches its high watermark and keeps shedding until the queue drains to the
+  low watermark — so the controller does not flap between admit and shed on
+  every request when the queue hovers around a threshold.
+
+A request turned away here is a ``SHED`` outcome: the policy never saw it.
+That is deliberately distinct from a policy rejection — shed rate measures
+overload, rejection rate measures placement difficulty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Parameters of the admission gate.
+
+    ``tokens_per_second`` is in *virtual-time* seconds of the serving clock;
+    set it at or above the expected nominal arrival rate so the bucket only
+    bites under overload.  The watermarks drive the hysteresis: shedding
+    starts when the decision queue reaches ``queue_high_watermark`` and stops
+    only once it drains to ``queue_low_watermark``.
+    """
+
+    tokens_per_second: float = 100.0
+    bucket_capacity: float = 200.0
+    queue_high_watermark: int = 64
+    queue_low_watermark: int = 16
+
+    def __post_init__(self) -> None:
+        check_positive(self.tokens_per_second, "tokens_per_second")
+        check_positive(self.bucket_capacity, "bucket_capacity")
+        check_positive(self.queue_high_watermark, "queue_high_watermark")
+        check_non_negative(self.queue_low_watermark, "queue_low_watermark")
+        if self.queue_low_watermark >= self.queue_high_watermark:
+            raise ValueError(
+                f"queue_low_watermark ({self.queue_low_watermark}) must be "
+                f"below queue_high_watermark ({self.queue_high_watermark}) "
+                "for the hysteresis band to exist"
+            )
+
+
+class AdmissionController:
+    """Token-bucket + queue-depth admission gate with hysteresis."""
+
+    def __init__(self, config: AdmissionConfig | None = None) -> None:
+        self.config = config or AdmissionConfig()
+        self.reset()
+
+    def reset(self) -> None:
+        """Restore the full bucket and clear all counters."""
+        self._tokens = self.config.bucket_capacity
+        self._last_refill = 0.0
+        self.shedding = False
+        self.admitted = 0
+        self.shed_overload = 0
+        self.shed_rate_limited = 0
+        self.shed_mode_entries = 0
+        self.shed_mode_exits = 0
+
+    @property
+    def shed(self) -> int:
+        """Total requests shed (queue overload + rate limit)."""
+        return self.shed_overload + self.shed_rate_limited
+
+    def admit(self, now: float, queue_depth: int) -> bool:
+        """Decide whether to admit a request arriving at ``now``.
+
+        ``queue_depth`` is the decision-queue depth *before* enqueueing this
+        request; admitting at depth ``high_watermark - 1`` is therefore the
+        deepest the queue can ever get.
+        """
+        if now > self._last_refill:
+            self._tokens = min(
+                self.config.bucket_capacity,
+                self._tokens
+                + (now - self._last_refill) * self.config.tokens_per_second,
+            )
+            self._last_refill = now
+        if not self.shedding and queue_depth >= self.config.queue_high_watermark:
+            self.shedding = True
+            self.shed_mode_entries += 1
+        elif self.shedding and queue_depth <= self.config.queue_low_watermark:
+            self.shedding = False
+            self.shed_mode_exits += 1
+        if self.shedding:
+            self.shed_overload += 1
+            return False
+        if self._tokens < 1.0:
+            self.shed_rate_limited += 1
+            return False
+        self._tokens -= 1.0
+        self.admitted += 1
+        return True
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly counter view."""
+        return {
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "shed_overload": self.shed_overload,
+            "shed_rate_limited": self.shed_rate_limited,
+            "shed_mode_entries": self.shed_mode_entries,
+            "shed_mode_exits": self.shed_mode_exits,
+        }

@@ -18,6 +18,10 @@ class EventType(Enum):
     MONITORING = "monitoring"
     NODE_FAILURE = "node_failure"
     NODE_RECOVERY = "node_recovery"
+    LINK_FAILURE = "link_failure"
+    LINK_RECOVERY = "link_recovery"
+    DECISION_COMPLETE = "decision_complete"
+    REPLACEMENT_RETRY = "replacement_retry"
     END_OF_SIMULATION = "end_of_simulation"
 
 
@@ -68,6 +72,16 @@ def departure_event(time: float, request_id: int) -> Event:
 def monitoring_event(time: float, label: Optional[str] = None) -> Event:
     """A periodic monitoring tick used to sample time-series metrics."""
     return Event.create(time, EventType.MONITORING, payload=label)
+
+
+def link_failure_event(time: float, endpoints) -> Event:
+    """A substrate link going down (payload: canonical endpoint pair)."""
+    return Event.create(time, EventType.LINK_FAILURE, payload=tuple(endpoints))
+
+
+def link_recovery_event(time: float, endpoints) -> Event:
+    """A failed substrate link coming back (payload: canonical endpoint pair)."""
+    return Event.create(time, EventType.LINK_RECOVERY, payload=tuple(endpoints))
 
 
 def end_event(time: float) -> Event:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -156,6 +156,24 @@ class RequestGenerator:
             self.sample_request(arrival_time=time)
             for time in process.arrival_times(horizon)
         ]
+
+    def iter_trace(
+        self,
+        arrival_process: Optional[ArrivalProcess] = None,
+        horizon: Optional[float] = None,
+    ) -> Iterator[SFCRequest]:
+        """Stream an arrival-ordered request trace lazily.
+
+        Identical sampling to :meth:`generate_trace` (same process, same
+        seed → same trace) but yields one request at a time, so multi-day
+        soak traces with millions of requests never materialize in memory.
+        """
+        horizon = horizon if horizon is not None else self.config.horizon
+        process = arrival_process or PoissonProcess(
+            self.config.arrival_rate, seed=derive_seed(self.config.seed, "arrivals")
+        )
+        for time in process.arrival_times(horizon):
+            yield self.sample_request(arrival_time=time)
 
     def generate_batch(self, count: int) -> List[SFCRequest]:
         """Generate ``count`` requests following the configured arrival rate.

@@ -5,9 +5,13 @@ import pytest
 
 from repro.sim.events import Event, EventType
 from repro.sim.failures import (
+    DomainFailureConfig,
+    DomainFailureInjector,
     FailureConfig,
     FailureInjector,
+    FaultDomain,
     FaultyNFVSimulation,
+    fault_domains_from_network,
 )
 from repro.sim.simulation import SimulationConfig
 from repro.substrate.topology import TopologyConfig, linear_chain_topology, metro_edge_cloud_topology
@@ -251,3 +255,286 @@ class TestFaultySimulation:
         simulation.run(requests)
         # The report describes only the latest run.
         assert simulation.report.failure_events <= first_failures or first_failures == 0
+
+
+class TestFaultySimulationEdgeCases:
+    """ISSUE 7 satellite: failure-handling corner cases."""
+
+    def _empty_simulation(self, num_nodes=4):
+        network = linear_chain_topology(
+            num_edge_nodes=num_nodes, link_latency_ms=2.0, seed=7
+        )
+        simulation = FaultyNFVSimulation(
+            network,
+            AcceptFirstNodePolicy(1),
+            SimulationConfig(horizon=50.0),
+            failure_config=FailureConfig(mean_time_to_failure=1e9, seed=0),
+        )
+        return network, simulation
+
+    def test_failure_on_empty_substrate(self):
+        """A failure with zero active placements disrupts nothing and the
+        fence consumes exactly the node's full (untouched) capacity."""
+        network, simulation = self._empty_simulation()
+        simulation._handle_failure(
+            Event.create(1.0, EventType.NODE_FAILURE, payload=1)
+        )
+        assert simulation.report.disrupted_requests == 0
+        assert simulation.report.failure_events == 1
+        assert network.node(1).available.is_zero(tol=1e-9)
+        assert_capacity_conserved(network)
+        simulation._handle_recovery(
+            Event.create(2.0, EventType.NODE_RECOVERY, payload=1)
+        )
+        assert network.node(1).used.is_zero(tol=1e-9)
+        assert_capacity_conserved(network)
+
+    def test_back_to_back_fail_recover_same_node_same_step(self):
+        """FAIL and RECOVER of one node at the same timestamp (in schedule
+        order) must leave the node fully healthy — and the duplicate-safe
+        handlers must ignore repeated FAIL/RECOVER at that instant."""
+        network, simulation = self._empty_simulation()
+        t = 5.0
+        simulation._handle_failure(Event.create(t, EventType.NODE_FAILURE, payload=2))
+        simulation._handle_failure(Event.create(t, EventType.NODE_FAILURE, payload=2))
+        assert simulation.report.failure_events == 1  # duplicate ignored
+        simulation._handle_recovery(Event.create(t, EventType.NODE_RECOVERY, payload=2))
+        simulation._handle_recovery(Event.create(t, EventType.NODE_RECOVERY, payload=2))
+        assert simulation.report.recovery_events == 1  # duplicate ignored
+        assert simulation.failed_nodes == []
+        assert network.node(2).used.is_zero(tol=1e-9)
+        assert_capacity_conserved(network)
+        # And a second full cycle at the same instant still round-trips.
+        simulation._handle_failure(Event.create(t, EventType.NODE_FAILURE, payload=2))
+        assert network.node(2).available.is_zero(tol=1e-9)
+        simulation._handle_recovery(Event.create(t, EventType.NODE_RECOVERY, payload=2))
+        assert network.node(2).used.is_zero(tol=1e-9)
+        assert_capacity_conserved(network)
+
+    def test_all_nodes_simultaneously_failed_fence_accounting(self, catalog):
+        """With every node down at once, all capacity is fenced, the active
+        placement is disrupted exactly once, and recovery restores a fully
+        free, conserved substrate."""
+        network, simulation = self._empty_simulation()
+        request = build_request(catalog, source=0, arrival=1.0, holding=40.0)
+        from repro.nfv.placement import Placement
+
+        placement = Placement.build(request, [1] * request.num_vnfs, network)
+        placement.commit(network)
+        simulation._active_placements[request.request_id] = placement
+
+        t = 2.0
+        for node_id in network.node_ids:
+            simulation._handle_failure(
+                Event.create(t, EventType.NODE_FAILURE, payload=node_id)
+            )
+        assert sorted(simulation.failed_nodes) == sorted(network.node_ids)
+        assert simulation.report.disrupted_requests == 1
+        assert simulation._active_placements == {}
+        for node_id in network.node_ids:
+            assert network.node(node_id).available.is_zero(tol=1e-9)
+        assert_capacity_conserved(network)
+        for node_id in network.node_ids:
+            simulation._handle_recovery(
+                Event.create(t + 1.0, EventType.NODE_RECOVERY, payload=node_id)
+            )
+        assert simulation.failed_nodes == []
+        for node_id in network.node_ids:
+            assert network.node(node_id).used.is_zero(tol=1e-9)
+        assert_capacity_conserved(network)
+
+
+class TestFaultDomains:
+    def test_domains_derived_from_metro_names(self):
+        network = metro_edge_cloud_topology(
+            TopologyConfig(num_edge_nodes=8, num_metros=4, seed=3)
+        )
+        domains = fault_domains_from_network(network)
+        # Every edge node appears in exactly one domain, grouped by metro.
+        members = [n for d in domains for n in d.node_ids]
+        assert sorted(members) == sorted(network.edge_node_ids)
+        assert len(domains) == 4
+        for domain in domains:
+            for node_id in domain.node_ids:
+                assert network.node(node_id).name.startswith(domain.name)
+
+    def test_unnamed_nodes_fall_back_to_singletons(self):
+        network = linear_chain_topology(num_edge_nodes=3, seed=0)
+        domains = fault_domains_from_network(network)
+        assert all(len(d.node_ids) == 1 for d in domains)
+
+    def test_domain_validation(self):
+        with pytest.raises(ValueError):
+            FaultDomain(name="empty", node_ids=())
+        with pytest.raises(ValueError):
+            DomainFailureInjector([], DomainFailureConfig())
+        dup = FaultDomain(name="x", node_ids=(0,))
+        with pytest.raises(ValueError, match="unique"):
+            DomainFailureInjector([dup, dup])
+
+    def test_unknown_member_rejected_at_schedule_time(self):
+        network = linear_chain_topology(num_edge_nodes=3, seed=0)
+        injector = DomainFailureInjector(
+            [FaultDomain(name="ghost", node_ids=(99,))],
+            DomainFailureConfig(mean_time_to_failure=10.0, seed=0),
+        )
+        with pytest.raises(ValueError, match="unknown nodes"):
+            injector.schedule(network, horizon=100.0)
+
+    def test_correlated_schedule_fails_domain_together(self):
+        network = metro_edge_cloud_topology(
+            TopologyConfig(num_edge_nodes=8, num_metros=4, seed=3)
+        )
+        domains = fault_domains_from_network(network)
+        injector = DomainFailureInjector(
+            domains,
+            DomainFailureConfig(
+                mean_time_to_failure=60.0, mean_time_to_repair=10.0, seed=9
+            ),
+        )
+        events = injector.schedule(network, horizon=400.0)
+        assert events and [e.time for e in events] == sorted(e.time for e in events)
+        node_failures = [e for e in events if e.kind == "node_failure"]
+        assert node_failures, "expected at least one domain failure over ~6x MTTF"
+        # All member nodes of a domain fail at the same instant.
+        by_domain_time = {}
+        for event in node_failures:
+            by_domain_time.setdefault((event.domain, event.time), set()).add(
+                event.node_id
+            )
+        domain_members = {d.name: set(d.node_ids) for d in domains}
+        for (name, _), failed_together in by_domain_time.items():
+            assert failed_together == domain_members[name]
+        # Incident links of the domain go down at the same instant too.
+        link_failures = [e for e in events if e.kind == "link_failure"]
+        assert link_failures
+        for event in link_failures:
+            assert event.domain is not None
+            assert set(event.endpoints) & domain_members[event.domain]
+
+    def test_independent_link_failures_when_configured(self):
+        network = metro_edge_cloud_topology(
+            TopologyConfig(num_edge_nodes=6, num_metros=3, seed=3)
+        )
+        injector = DomainFailureInjector(
+            fault_domains_from_network(network),
+            DomainFailureConfig(
+                mean_time_to_failure=1e9,  # domains never fail
+                fail_incident_links=False,
+                link_mean_time_to_failure=50.0,
+                link_mean_time_to_repair=10.0,
+                seed=2,
+            ),
+        )
+        events = injector.schedule(network, horizon=500.0)
+        assert events
+        assert all(e.kind in ("link_failure", "link_recovery") for e in events)
+        assert all(e.domain is None for e in events)
+
+    def test_schedule_deterministic_with_seed(self):
+        network = metro_edge_cloud_topology(
+            TopologyConfig(num_edge_nodes=6, num_metros=3, seed=3)
+        )
+        config = DomainFailureConfig(
+            mean_time_to_failure=40.0, mean_time_to_repair=10.0, seed=7
+        )
+        domains = fault_domains_from_network(network)
+        a = DomainFailureInjector(domains, config).schedule(network, 300.0)
+        b = DomainFailureInjector(domains, config).schedule(network, 300.0)
+        assert a == b
+
+
+class TestLinkFailures:
+    def _simulation_with_committed_chain(self, catalog):
+        network = linear_chain_topology(
+            num_edge_nodes=4, link_latency_ms=2.0, seed=7
+        )
+        simulation = FaultyNFVSimulation(
+            network,
+            AcceptFirstNodePolicy(1),
+            SimulationConfig(horizon=50.0),
+            failure_config=FailureConfig(mean_time_to_failure=1e9, seed=0),
+        )
+        from repro.nfv.placement import Placement
+
+        # Source 0 -> VNFs on node 1: the chain traverses link (0, 1).
+        request = build_request(catalog, source=0, arrival=1.0, holding=40.0)
+        placement = Placement.build(request, [1] * request.num_vnfs, network)
+        placement.commit(network)
+        simulation._active_placements[request.request_id] = placement
+        return network, simulation, request
+
+    def test_link_failure_evicts_traversing_chain_and_fences_bandwidth(
+        self, catalog
+    ):
+        network, simulation, request = self._simulation_with_committed_chain(catalog)
+        simulation._handle_link_failure(
+            Event.create(2.0, EventType.LINK_FAILURE, payload=(1, 0))
+        )
+        assert simulation.failed_links == [(0, 1)]  # canonicalized
+        assert simulation.report.link_failure_events == 1
+        assert simulation.report.disrupted_requests == 1
+        assert request.request_id not in simulation._active_placements
+        assert network.link(0, 1).available_bandwidth == pytest.approx(0.0)
+        assert_capacity_conserved(network)
+        simulation._handle_link_recovery(
+            Event.create(3.0, EventType.LINK_RECOVERY, payload=(0, 1))
+        )
+        assert simulation.failed_links == []
+        assert simulation.report.link_recovery_events == 1
+        assert network.link(0, 1).available_bandwidth == pytest.approx(
+            network.link(0, 1).bandwidth_capacity
+        )
+
+    def test_unaffected_chain_survives_link_failure(self, catalog):
+        network, simulation, request = self._simulation_with_committed_chain(catalog)
+        # Link (2, 3) carries nothing of the chain.
+        simulation._handle_link_failure(
+            Event.create(2.0, EventType.LINK_FAILURE, payload=(2, 3))
+        )
+        assert simulation.report.disrupted_requests == 0
+        assert request.request_id in simulation._active_placements
+        simulation._handle_link_recovery(
+            Event.create(3.0, EventType.LINK_RECOVERY, payload=(2, 3))
+        )
+
+    def test_unknown_link_ignored(self, catalog):
+        network, simulation, _ = self._simulation_with_committed_chain(catalog)
+        simulation._handle_link_failure(
+            Event.create(2.0, EventType.LINK_FAILURE, payload=(0, 3))
+        )
+        assert simulation.failed_links == []
+        assert simulation.report.link_failure_events == 0
+
+    def test_domain_chaos_end_to_end_conserves_capacity(self, catalog):
+        from repro.baselines import GreedyNearestPolicy
+        from repro.workloads.scenarios import reference_scenario
+
+        scenario = reference_scenario(
+            arrival_rate=1.0, num_edge_nodes=8, horizon=300.0, seed=1
+        )
+        network = scenario.build_network()
+        simulation = FaultyNFVSimulation(
+            network,
+            GreedyNearestPolicy(),
+            SimulationConfig(horizon=300.0, monitoring_interval=25.0),
+            domain_config=DomainFailureConfig(
+                mean_time_to_failure=60.0, mean_time_to_repair=20.0, seed=3
+            ),
+        )
+        # Domain-only chaos: no independent per-node injector is created.
+        assert simulation.injector is None
+        assert simulation.domain_injector is not None
+        simulation.run(scenario.generate_requests())
+        assert simulation.report.failure_events > 0
+        assert simulation.report.link_failure_events > 0
+        assert_capacity_conserved(network)
+        for node_id in simulation.failed_nodes:
+            assert network.node(node_id).available.is_zero(tol=1e-9)
+        for endpoints in simulation.failed_links:
+            assert network.link(*endpoints).available_bandwidth == pytest.approx(
+                0.0, abs=1e-9
+            )
+        simulation.release_fences()
+        assert simulation.failed_nodes == [] and simulation.failed_links == []
+        assert_capacity_conserved(network)

@@ -10,6 +10,8 @@ Covers the invariants behind the batched training refactor:
 * the parallel experiment helpers give results identical to serial runs.
 """
 
+import json
+
 import numpy as np
 import pytest
 
@@ -306,3 +308,27 @@ class TestParallelHelpers:
         assert hit and data == {"series": [1.0, 2.0]} and len(calls) == 1
         data, hit = cache.get_or_compute("fig", {"n": 5}, compute)
         assert not hit and len(calls) == 2
+
+    def test_result_cache_store_is_atomic(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.store("fig", {"series": [1.0]}, {"n": 4})
+        assert path is not None and path.parent == tmp_path
+        # No temp file survives the write, and an overwrite of the same key
+        # leaves exactly one complete JSON payload behind.
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert list(tmp_path.glob(".*.tmp")) == []
+        cache.store("fig", {"series": [2.0]}, {"n": 4})
+        assert sorted(tmp_path.iterdir()) == [path]
+        with path.open("r", encoding="utf-8") as handle:
+            assert json.load(handle) == {"series": [2.0]}
+
+    def test_result_cache_store_cleans_temp_on_failure(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+
+        def boom(src, dst):
+            raise OSError("simulated rename failure")
+
+        monkeypatch.setattr("repro.experiments.parallel.os.replace", boom)
+        with pytest.raises(OSError, match="simulated rename failure"):
+            cache.store("fig", {"series": [1.0]}, {"n": 4})
+        assert list(tmp_path.iterdir()) == []

@@ -324,7 +324,11 @@ class TestLifecycleAndFactory:
             sub.reset()
             sub._processes[0].terminate()
             sub._processes[0].join(timeout=5.0)
-            with pytest.raises(RuntimeError, match="worker 0"):
+            # The error names the dead worker's lane range and last command,
+            # so a crash mid-soak is diagnosable from the log line alone.
+            with pytest.raises(
+                RuntimeError, match=r"worker 0 \(lanes \[0:2\), last command "
+            ):
                 for _ in range(3):  # first command after the crash must raise
                     sub.valid_action_masks()
                     sub.step(np.zeros(4, dtype=int))
