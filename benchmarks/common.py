@@ -47,24 +47,42 @@ def masked_random_actions(masks, rng):
     return (masks.cumsum(axis=1) > draws[:, None]).argmax(axis=1)
 
 
-def measure_env_steps(venv, total_steps: int, seed: int = 0) -> Dict[str, float]:
+#: step() keyword arguments of each lean-step measurement protocol.  "full"
+#: is the historical default; "lean" skips info-dict construction (the
+#: trainer's protocol, see VecTrainer.run_episodes); "core" additionally
+#: skips observation encoding (the heuristic-evaluation protocol).
+STEP_PROTOCOLS = {
+    "full": {},
+    "lean": {"info": False},
+    "core": {"observe": False, "info": False},
+}
+
+
+def measure_env_steps(
+    venv, total_steps: int, seed: int = 0, protocol: str = "full"
+) -> Dict[str, float]:
     """Aggregate env transitions/s with masked-random actions (no agent).
 
     The one measurement loop every env-throughput benchmark shares — sync or
     subprocess-backed, any lane count — so backend comparisons always time
     the identical protocol (reset, then masks → random actions → step until
-    ``total_steps`` transitions).
+    ``total_steps`` transitions).  ``protocol`` selects the step keyword
+    arguments from :data:`STEP_PROTOCOLS`.
     """
     import time
 
     import numpy as np
 
+    step_kwargs = STEP_PROTOCOLS[protocol]
     rng = np.random.default_rng(seed)
     venv.reset()
     steps = 0
     start = time.perf_counter()
     while steps < total_steps:
-        venv.step(masked_random_actions(venv.valid_action_masks(), rng))
+        venv.step(
+            masked_random_actions(venv.valid_action_masks(), rng),
+            **step_kwargs,
+        )
         steps += venv.num_lanes
     elapsed = time.perf_counter() - start
     return {
@@ -72,6 +90,7 @@ def measure_env_steps(venv, total_steps: int, seed: int = 0) -> Dict[str, float]
         "env_steps": steps,
         "elapsed_s": elapsed,
         "env_steps_per_s": steps / elapsed,
+        "protocol": protocol,
     }
 
 #: Config-hash-keyed cache of completed figure/table payloads.

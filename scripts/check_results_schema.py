@@ -23,7 +23,13 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
 ENGINEERING_SCHEMAS = {
     "hotpath.json": {"dqn_update", "replay_sampling"},
     "envstep.json": {"config", "env_step", "latency_lookups"},
-    "vecenv.json": {"config", "env_steps", "training_loop", "speedups"},
+    "vecenv.json": {
+        "config",
+        "env_steps",
+        "training_loop",
+        "speedups",
+        "decomposition",
+    },
     "policyeval.json": {
         "config",
         "decision_throughput",
@@ -32,6 +38,25 @@ ENGINEERING_SCHEMAS = {
     },
     "subproc.json": {"config", "sync", "subproc", "speedups", "speedup_bar"},
     "serving.json": {"smoke", "soak"},
+}
+
+#: Required nested keys of the vecenv payload's lean-step extensions: the
+#: per-protocol cost-model fits plus the lean stepping series themselves.
+VECENV_DECOMPOSITION_KEYS = {
+    "model",
+    "per_lane_us_bar",
+    "full",
+    "lean",
+    "core",
+    "kernel_timings_k64",
+}
+VECENV_ENV_STEPS_KEYS = {
+    "reference",
+    "soa",
+    "soa_steady_state",
+    "soa_steady_state_lean",
+    "soa_scaling",
+    "soa_scaling_full",
 }
 
 #: Required keys of every figure payload (``fig*.json`` / ``ablation*.json``).
@@ -58,7 +83,18 @@ def check_file(path: Path) -> list:
     missing = sorted(required - set(payload))
     if missing:
         return [f"{path.name}: missing required keys {missing}"]
-    return []
+    problems = []
+    if path.name == "vecenv.json":
+        for section, nested in (
+            ("decomposition", VECENV_DECOMPOSITION_KEYS),
+            ("env_steps", VECENV_ENV_STEPS_KEYS),
+        ):
+            nested_missing = sorted(nested - set(payload[section]))
+            if nested_missing:
+                problems.append(
+                    f"{path.name}: {section} missing keys {nested_missing}"
+                )
+    return problems
 
 
 def main() -> int:

@@ -26,6 +26,8 @@ share constants and routed-path caches instead of duplicating them K times.
 from __future__ import annotations
 
 import heapq
+import os
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -33,7 +35,13 @@ import numpy as np
 from repro.core.env import EnvConfig, EpisodeStats
 from repro.core.reward import RewardConfig
 from repro.core.state import NODE_FEATURES, REQUEST_SCALARS, EncoderConfig
-from repro.core.vecenv import LaneDecisionContext, LaneSpec, lane_specs_from_scenarios
+from repro.core.vecenv import (
+    OUTCOME_CODE,
+    OUTCOMES,
+    LaneDecisionContext,
+    LaneSpec,
+    lane_specs_from_scenarios,
+)
 from repro.nfv.sfc import SFCRequest
 from repro.nfv.sla import DEFAULT_NODE_AVAILABILITY
 from repro.sim.failures import FailureConfig, FailureEvent, FailureInjector
@@ -147,6 +155,8 @@ class _RequestView:
         "total_proc",
         "vnfs",
         "ctx_row",
+        "demand_lists",
+        "licenses",
     )
 
     def __init__(
@@ -199,6 +209,14 @@ class _RequestView:
             0,
             num_vnfs,
         )
+        #: Pregathered per-instance constants for the batched commit
+        #: pipeline: the demand float lists / license costs in chain order
+        #: (the lists alias the ``vnfs`` tuples, exactly like the reference
+        #: gathers them).  The ``(num_vnfs, 3)`` demand rows are stacked
+        #: lazily by the commit pipeline — only requests that actually reach
+        #: commit pay for the array build, not the rejected ones.
+        self.demand_lists = [vnf[1] for vnf in vnfs]
+        self.licenses = [vnf[4] for vnf in vnfs]
 
 
 class _LaneState:
@@ -290,6 +308,7 @@ class SoAVecPlacementEnv:
         specs: Sequence[LaneSpec],
         auto_reset: bool = True,
         lane_names: Optional[Sequence[str]] = None,
+        profile: bool = False,
     ) -> None:
         specs = list(specs)
         if not specs:
@@ -434,13 +453,24 @@ class SoAVecPlacementEnv:
             generator = lane_scenario.build_generator(self._network)
             self._lanes.append(_LaneState(generator, spec.failure_config))
 
-        #: Per-VNFType constants keyed by object identity (the type object is
-        #: kept in the value so the id stays valid).
-        self._type_info: Dict[int, tuple] = {}
+        #: Per-VNFType constants keyed by type *name*; the value tuple holds
+        #: the type object itself so hits can be identity-validated (see
+        #: :meth:`_vnf_info` for why ``id()`` keys are unsafe).
+        self._type_info: Dict[str, tuple] = {}
         #: (row pair) -> (latency, oriented slot list, cost-per-mbps) or the
         #: NoRoute sentinel; delegated to the shared template network/ledger
         #: caches so every lane reuses one routed-path set.
         self._paths: Dict[Tuple[int, int], Optional[Tuple[float, List[int], float]]] = {}
+        #: Dense per-row-pair gather arrays over the same routed-path cache,
+        #: lazily filled through :meth:`_ensure_pair`; they let the batched
+        #: commit pipeline gather whole routing walks with array indexing
+        #: instead of per-segment dict lookups.
+        num_cells = self._num_nodes * self._num_nodes
+        self._seg_known = np.zeros(num_cells, dtype=bool)
+        self._seg_ok = np.zeros(num_cells, dtype=bool)
+        self._seg_lat = np.zeros(num_cells)
+        self._seg_cost = np.zeros(num_cells)
+        self._seg_slots: List[Optional[List[int]]] = [None] * num_cells
 
         self.episodes_completed = 0
         self._decision_version = 0
@@ -466,6 +496,27 @@ class SoAVecPlacementEnv:
         zero_state = np.zeros(self.state_dim, dtype=float)
         zero_state.setflags(write=False)
         self._zero_state = zero_state
+        #: Lean-step outcome recording — always maintained, whether or not
+        #: the caller requests info dicts, so ``step(..., info=False)`` loses
+        #: no information (see ``last_outcome_codes`` and friends).
+        self._out_codes: List[int] = [0] * num_lanes
+        self._req_done: List[bool] = [False] * num_lanes
+        self._req_ids: List[int] = [0] * num_lanes
+        self._finished_stats: Dict[int, Dict[str, float]] = {}
+        #: Cumulative per-phase kernel timers (mask / observe / commit /
+        #: info), enabled via ``profile=True`` or ``REPRO_ENV_PROFILE=1``;
+        #: disabled they cost one attribute check per phase.
+        self._profile = bool(profile) or os.environ.get(
+            "REPRO_ENV_PROFILE", ""
+        ) == "1"
+        self._timings: Dict[str, float] = {
+            "mask_s": 0.0,
+            "observe_s": 0.0,
+            "commit_s": 0.0,
+            "info_s": 0.0,
+            "step_s": 0.0,
+            "steps": 0.0,
+        }
 
     # ------------------------------------------------------------------ #
     # Construction from scenarios (mirrors VecPlacementEnv)
@@ -481,6 +532,7 @@ class SoAVecPlacementEnv:
         encoder_config: Optional[EncoderConfig] = None,
         auto_reset: bool = True,
         failure_config: Optional[FailureConfig] = None,
+        profile: bool = False,
     ) -> "SoAVecPlacementEnv":
         """K lanes of one scenario with independent derived workload seeds."""
         if num_lanes <= 0:
@@ -493,6 +545,7 @@ class SoAVecPlacementEnv:
             encoder_config=encoder_config,
             auto_reset=auto_reset,
             failure_config=failure_config,
+            profile=profile,
         )
 
     @classmethod
@@ -506,6 +559,7 @@ class SoAVecPlacementEnv:
         auto_reset: bool = True,
         derive_lane_seeds: bool = True,
         failure_config: Optional[FailureConfig] = None,
+        profile: bool = False,
     ) -> "SoAVecPlacementEnv":
         """One lane per scenario, with the standard per-lane seed derivation."""
         specs = lane_specs_from_scenarios(
@@ -517,17 +571,21 @@ class SoAVecPlacementEnv:
             derive_lane_seeds=derive_lane_seeds,
             failure_config=failure_config,
         )
-        return cls.from_specs(specs, auto_reset=auto_reset)
+        return cls.from_specs(specs, auto_reset=auto_reset, profile=profile)
 
     @classmethod
     def from_specs(
-        cls, specs: Sequence[LaneSpec], auto_reset: bool = True
+        cls,
+        specs: Sequence[LaneSpec],
+        auto_reset: bool = True,
+        profile: bool = False,
     ) -> "SoAVecPlacementEnv":
         """Build one lane per :class:`LaneSpec`."""
         return cls(
             specs,
             auto_reset=auto_reset,
             lane_names=[spec.name for spec in specs],
+            profile=profile,
         )
 
     # ------------------------------------------------------------------ #
@@ -557,15 +615,20 @@ class SoAVecPlacementEnv:
     # Request views and routed paths
     # ------------------------------------------------------------------ #
     def _vnf_info(self, vnf_type) -> tuple:
-        info = self._type_info.get(id(vnf_type))
-        if info is None:
+        # Keyed by the (stable) type name rather than ``id(vnf_type)``: ids
+        # are recycled after GC, so an id key could hand a brand-new type a
+        # stale cached row.  The cached tuple keeps the type object, and a
+        # hit is only honored when it is the *same object* — a same-named but
+        # different type rebuilds the entry instead of reusing stale fields.
+        info = self._type_info.get(vnf_type.name)
+        if info is None or info[3] is not vnf_type:
             info = (
                 vnf_type.processing_delay_ms,
                 self._catalog.index_of(vnf_type.name),
                 vnf_type.license_cost,
                 vnf_type,
             )
-            self._type_info[id(vnf_type)] = info
+            self._type_info[vnf_type.name] = info
         return info
 
     def _request_view(self, request: SFCRequest) -> _RequestView:
@@ -866,6 +929,14 @@ class SoAVecPlacementEnv:
         per-lane failed-node loop replaced by the columnar ``(K, N)`` fence
         mask.
         """
+        if self._profile:
+            t0 = perf_counter()
+            masks = self._masks_kernel()
+            self._timings["mask_s"] += perf_counter() - t0
+            return masks
+        return self._masks_kernel()
+
+    def _masks_kernel(self) -> np.ndarray:
         context = self.lane_decision_context()
         num_actions = self.num_actions
         num_nodes = self._num_nodes
@@ -889,6 +960,14 @@ class SoAVecPlacementEnv:
     # ------------------------------------------------------------------ #
     def _observe_batch(self) -> np.ndarray:
         """Fused batched state encoding (bitwise equal to per-lane encode)."""
+        if self._profile:
+            t0 = perf_counter()
+            states = self._observe_kernel()
+            self._timings["observe_s"] += perf_counter() - t0
+            return states
+        return self._observe_kernel()
+
+    def _observe_kernel(self) -> np.ndarray:
         context = self.lane_decision_context()
         onehots, remaining, bandwidths, partials, vnf_indices, chain_lengths = (
             self._obs_extras
@@ -973,17 +1052,29 @@ class SoAVecPlacementEnv:
     # Stepping
     # ------------------------------------------------------------------ #
     def step(
-        self, actions: Sequence[int], observe: bool = True
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[Dict[str, object]]]:
+        self,
+        actions: Sequence[int],
+        observe: bool = True,
+        info: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[List[Dict[str, object]]]]:
         """Apply one action per lane (same contract as VecPlacementEnv.step).
 
         The dense-reward arithmetic for placement actions is evaluated as one
         batched expression (elementwise, in the reference association order,
         so every float is bitwise equal to the per-lane scalar computation);
-        the remaining per-lane work is the irreducible bookkeeping — partial
-        chain state, the commit pipeline on chain completion, and the info
-        dictionaries of the step contract.
+        lanes completing a chain this step are committed together through the
+        batched :meth:`_finalize_batch` pipeline.
+
+        ``info=False`` selects the lean-step protocol: the infos element of
+        the return tuple is ``None`` and callers read the per-lane outcome
+        through :meth:`last_outcome_codes` / :meth:`last_request_done` /
+        :meth:`last_request_ids` / :meth:`last_episode_stats` instead.  Those
+        arrays are recorded unconditionally, so lean and full steps traverse
+        the same state transitions bitwise.
         """
+        profiling = self._profile
+        if profiling:
+            step_t0 = perf_counter()
         acts = np.asarray(actions, dtype=int).ravel()
         num_lanes = self.num_lanes
         if acts.shape[0] != num_lanes:
@@ -1027,14 +1118,16 @@ class SoAVecPlacementEnv:
 
         rewards = place_rewards  # lanes that do not place are overwritten
         dones = np.zeros(num_lanes, dtype=bool)
-        infos: List[Dict[str, object]] = []
         action_list = acts.tolist()
-        lane_names = self.lane_names
         num_actions = self.num_actions
         inf = np.inf
         reject_penalty = self._reject_penalty
         infeasible_penalty = self._infeasible_penalty
-        append_info = infos.append
+        out_codes = self._out_codes
+        req_done = self._req_done
+        req_ids = self._req_ids
+        ctx_rows = self._ctx_rows
+        completing: List[Tuple[int, _LaneState, _RequestView]] = []
         for lane, st in enumerate(self._lanes):
             view = st.current
             if st.episode_done or view is None:
@@ -1044,20 +1137,18 @@ class SoAVecPlacementEnv:
             action = action_list[lane]
             if not 0 <= action < num_actions:
                 raise ValueError(f"action {action} outside the action space")
-            stats = st.stats
+            req_ids[lane] = view.request_id
             if action == num_nodes:
-                reward = -reject_penalty
-                rewards[lane] = reward
-                stats.rejected += 1
-                outcome = "rejected"
-                request_done = True
+                rewards[lane] = -reject_penalty
+                st.stats.rejected += 1
+                out_codes[lane] = 1  # rejected
+                req_done[lane] = True
                 self._begin_next_request(lane, st)
             elif lat_list[lane] == inf:
-                reward = -infeasible_penalty
-                rewards[lane] = reward
-                stats.infeasible += 1
-                outcome = "no_route"
-                request_done = True
+                rewards[lane] = -infeasible_penalty
+                st.stats.infeasible += 1
+                out_codes[lane] = 4  # no_route
+                req_done[lane] = True
                 self._begin_next_request(lane, st)
             else:
                 st.partial_rows.append(action)
@@ -1071,7 +1162,7 @@ class SoAVecPlacementEnv:
                     vnf = view.vnfs[vnf_index]
                     proc = vnf[2]
                     partial_latency = st.partial_latency
-                    self._ctx_rows[lane] = (
+                    ctx_rows[lane] = (
                         True,
                         vnf[1],
                         proc + partial_latency,
@@ -1086,54 +1177,408 @@ class SoAVecPlacementEnv:
                         vnf_index,
                         view.num_vnfs,
                     )
-                    reward = place_list[lane]
-                    outcome = "placed"
-                    request_done = False
+                    out_codes[lane] = 2  # placed
+                    req_done[lane] = False
                 else:
-                    reward, _, outcome = self._finalize_request(
-                        lane, st, view, place_list[lane]
-                    )
-                    rewards[lane] = reward
-                    request_done = True
-                    self._begin_next_request(lane, st)
-            stats.total_reward += reward
+                    # Chain complete: commit through the batched pipeline
+                    # below (which sets rewards/outcome and advances the
+                    # lane to its next request).
+                    req_done[lane] = True
+                    completing.append((lane, st, view))
+        if completing:
+            if profiling:
+                commit_t0 = perf_counter()
+            self._finalize_batch(completing, rewards, place_list)
+            if profiling:
+                self._timings["commit_s"] += perf_counter() - commit_t0
+
+        # Reward/stat accumulation and episode boundaries run as one pass
+        # after the batch commit, so completing lanes already carry their
+        # final rewards; per-lane stats objects make the cross-lane order
+        # unobservable.
+        finished = self._finished_stats
+        finished.clear()
+        rewards_list = rewards.tolist()
+        episodes_done = 0
+        auto_reset = self.auto_reset
+        for lane, st in enumerate(self._lanes):
+            st.stats.total_reward += rewards_list[lane]
             if st.episode_done:
-                info = {
-                    "request_id": view.request_id,
-                    "request_done": request_done,
-                    "outcome": outcome,
-                    "episode_stats": stats.as_dict(),
-                    "lane": lane,
-                    "lane_name": lane_names[lane],
-                    "terminal_state": (
-                        np.zeros(self.state_dim, dtype=float)
-                        if observe
-                        else self._zero_state
-                    ),
-                }
                 dones[lane] = True
-                self.episodes_completed += 1
-                if self.auto_reset:
+                finished[lane] = st.stats.as_dict()
+                episodes_done += 1
+                if auto_reset:
                     self._reset_lane_state(lane, st)
-            else:
-                info = {
-                    "request_id": view.request_id,
-                    "request_done": request_done,
-                    "outcome": outcome,
-                    "episode_stats": None,
+        self.episodes_completed += episodes_done
+
+        if info:
+            if profiling:
+                info_t0 = perf_counter()
+            infos: Optional[List[Dict[str, object]]] = []
+            lane_names = self.lane_names
+            append_info = infos.append
+            state_dim = self.state_dim
+            zero_state = self._zero_state
+            done_list = dones.tolist()
+            for lane in range(num_lanes):
+                payload: Dict[str, object] = {
+                    "request_id": req_ids[lane],
+                    "request_done": req_done[lane],
+                    "outcome": OUTCOMES[out_codes[lane]],
+                    "episode_stats": finished.get(lane),
                     "lane": lane,
                     "lane_name": lane_names[lane],
                 }
-            append_info(info)
+                if done_list[lane]:
+                    payload["terminal_state"] = (
+                        np.zeros(state_dim, dtype=float)
+                        if observe
+                        else zero_state
+                    )
+                append_info(payload)
+            if profiling:
+                self._timings["info_s"] += perf_counter() - info_t0
+        else:
+            infos = None
         if observe:
             states = self._observe_batch()
         else:
             states = np.zeros((num_lanes, self.state_dim), dtype=float)
+        if profiling:
+            self._timings["step_s"] += perf_counter() - step_t0
+            self._timings["steps"] += 1.0
         return states, rewards, dones, infos
 
     # ------------------------------------------------------------------ #
     # Commit pipeline (routing, feasibility, atomic commit)
     # ------------------------------------------------------------------ #
+    def _ensure_pair(self, pair_index: int) -> None:
+        """Fill the dense routing-gather arrays for one flat ``(a, b)`` pair.
+
+        Delegates to :meth:`_path`, which also populates ``self._paths`` for
+        the scalar fallback path — both views share the same slot lists, so
+        store records alias identical objects either way.
+        """
+        a_row, b_row = divmod(pair_index, self._num_nodes)
+        entry = self._path(a_row, b_row)
+        self._seg_known[pair_index] = True
+        if entry is not None:
+            self._seg_ok[pair_index] = True
+            self._seg_lat[pair_index] = entry[0]
+            self._seg_cost[pair_index] = entry[2]
+            self._seg_slots[pair_index] = entry[1]
+
+    def _finalize_batch(
+        self,
+        completing: List[Tuple[int, "_LaneState", _RequestView]],
+        rewards: np.ndarray,
+        place_list: List[float],
+    ) -> None:
+        """Commit pipeline over every lane completing a chain this step.
+
+        The routing walk, feasibility check and per-segment link commits run
+        as grouped array operations over the completing-lane set; only the
+        per-lane bookkeeping (store allocation, heap push, stats, terminal
+        reward, request advance) stays scalar, applied in lane order so the
+        observable sequence matches the reference backend exactly.
+
+        Bitwise-exactness argument, mirrored in the array ops below:
+
+        * ``np.bincount(idx, weights=w)`` accumulates sequentially in input
+          order, so grouped demand/traversal sums reproduce the reference
+          left-associated scalar sums bit-for-bit.
+        * Node commits add non-negative demands, and correctly-rounded
+          addition of a non-negative term is monotone — the sequential
+          per-instance ``can_host`` checks pass iff the *final* sequential
+          value (computed with ``np.add.at``, which also applies repeated
+          indices in input order) stays within ``capacity + tol`` on every
+          touched row/dim.  The batch verdict is therefore exact.
+        * Link ``can_carry`` checks read the running value *before* each
+          traversal's add, so the batch screen tests the strictly harder
+          post-commit value: a screen pass proves every reference check
+          passes, while a screen fail (or a node-commit fail, whose partial
+          commit + rollback drifts floats through ``max(0, x - d)``) replays
+          that lane through the scalar :meth:`_finalize_request` path, which
+          *is* the reference arithmetic.
+        * Ordered float sums whose accumulation order the reference fixes
+          per lane (propagation, per-mbps cost, hosting+license interleave)
+          stay scalar loops over gathered values — ``np.add.reduceat`` is
+          pairwise and would break associativity.
+        """
+        num_nodes = self._num_nodes
+        # ---- batched routing walk over the dense pair-gather arrays ---- #
+        seg_pairs: List[int] = []
+        seg_counts: List[int] = []
+        for lane, st, view in completing:
+            prev = view.source_row
+            for row in st.partial_rows:
+                seg_pairs.append(prev * num_nodes + row)
+                prev = row
+            dest = view.dest_row
+            if dest is not None:
+                seg_pairs.append(prev * num_nodes + dest)
+                seg_counts.append(view.num_vnfs + 1)
+            else:
+                seg_counts.append(view.num_vnfs)
+        pair_arr = np.array(seg_pairs, dtype=np.int64)
+        known = self._seg_known
+        if not known[pair_arr].all():
+            ensure = self._ensure_pair
+            for pair_index in seg_pairs:
+                if not known[pair_index]:
+                    ensure(pair_index)
+        ok_list = self._seg_ok[pair_arr].tolist()
+        lat_gather = self._seg_lat[pair_arr].tolist()
+        cost_gather = self._seg_cost[pair_arr].tolist()
+        seg_slots = self._seg_slots
+
+        # ---- per-lane route assembly (ordered sums stay scalar) -------- #
+        n_completing = len(completing)
+        NO_ROUTE, INFEASIBLE, ACCEPT, FALLBACK = 0, 1, 2, 3
+        verdicts = [NO_ROUTE] * n_completing
+        routed: List[int] = []
+        prop_list = [0.0] * n_completing
+        permbps_list = [0.0] * n_completing
+        e2e_list = [0.0] * n_completing
+        cost_list = [0.0] * n_completing
+        slots_per_pos: List[Optional[List[List[int]]]] = [None] * n_completing
+        offset = 0
+        for pos in range(n_completing):
+            end = offset + seg_counts[pos]
+            propagation = 0.0
+            per_mbps = 0.0
+            complete = True
+            for seg in range(offset, end):
+                if not ok_list[seg]:
+                    complete = False
+                    break
+                propagation += lat_gather[seg]
+                per_mbps += cost_gather[seg]
+            if complete:
+                verdicts[pos] = INFEASIBLE
+                routed.append(pos)
+                prop_list[pos] = propagation
+                permbps_list[pos] = per_mbps
+                slots_per_pos[pos] = [
+                    seg_slots[p] for p in seg_pairs[offset:end]
+                ]
+            offset = end
+
+        num_candidates = len(routed)
+        if num_candidates:
+            # ---- grouped node demand aggregation + feasibility --------- #
+            lanes_arr = np.array(
+                [completing[pos][0] for pos in routed], dtype=np.int64
+            )
+            inst_counts = np.array(
+                [completing[pos][2].num_vnfs for pos in routed], dtype=np.int64
+            )
+            demand_rows: List[np.ndarray] = []
+            for pos in routed:
+                demand_rows.extend(
+                    vnf[0] for vnf in completing[pos][2].vnfs
+                )
+            inst_demands = np.stack(demand_rows)
+            flat_rows: List[int] = []
+            for pos in routed:
+                flat_rows.extend(completing[pos][1].partial_rows)
+            inst_rows = np.array(flat_rows, dtype=np.int64)
+            inst_pos = np.repeat(
+                np.arange(num_candidates, dtype=np.int64), inst_counts
+            )
+            cell = inst_pos * num_nodes + inst_rows
+            counts = np.bincount(cell, minlength=num_candidates * num_nodes)
+            touched = counts.reshape(num_candidates, num_nodes) > 0
+            agg = np.bincount(
+                (cell[:, None] * 3 + np.arange(3, dtype=np.int64)).ravel(),
+                weights=inst_demands.ravel(),
+                minlength=num_candidates * num_nodes * 3,
+            ).reshape(num_candidates, num_nodes, 3)
+            used_sel = self._node_used[lanes_arr]  # (C, N, 3) copy
+            free_tol = (self._capacity[None, :, :] - used_sel) + 1e-9
+            node_bad = (agg > free_tol).any(axis=2) & touched
+            node_ok_list = (~node_bad.any(axis=1)).tolist()
+
+            # ---- grouped link traversal counts + feasibility ----------- #
+            num_links = self._num_links
+            bw_arr = np.array([completing[pos][2].bw for pos in routed])
+            slot_flat: List[int] = []
+            slot_pos_counts: List[int] = []
+            for pos in routed:
+                total = 0
+                for slots in slots_per_pos[pos]:
+                    slot_flat.extend(slots)
+                    total += len(slots)
+                slot_pos_counts.append(total)
+            if slot_flat:
+                slot_arr = np.array(slot_flat, dtype=np.int64)
+                slot_pos = np.repeat(
+                    np.arange(num_candidates, dtype=np.int64), slot_pos_counts
+                )
+                link_counts = np.bincount(
+                    slot_pos * num_links + slot_arr,
+                    minlength=num_candidates * num_links,
+                ).reshape(num_candidates, num_links)
+            else:
+                slot_arr = slot_pos = None
+                link_counts = np.zeros(
+                    (num_candidates, num_links), dtype=np.int64
+                )
+            link_used_sel = self._link_used[lanes_arr]  # (C, E) copy
+            link_free_tol = (
+                self._link_capacity[None, :] - link_used_sel
+            ) + 1e-9
+            link_bad = (link_counts * bw_arr[:, None] > link_free_tol) & (
+                link_counts > 0
+            )
+            link_ok_list = (~link_bad.any(axis=1)).tolist()
+
+            # ---- hosting cost terms (elementwise, reference assoc) ----- #
+            inst_cost = self._cost_per_unit[inst_rows]
+            hold_rep = np.repeat(
+                np.array([completing[pos][2].holding for pos in routed]),
+                inst_counts,
+            )
+            host_list = (
+                (
+                    inst_demands[:, 0] * inst_cost[:, 0]
+                    + inst_demands[:, 1] * inst_cost[:, 1]
+                    + inst_demands[:, 2] * inst_cost[:, 2]
+                )
+                * hold_rep
+            ).tolist()
+
+            # ---- scalar SLA / availability / cost per candidate -------- #
+            row_avail = self._row_avail
+            inst_base = 0
+            feasible_ci: List[int] = []
+            for ci, pos in enumerate(routed):
+                lane, st, view = completing[pos]
+                base = inst_base
+                inst_base += view.num_vnfs
+                if not (node_ok_list[ci] and link_ok_list[ci]):
+                    continue
+                e2e = prop_list[pos] + view.total_proc
+                if not e2e <= view.sla + 1e-9:
+                    continue
+                availability = 1.0
+                # dict.fromkeys dedups in first-occurrence order — the same
+                # multiplication order the reference's seen-set loop fixes.
+                for row in dict.fromkeys(st.partial_rows):
+                    availability *= row_avail[row]
+                if not availability + 1e-12 >= view.min_avail:
+                    continue
+                cost = 0.0
+                licenses = view.licenses
+                for i in range(view.num_vnfs):
+                    cost += host_list[base + i]
+                    cost += licenses[i]
+                e2e_list[pos] = e2e
+                cost_list[pos] = cost + view.bw * permbps_list[pos] * view.holding
+                feasible_ci.append(ci)
+
+            # ---- batched commit: exact node criterion + link screen ---- #
+            if feasible_ci:
+                node_scratch = used_sel  # feasibility reads are done: reuse
+                np.add.at(node_scratch, (inst_pos, inst_rows), inst_demands)
+                node_over = (
+                    node_scratch > self._capacity_plus_tol[None, :, :]
+                ).any(axis=2) & touched
+                commit_node_ok = (~node_over.any(axis=1)).tolist()
+                link_scratch = link_used_sel
+                if slot_arr is not None:
+                    np.add.at(
+                        link_scratch,
+                        (slot_pos, slot_arr),
+                        np.repeat(bw_arr, slot_pos_counts),
+                    )
+                link_head = (
+                    np.maximum(
+                        0.0, self._link_capacity[None, :] - link_scratch
+                    )
+                    + 1e-9
+                )
+                screen_bad = (bw_arr[:, None] > link_head) & (link_counts > 0)
+                screen_ok = (~screen_bad.any(axis=1)).tolist()
+                commit_ci: List[int] = []
+                for ci in feasible_ci:
+                    if commit_node_ok[ci] and screen_ok[ci]:
+                        verdicts[routed[ci]] = ACCEPT
+                        commit_ci.append(ci)
+                    else:
+                        verdicts[routed[ci]] = FALLBACK
+                if commit_ci:
+                    sel = np.array(commit_ci, dtype=np.int64)
+                    commit_lanes = lanes_arr[sel]
+                    committed_nodes = node_scratch[sel]
+                    committed_links = link_scratch[sel]
+                    self._node_used[commit_lanes] = committed_nodes
+                    self._link_used[commit_lanes] = committed_links
+                    # One shadow-ledger resync per step for the whole
+                    # committed-lane set (the scalar paths previously paid
+                    # this per mutation).
+                    node_rows_py = committed_nodes.tolist()
+                    link_rows_py = committed_links.tolist()
+                    node_shadow = self._node_used_py
+                    link_shadow = self._link_used_py
+                    for i, lane in enumerate(commit_lanes.tolist()):
+                        node_shadow[lane] = node_rows_py[i]
+                        link_shadow[lane] = link_rows_py[i]
+
+        # ---- per-lane bookkeeping, in lane order ----------------------- #
+        store = self._store
+        out_codes = self._out_codes
+        infeasible_penalty = self._infeasible_penalty
+        cost_normalizer = self._cost_normalizer
+        for pos, (lane, st, view) in enumerate(completing):
+            verdict = verdicts[pos]
+            if verdict == ACCEPT:
+                rows = st.partial_rows
+                st.counter += 1
+                rec = store.alloc(
+                    lane,
+                    view.departure,
+                    view.bw,
+                    tuple(rows),
+                    view.demand_lists,
+                    slots_per_pos[pos],
+                    frozenset(rows),
+                )
+                heapq.heappush(st.heap, (view.departure, st.counter, rec))
+                stats = st.stats
+                stats.accepted += 1
+                e2e = e2e_list[pos]
+                total_cost = cost_list[pos]
+                stats.total_latency_ms += e2e
+                stats.total_cost += total_cost
+                # Terminal acceptance reward, exact reference association.
+                sla_fraction = e2e / view.sla
+                cost_fraction = total_cost / cost_normalizer
+                revenue = (
+                    self._revenue_scale
+                    * (1.0 * view.bw * view.holding / 100.0)
+                    / 100.0
+                )
+                terminal = (
+                    self._accept_reward
+                    + revenue
+                    - self._latency_weight * sla_fraction
+                    - self._cost_weight * cost_fraction
+                )
+                rewards[lane] = place_list[lane] + terminal
+                out_codes[lane] = 3  # accepted
+            elif verdict == FALLBACK:
+                reward, _, outcome = self._finalize_request(
+                    lane, st, view, place_list[lane]
+                )
+                rewards[lane] = reward
+                out_codes[lane] = OUTCOME_CODE[outcome]
+            else:
+                rewards[lane] = place_list[lane] + -infeasible_penalty
+                st.stats.infeasible += 1
+                out_codes[lane] = 4 if verdict == NO_ROUTE else 5
+            self._begin_next_request(lane, st)
+
     def _finalize_request(
         self, lane: int, st: _LaneState, view: _RequestView, reward: float
     ) -> Tuple[float, bool, str]:
@@ -1427,6 +1872,50 @@ class SoAVecPlacementEnv:
         """Per-lane node ids currently fenced by an injected failure."""
         row_ids = self._row_ids
         return [sorted(row_ids[row] for row in st.failed_rows) for st in self._lanes]
+
+    # ------------------------------------------------------------------ #
+    # Lean-step accessors (valid after the most recent step())
+    # ------------------------------------------------------------------ #
+    def last_outcome_codes(self) -> np.ndarray:
+        """Per-lane outcome codes of the most recent step (into OUTCOMES).
+
+        Part of the lean-step protocol: with ``step(..., info=False)`` no
+        info dicts are built, and callers that need outcomes read this
+        ``(K,)`` int8 array instead.
+        """
+        return np.array(self._out_codes, dtype=np.int8)
+
+    def last_request_done(self) -> np.ndarray:
+        """Per-lane "request finished this step" flags of the last step."""
+        return np.array(self._req_done, dtype=bool)
+
+    def last_request_ids(self) -> np.ndarray:
+        """Per-lane ids of the request each lane acted on last step."""
+        return np.array(self._req_ids, dtype=np.int64)
+
+    def last_episode_stats(self, lane: int) -> Dict[str, float]:
+        """Finished-episode statistics of a lane whose episode ended.
+
+        Only valid for lanes with ``dones[lane]`` true in the most recent
+        step; the payload equals the ``episode_stats`` info entry of the
+        full-step protocol.
+        """
+        try:
+            return self._finished_stats[lane]
+        except KeyError:
+            raise KeyError(
+                f"lane {lane} did not finish an episode in the last step"
+            ) from None
+
+    def kernel_timings(self) -> Dict[str, float]:
+        """Cumulative per-phase kernel timers (profile mode only).
+
+        Keys: ``mask_s`` / ``observe_s`` / ``commit_s`` / ``info_s`` phase
+        seconds, ``step_s`` whole-step seconds and ``steps`` the number of
+        profiled batch steps.  All zero unless the environment was built
+        with ``profile=True`` or ``REPRO_ENV_PROFILE=1``.
+        """
+        return dict(self._timings)
 
     def close(self) -> None:
         """Release lane resources (a no-op for the in-process SoA core)."""

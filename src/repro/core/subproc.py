@@ -50,6 +50,8 @@ from repro.core.env import EnvConfig, EpisodeStats
 from repro.core.reward import RewardConfig
 from repro.core.state import EncoderConfig
 from repro.core.vecenv import (
+    OUTCOME_CODE,
+    OUTCOMES,
     LaneDecisionContext,
     LaneSpec,
     VecPlacementEnv,
@@ -94,9 +96,11 @@ STATS_DICT_FIELDS = (
 )
 
 #: Step outcomes encoded as one byte per lane (0 is "no outcome", never seen
-#: after a step).
-_OUTCOMES = ("", "rejected", "placed", "accepted", "no_route", "infeasible", "commit_failed")
-_OUTCOME_CODE = {name: code for code, name in enumerate(_OUTCOMES)}
+#: after a step).  Aliases of the canonical tables in ``repro.core.vecenv``
+#: so codes travelling through shared memory always match the lean-step
+#: accessors of every backend.
+_OUTCOMES = OUTCOMES
+_OUTCOME_CODE = OUTCOME_CODE
 
 #: Environment variable set by :mod:`repro.experiments.parallel` inside its
 #: pool workers; :func:`make_vec_env` degrades to the sync backend there.
@@ -293,19 +297,37 @@ def _worker_main(
             try:
                 if command == "step":
                     actions = views["actions"][sl]
-                    states, rewards, dones, infos = shard.step(actions, observe=payload)
+                    observe_flag, info_flag = payload
+                    states, rewards, dones, infos = shard.step(
+                        actions, observe=observe_flag, info=info_flag
+                    )
                     views["states"][sl] = states
                     views["rewards"][sl] = rewards
                     views["dones"][sl] = dones
-                    for local, info in enumerate(infos):
-                        lane = lane_lo + local
-                        views["request_done"][lane] = info["request_done"]
-                        views["outcomes"][lane] = _OUTCOME_CODE[info["outcome"]]
-                        views["request_ids"][lane] = info["request_id"]
-                        if dones[local]:
-                            views["terminal_states"][lane] = info["terminal_state"]
-                            stats = info["episode_stats"]
-                            views["finished_stats"][lane] = [
+                    if info_flag:
+                        for local, info in enumerate(infos):
+                            lane = lane_lo + local
+                            views["request_done"][lane] = info["request_done"]
+                            views["outcomes"][lane] = _OUTCOME_CODE[info["outcome"]]
+                            views["request_ids"][lane] = info["request_id"]
+                            if dones[local]:
+                                views["terminal_states"][lane] = info["terminal_state"]
+                                stats = info["episode_stats"]
+                                views["finished_stats"][lane] = [
+                                    float(stats[field]) for field in STATS_DICT_FIELDS
+                                ]
+                    else:
+                        # Lean step: bulk-write the outcome arrays straight
+                        # from the shard accessors; terminal states are not
+                        # marshaled (the parent exposes no infos) and
+                        # finished stats travel only for lanes whose episode
+                        # ended this step.
+                        views["request_done"][sl] = shard.last_request_done()
+                        views["outcomes"][sl] = shard.last_outcome_codes()
+                        views["request_ids"][sl] = shard.last_request_ids()
+                        for local in np.flatnonzero(dones).tolist():
+                            stats = shard.last_episode_stats(local)
+                            views["finished_stats"][lane_lo + local] = [
                                 float(stats[field]) for field in STATS_DICT_FIELDS
                             ]
                     mirror_all()
@@ -734,9 +756,17 @@ class SubprocVecPlacementEnv:
         return self._views["states"][lane].copy()
 
     def step(
-        self, actions: Sequence[int], observe: bool = True
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[Dict[str, object]]]:
-        """Apply one action per lane (same contract as the sync class)."""
+        self, actions: Sequence[int], observe: bool = True, info: bool = True
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[List[Dict[str, object]]]]:
+        """Apply one action per lane (same contract as the sync class).
+
+        ``info=False`` selects the lean-step protocol end to end: workers
+        skip marshaling info payloads (terminal states, per-lane dict
+        fields) through shared memory, the returned infos element is
+        ``None``, and callers read outcomes through the lean accessors
+        (:meth:`last_outcome_codes` et al.), which view the shared block
+        directly.
+        """
         self._ensure_open()
         actions = np.asarray(actions, dtype=np.int64).ravel()
         if actions.shape[0] != self.num_lanes:
@@ -746,14 +776,16 @@ class SubprocVecPlacementEnv:
         self._version += 1
         views = self._views
         views["actions"][:] = actions
-        self._command_all("step", observe)
+        self._command_all("step", (observe, info))
         states = views["states"].copy()
         rewards = views["rewards"].copy()
         dones = views["dones"].copy()
         self.episodes_completed += int(dones.sum())
+        if not info:
+            return states, rewards, dones, None
         infos: List[Dict[str, object]] = []
         for lane in range(self.num_lanes):
-            info: Dict[str, object] = {
+            lane_info: Dict[str, object] = {
                 "request_id": int(views["request_ids"][lane]),
                 "request_done": bool(views["request_done"][lane]),
                 "outcome": _OUTCOMES[int(views["outcomes"][lane])],
@@ -766,9 +798,45 @@ class SubprocVecPlacementEnv:
                 "lane_name": self.lane_names[lane],
             }
             if dones[lane]:
-                info["terminal_state"] = views["terminal_states"][lane].copy()
-            infos.append(info)
+                lane_info["terminal_state"] = views["terminal_states"][lane].copy()
+            infos.append(lane_info)
         return states, rewards, dones, infos
+
+    # ------------------------------------------------------------------ #
+    # Lean-step accessors (valid after the most recent step())
+    # ------------------------------------------------------------------ #
+    def last_outcome_codes(self) -> np.ndarray:
+        """Per-lane outcome codes of the most recent step (into OUTCOMES).
+
+        Reads the shared-memory block directly (no copy); the next step
+        overwrites the returned array in place.
+        """
+        self._ensure_open()
+        return self._views["outcomes"]
+
+    def last_request_done(self) -> np.ndarray:
+        """Per-lane "request finished this step" flags of the last step."""
+        self._ensure_open()
+        return self._views["request_done"]
+
+    def last_request_ids(self) -> np.ndarray:
+        """Per-lane ids of the request each lane acted on last step."""
+        self._ensure_open()
+        return self._views["request_ids"]
+
+    def last_episode_stats(self, lane: int) -> Dict[str, object]:
+        """Finished-episode statistics of a lane whose episode ended.
+
+        Only valid for lanes with ``dones[lane]`` true in the most recent
+        step; the payload equals the ``episode_stats`` info entry of the
+        full-step protocol.
+        """
+        self._ensure_open()
+        if not bool(self._views["dones"][lane]):
+            raise KeyError(
+                f"lane {lane} did not finish an episode in the last step"
+            )
+        return _stats_dict_from_row(self._views["finished_stats"][lane])
 
     # ------------------------------------------------------------------ #
     # Masks, context and per-lane state

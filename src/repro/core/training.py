@@ -161,7 +161,10 @@ class VecTrainer:
         while len(summaries) < episodes:
             masks = venv.valid_action_masks()
             actions = self.agent.select_actions(states, masks, greedy=greedy)
-            next_states, rewards, dones, infos = venv.step(actions)
+            # Lean-step protocol: the trainer only consumes episode_stats of
+            # done lanes, which the lean accessors expose without the venv
+            # building (or, under subproc, marshaling) K info dicts per step.
+            next_states, rewards, dones, _ = venv.step(actions, info=False)
             lane_steps += 1
             # Lanes hitting the step cap end their episode here.  The
             # truncation flag is handed to the learner separately from the
@@ -187,7 +190,7 @@ class VecTrainer:
                 if not done and not truncated:
                     continue
                 if done:
-                    stats = infos[lane]["episode_stats"]
+                    stats = venv.last_episode_stats(lane)
                 else:
                     if lane_stats is None:
                         lane_stats = venv.lane_stats()

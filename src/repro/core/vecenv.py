@@ -40,6 +40,20 @@ from repro.sim.failures import FailureConfig
 from repro.utils.rng import RandomState, derive_seed
 from repro.workloads.scenarios import Scenario
 
+#: Step outcomes shared by every vectorized backend, encoded as one byte per
+#: lane in the lean-step protocol (and through subprocess shared memory).
+#: Index 0 is "no outcome" and is never observed after a completed step.
+OUTCOMES = (
+    "",
+    "rejected",
+    "placed",
+    "accepted",
+    "no_route",
+    "infeasible",
+    "commit_failed",
+)
+OUTCOME_CODE = {name: code for code, name in enumerate(OUTCOMES)}
+
 
 class LaneDecisionContext:
     """Batched arrays describing every lane's pending placement decision.
@@ -271,6 +285,14 @@ class VecPlacementEnv:
         self._zero_demand = np.zeros(3)
         #: attr -> ((attr, ledger ids), stacked matrix) for constant stacks.
         self._const_stack_cache: Dict[str, Tuple[tuple, np.ndarray]] = {}
+        # Lean-step outcome arrays (see the accessors below): the reference
+        # backend records them from the per-lane info dicts it builds anyway,
+        # so the lean protocol is a contract here, not an optimization.
+        num_lanes = len(self.envs)
+        self._last_outcomes = np.zeros(num_lanes, dtype=np.int8)
+        self._last_request_done = np.zeros(num_lanes, dtype=bool)
+        self._last_request_ids = np.zeros(num_lanes, dtype=np.int64)
+        self._last_finished_stats: Dict[int, Dict[str, float]] = {}
 
     # ------------------------------------------------------------------ #
     # Construction from scenarios
@@ -577,6 +599,41 @@ class VecPlacementEnv:
         """Per-lane node ids currently fenced by an injected failure."""
         return [env.failed_nodes for env in self.envs]
 
+    # ------------------------------------------------------------------ #
+    # Lean-step accessors (valid after the most recent step())
+    # ------------------------------------------------------------------ #
+    def last_outcome_codes(self) -> np.ndarray:
+        """Per-lane outcome codes of the most recent step (into OUTCOMES).
+
+        Part of the lean-step protocol: with ``step(..., info=False)`` no
+        info dicts are built, and callers that need outcomes read this
+        ``(K,)`` int8 array instead.  The returned array is owned by the
+        environment and overwritten by the next step.
+        """
+        return self._last_outcomes
+
+    def last_request_done(self) -> np.ndarray:
+        """Per-lane "request finished this step" flags of the last step."""
+        return self._last_request_done
+
+    def last_request_ids(self) -> np.ndarray:
+        """Per-lane ids of the request each lane acted on last step."""
+        return self._last_request_ids
+
+    def last_episode_stats(self, lane: int) -> Dict[str, float]:
+        """Finished-episode statistics of a lane whose episode ended.
+
+        Only valid for lanes with ``dones[lane]`` true in the most recent
+        step; the payload equals the ``episode_stats`` info entry of the
+        full-step protocol.
+        """
+        try:
+            return self._last_finished_stats[lane]
+        except KeyError:
+            raise KeyError(
+                f"lane {lane} did not finish an episode in the last step"
+            ) from None
+
     def close(self) -> None:
         """Release lane resources (a no-op for the in-process lane set).
 
@@ -592,8 +649,8 @@ class VecPlacementEnv:
         self.close()
 
     def step(
-        self, actions: Sequence[int], observe: bool = True
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[Dict[str, object]]]:
+        self, actions: Sequence[int], observe: bool = True, info: bool = True
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[List[Dict[str, object]]]]:
         """Apply one action per lane.
 
         Returns ``(states, rewards, dones, infos)`` with shapes
@@ -606,6 +663,14 @@ class VecPlacementEnv:
         and ``lane_name``.  With ``observe=False`` next-state encoding is
         skipped lane-by-lane and the state batch is all zeros — the fast path
         for batched placement policies that read the live lane substrate.
+
+        ``info=False`` selects the **lean-step protocol**: the infos element
+        of the return tuple is ``None`` and callers read the per-lane outcome
+        arrays through :meth:`last_outcome_codes` / :meth:`last_request_done`
+        / :meth:`last_request_ids` / :meth:`last_episode_stats` instead.  The
+        lean path changes only what is *returned*, never what happens — the
+        trajectory (rewards, dones, outcomes, stats) is bitwise identical to
+        the full protocol (``tests/differential.py`` enforces this).
         """
         actions = np.asarray(actions, dtype=int).ravel()
         if actions.shape[0] != self.num_lanes:
@@ -616,18 +681,30 @@ class VecPlacementEnv:
         states = np.empty((self.num_lanes, self.state_dim), dtype=float)
         rewards = np.empty(self.num_lanes, dtype=float)
         dones = np.empty(self.num_lanes, dtype=bool)
-        infos: List[Dict[str, object]] = []
+        infos: Optional[List[Dict[str, object]]] = [] if info else None
+        outcomes = self._last_outcomes
+        request_done = self._last_request_done
+        request_ids = self._last_request_ids
+        self._last_finished_stats.clear()
         for lane, env in enumerate(self.envs):
-            state, reward, done, info = env.step(int(actions[lane]), observe=observe)
-            info["lane"] = lane
-            info["lane_name"] = self.lane_names[lane]
+            state, reward, done, lane_info = env.step(
+                int(actions[lane]), observe=observe
+            )
+            outcomes[lane] = OUTCOME_CODE[lane_info["outcome"]]
+            request_done[lane] = lane_info["request_done"]
+            request_ids[lane] = lane_info["request_id"]
             if done:
                 self.episodes_completed += 1
-                info["terminal_state"] = state
+                self._last_finished_stats[lane] = lane_info["episode_stats"]
+                if info:
+                    lane_info["terminal_state"] = state
                 if self.auto_reset:
                     state = env.reset(observe=observe)
             states[lane] = state
             rewards[lane] = reward
             dones[lane] = done
-            infos.append(info)
+            if info:
+                lane_info["lane"] = lane
+                lane_info["lane_name"] = self.lane_names[lane]
+                infos.append(lane_info)
         return states, rewards, dones, infos

@@ -209,7 +209,10 @@ def evaluate_agent_across_scenarios(
         while (counts < episodes_per_scenario).any():
             masks = None if skip_masks else venv.valid_action_masks()
             actions = agent.select_actions(states, masks, greedy=True)
-            states, _, dones, infos = venv.step(actions, observe=observe)
+            # Lean-step protocol: evaluation only reads finished-episode
+            # stats, so no per-step info dicts are built (and the subproc
+            # backend skips the info marshaling round entirely).
+            states, _, dones, _ = venv.step(actions, observe=observe, info=False)
             lane_steps += 1
             lane_stats = None  # fetched once per step, only if a lane truncates
             for lane, done in enumerate(dones):
@@ -218,7 +221,7 @@ def evaluate_agent_across_scenarios(
                     continue
                 if counts[lane] < episodes_per_scenario:
                     if done:
-                        stats = infos[lane]["episode_stats"]
+                        stats = venv.last_episode_stats(lane)
                     else:
                         if lane_stats is None:
                             lane_stats = venv.lane_stats()

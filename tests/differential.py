@@ -11,8 +11,16 @@ future backend:
 * :func:`campaign_from_seed` — derive a randomized :class:`Campaign`
   (scenario shape, workload intensity, fault injection) from one integer,
 * :func:`drive` — run one backend through a campaign with seeded
-  masked-random actions, recording the full trajectory,
-* :func:`assert_trajectories_equal` — compare two recordings bitwise.
+  masked-random actions, recording the full trajectory (optionally through
+  the lean-step protocol: ``observe=False`` / ``info=False``),
+* :func:`assert_trajectories_equal` — compare two recordings bitwise,
+* :func:`assert_lean_matches_full` — compare a lean-step recording against a
+  full-step recording of the same campaign (outcome codes, request flags and
+  finished stats against the info dicts they replace).
+
+Every drive records the lean-accessor arrays (outcome codes, request-done
+flags, request ids, finished-episode stats) regardless of protocol, so
+backend comparisons cover them even when info dicts are also compared.
 
 The only sanctioned difference between backends is ``request_id``: the global
 request counter is process-local, so worker-sharded backends label requests
@@ -30,6 +38,7 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from repro.core.env import EnvConfig
+from repro.core.vecenv import OUTCOME_CODE
 from repro.nfv.sfc import reset_request_counter
 from repro.sim.failures import FailureConfig
 from repro.workloads.scenarios import Scenario, reference_scenario
@@ -121,23 +130,33 @@ def drive(
     action_seed: int = 123,
     record_context: bool = True,
     reset_lane_at: Optional[Dict[int, int]] = None,
+    observe: bool = True,
+    info: bool = True,
 ) -> Dict[str, object]:
     """Run one backend through ``steps`` masked-random actions.
 
     ``factory`` builds the environment; the global request counter is reset
     first so in-process backends number requests identically.  The recorded
     trajectory holds, per step: masks, actions, (optionally) the decision
-    context, post-step states/rewards/dones/infos, per-lane running
-    :class:`EpisodeStats` dictionaries and fenced-node id lists.
-    ``reset_lane_at`` maps step index -> lane to call ``reset_lane`` on
-    *before* that step's mask query (exercising mid-episode lane resets).
+    context, post-step states/rewards/dones/infos, the lean-accessor arrays,
+    per-lane running :class:`EpisodeStats` dictionaries and fenced-node id
+    lists.  ``reset_lane_at`` maps step index -> lane to call ``reset_lane``
+    on *before* that step's mask query (exercising mid-episode lane resets).
+
+    ``observe`` / ``info`` select the lean-step protocol: masks (and hence
+    the seeded action draw) are protocol-independent, so a lean drive walks
+    the same trajectory as a full drive of the same campaign.  With
+    ``info=False`` no ``"infos"`` entries are recorded (the step contract
+    returns ``None``); the lean-accessor arrays carry the outcomes instead.
     """
     reset_request_counter()
     env = factory()
     try:
         rng = np.random.default_rng(action_seed)
         record: Dict[str, object] = {
-            "reset": np.array(env.reset(), dtype=float, copy=True),
+            "observe": observe,
+            "info": info,
+            "reset": np.array(env.reset(observe=observe), dtype=float, copy=True),
             "steps": [],
         }
         for step_index in range(steps):
@@ -167,11 +186,27 @@ def drive(
                     "latency": np.array(context.latency, copy=True),
                     "free_tol": np.array(context.free_tol, copy=True),
                 }
-            states, rewards, dones, infos = env.step(actions)
+            states, rewards, dones, infos = env.step(
+                actions, observe=observe, info=info
+            )
             entry["states"] = np.array(states, dtype=float, copy=True)
             entry["rewards"] = np.array(rewards, dtype=float, copy=True)
             entry["dones"] = np.array(dones, dtype=bool, copy=True)
-            entry["infos"] = [_normalized_info(info) for info in infos]
+            if info:
+                entry["infos"] = [_normalized_info(item) for item in infos]
+            else:
+                assert infos is None, "info=False must return infos=None"
+            entry["outcome_codes"] = np.array(env.last_outcome_codes(), copy=True)
+            entry["request_done"] = np.array(
+                env.last_request_done(), dtype=bool, copy=True
+            )
+            entry["request_ids"] = np.array(
+                env.last_request_ids(), dtype=np.int64, copy=True
+            )
+            entry["finished_stats"] = {
+                lane: dict(env.last_episode_stats(lane))
+                for lane in np.flatnonzero(entry["dones"]).tolist()
+            }
             entry["stats"] = [stats.as_dict() for stats in env.lane_stats()]
             entry["failed_nodes"] = [list(failed) for failed in env.lane_failed_nodes()]
             record["steps"].append(entry)
@@ -222,20 +257,37 @@ def assert_trajectories_equal(
         _assert_bitwise("states", step, ea["states"], eb["states"])
         _assert_bitwise("rewards", step, ea["rewards"], eb["rewards"])
         _assert_bitwise("dones", step, ea["dones"], eb["dones"])
-        assert len(ea["infos"]) == len(eb["infos"])
-        for lane, ((info_a, term_a), (info_b, term_b)) in enumerate(
-            zip(ea["infos"], eb["infos"])
-        ):
-            payload_a = {k: v for k, v in info_a.items() if k not in ignore_info_keys}
-            payload_b = {k: v for k, v in info_b.items() if k not in ignore_info_keys}
-            assert payload_a == payload_b, (
-                f"step {step} lane {lane}: infos diverged\n  a={payload_a}\n  b={payload_b}"
-            )
-            assert (term_a is None) == (term_b is None), (
-                f"step {step} lane {lane}: terminal_state presence diverged"
-            )
-            if term_a is not None:
-                _assert_bitwise("terminal_state", step, term_a, term_b)
+        assert ("infos" in ea) == ("infos" in eb), (
+            f"step {step}: one recording is lean (no infos), the other full; "
+            "compare them with assert_lean_matches_full instead"
+        )
+        if "infos" in ea:
+            assert len(ea["infos"]) == len(eb["infos"])
+            for lane, ((info_a, term_a), (info_b, term_b)) in enumerate(
+                zip(ea["infos"], eb["infos"])
+            ):
+                payload_a = {
+                    k: v for k, v in info_a.items() if k not in ignore_info_keys
+                }
+                payload_b = {
+                    k: v for k, v in info_b.items() if k not in ignore_info_keys
+                }
+                assert payload_a == payload_b, (
+                    f"step {step} lane {lane}: infos diverged\n  a={payload_a}\n  b={payload_b}"
+                )
+                assert (term_a is None) == (term_b is None), (
+                    f"step {step} lane {lane}: terminal_state presence diverged"
+                )
+                if term_a is not None:
+                    _assert_bitwise("terminal_state", step, term_a, term_b)
+        _assert_bitwise("outcome_codes", step, ea["outcome_codes"], eb["outcome_codes"])
+        _assert_bitwise("request_done", step, ea["request_done"], eb["request_done"])
+        if "request_id" not in ignore_info_keys:
+            _assert_bitwise("request_ids", step, ea["request_ids"], eb["request_ids"])
+        assert ea["finished_stats"] == eb["finished_stats"], (
+            f"step {step}: finished-episode stats diverged\n"
+            f"  a={ea['finished_stats']}\n  b={eb['finished_stats']}"
+        )
         assert ea["stats"] == eb["stats"], (
             f"step {step}: lane stats diverged\n  a={ea['stats']}\n  b={eb['stats']}"
         )
@@ -245,9 +297,82 @@ def assert_trajectories_equal(
         )
 
 
+def assert_lean_matches_full(
+    lean: Dict[str, object],
+    full: Dict[str, object],
+    ignore_info_keys: Tuple[str, ...] = (),
+) -> None:
+    """Assert a lean-step recording matches a full-step recording bitwise.
+
+    ``lean`` must come from ``drive(..., info=False)`` and ``full`` from a
+    full-protocol drive of the *same campaign and action seed*.  Rewards,
+    dones, masks, actions, running stats and fenced nodes compare directly;
+    the lean outcome arrays compare against the fields of the info dicts
+    they replace (outcome string, request_done, request_id, episode_stats).
+    States compare only when both drives used the same ``observe`` setting
+    (an ``observe=False`` drive returns zero vectors by contract).
+    """
+    assert lean.get("info") is False, "first recording must be a lean drive"
+    assert full.get("info", True) is True, "second recording must be a full drive"
+    compare_states = lean.get("observe", True) == full.get("observe", True)
+    if compare_states:
+        _assert_bitwise("reset states", -1, lean["reset"], full["reset"])
+    assert len(lean["steps"]) == len(full["steps"]), (
+        f"recordings have {len(lean['steps'])} vs {len(full['steps'])} steps"
+    )
+    for step, (el, ef) in enumerate(zip(lean["steps"], full["steps"])):
+        if "reset_lane" in el or "reset_lane" in ef:
+            assert el.get("reset_lane") == ef.get("reset_lane"), (
+                f"step {step}: lane resets diverged"
+            )
+            if compare_states:
+                _assert_bitwise(
+                    "reset_lane state", step,
+                    el["reset_lane_state"], ef["reset_lane_state"],
+                )
+            continue
+        _assert_bitwise("masks", step, el["masks"], ef["masks"])
+        _assert_bitwise("actions", step, el["actions"], ef["actions"])
+        if compare_states:
+            _assert_bitwise("states", step, el["states"], ef["states"])
+        _assert_bitwise("rewards", step, el["rewards"], ef["rewards"])
+        _assert_bitwise("dones", step, el["dones"], ef["dones"])
+        full_infos = [payload for payload, _ in ef["infos"]]
+        _assert_bitwise(
+            "outcome_codes", step,
+            el["outcome_codes"],
+            np.array([OUTCOME_CODE[i["outcome"]] for i in full_infos], dtype=np.int8),
+        )
+        _assert_bitwise(
+            "request_done", step,
+            el["request_done"],
+            np.array([i["request_done"] for i in full_infos], dtype=bool),
+        )
+        if "request_id" not in ignore_info_keys:
+            _assert_bitwise(
+                "request_ids", step,
+                el["request_ids"],
+                np.array([i["request_id"] for i in full_infos], dtype=np.int64),
+            )
+        for lane in np.flatnonzero(np.asarray(el["dones"])).tolist():
+            assert el["finished_stats"][lane] == full_infos[lane]["episode_stats"], (
+                f"step {step} lane {lane}: finished-episode stats diverged\n"
+                f"  lean={el['finished_stats'][lane]}\n"
+                f"  full={full_infos[lane]['episode_stats']}"
+            )
+        assert el["stats"] == ef["stats"], (
+            f"step {step}: lane stats diverged\n  a={el['stats']}\n  b={ef['stats']}"
+        )
+        assert el["failed_nodes"] == ef["failed_nodes"], (
+            f"step {step}: fenced-node sets diverged\n"
+            f"  a={el['failed_nodes']}\n  b={ef['failed_nodes']}"
+        )
+
+
 __all__ = [
     "PROCESS_LOCAL_INFO_KEYS",
     "Campaign",
+    "assert_lean_matches_full",
     "assert_trajectories_equal",
     "campaign_from_seed",
     "drive",

@@ -17,6 +17,7 @@ import pytest
 from differential import (
     PROCESS_LOCAL_INFO_KEYS,
     Campaign,
+    assert_lean_matches_full,
     assert_trajectories_equal,
     campaign_from_seed,
     drive,
@@ -111,6 +112,102 @@ class TestRandomizedCampaigns:
             if fenced:
                 return
         pytest.fail("no fault campaign ever fenced a node; widen the ranges")
+
+
+class TestLeanStepProtocol:
+    """Lean-step drives (``info=False`` / ``observe=False``) vs the full path.
+
+    The lean protocol must be a pure *reporting* change: skipping info dicts
+    (and observation encoding) must leave the underlying trajectory —
+    rewards, dones, outcome codes, request ids, terminal episode stats,
+    running stats, fenced nodes — bitwise identical to a full-protocol run
+    with the same seeds.  Covered across both sync backends, the subprocess
+    wrapper with both worker backends, and fault-injected campaigns (even
+    seeds inject failures).
+    """
+
+    #: Mix of faulted (even) and clean (odd) campaigns, 1-4 lanes.
+    LEAN_SEEDS = tuple(range(12))
+
+    @pytest.mark.parametrize("campaign_seed", LEAN_SEEDS)
+    @pytest.mark.parametrize("backend", ["reference", "soa"])
+    def test_lean_info_matches_full(self, campaign_seed, backend):
+        campaign = campaign_from_seed(campaign_seed)
+        factory = (
+            reference_factory if backend == "reference" else soa_factory
+        )(campaign)
+        action_seed = campaign_seed + 1000
+        full = drive(factory, campaign.steps, action_seed=action_seed)
+        lean = drive(
+            factory, campaign.steps, action_seed=action_seed, info=False
+        )
+        assert_lean_matches_full(lean, full)
+
+    @pytest.mark.parametrize("campaign_seed", (0, 1, 2, 3))
+    @pytest.mark.parametrize("backend", ["reference", "soa"])
+    def test_lean_observe_and_info_matches_full(self, campaign_seed, backend):
+        """The leanest step — no observations, no infos — still matches."""
+        campaign = campaign_from_seed(campaign_seed)
+        factory = (
+            reference_factory if backend == "reference" else soa_factory
+        )(campaign)
+        action_seed = campaign_seed + 1000
+        full = drive(factory, campaign.steps, action_seed=action_seed)
+        lean = drive(
+            factory,
+            campaign.steps,
+            action_seed=action_seed,
+            observe=False,
+            info=False,
+        )
+        assert_lean_matches_full(lean, full)
+
+    @pytest.mark.parametrize("campaign_seed", (0, 1, 4, 5, 8, 9))
+    def test_lean_soa_matches_lean_reference(self, campaign_seed):
+        """Cross-backend differential stays bitwise-equal on lean drives."""
+        campaign = campaign_from_seed(campaign_seed)
+        action_seed = campaign_seed + 1000
+        reference = drive(
+            reference_factory(campaign),
+            campaign.steps,
+            action_seed=action_seed,
+            info=False,
+        )
+        soa = drive(
+            soa_factory(campaign),
+            campaign.steps,
+            action_seed=action_seed,
+            info=False,
+        )
+        assert_trajectories_equal(reference, soa)
+
+    @needs_fork
+    @pytest.mark.parametrize("campaign_seed", (2, 5))
+    @pytest.mark.parametrize("backend", ["reference", "soa"])
+    def test_lean_subproc_matches_lean_sync(self, campaign_seed, backend):
+        """Workers skip info marshaling entirely, yet shards stay equal.
+
+        ``request_id`` is excluded (per-process counters, see
+        PROCESS_LOCAL_INFO_KEYS); the harness then also skips the lean
+        ``request_ids`` array comparison.
+        """
+        campaign = campaign_from_seed(campaign_seed)
+        action_seed = campaign_seed + 1000
+        sync = drive(
+            soa_factory(campaign),
+            campaign.steps,
+            action_seed=action_seed,
+            info=False,
+        )
+        sharded = drive(
+            subproc_factory(campaign, backend),
+            campaign.steps,
+            action_seed=action_seed,
+            info=False,
+        )
+        assert_trajectories_equal(
+            sync, sharded, ignore_info_keys=PROCESS_LOCAL_INFO_KEYS
+        )
 
 
 class TestKBoundaries:
