@@ -4,11 +4,15 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: check test test-diff bench-hotpath bench-envstep bench-vecenv bench-policyeval bench-subproc bench-serving bench-smoke bench clean-cache
+.PHONY: check lint test test-diff bench-hotpath bench-envstep bench-vecenv bench-policyeval bench-subproc bench-serving bench-smoke bench clean-cache
 
 ## check: tier-1 tests + one tiny end-to-end figure run (< 1 minute)
 check:
 	bash scripts/check.sh
+
+## lint: reprolint project-contract static analysis (see docs/ANALYSIS.md)
+lint:
+	python -m repro.analysis src benchmarks tests
 
 ## test: the tier-1 test suite only
 test:

@@ -42,6 +42,12 @@ PYTHONPATH="src:.${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_subproc.py
 echo "==> serving-loop smoke (graceful degradation under 4x MMPP overload)"
 PYTHONPATH="src:.${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_serving.py --smoke
 
+echo "==> reprolint (project-contract static analysis, all rules enabled)"
+# One invocation both gates the tree and refreshes the committed
+# machine-readable payload that the schema gate below validates.
+python -m repro.analysis src benchmarks tests \
+    --output benchmarks/results/reprolint.json
+
 echo "==> committed benchmark-result schema gate"
 python scripts/check_results_schema.py
 

@@ -38,7 +38,19 @@ ENGINEERING_SCHEMAS = {
     },
     "subproc.json": {"config", "sync", "subproc", "speedups", "speedup_bar"},
     "serving.json": {"smoke", "soak"},
+    # reprolint's committed JSON report (refreshed by scripts/check.sh).
+    "reprolint.json": {
+        "schema_version",
+        "tool",
+        "rules_enabled",
+        "paths_scanned",
+        "findings",
+        "summary",
+    },
 }
+
+#: Required keys of the reprolint payload's summary section.
+REPROLINT_SUMMARY_KEYS = {"files", "findings", "suppressed", "clean"}
 
 #: Required nested keys of the vecenv payload's lean-step extensions: the
 #: per-protocol cost-model fits plus the lean stepping series themselves.
@@ -84,6 +96,19 @@ def check_file(path: Path) -> list:
     if missing:
         return [f"{path.name}: missing required keys {missing}"]
     problems = []
+    if path.name == "reprolint.json":
+        summary_missing = sorted(REPROLINT_SUMMARY_KEYS - set(payload["summary"]))
+        if summary_missing:
+            problems.append(
+                f"{path.name}: summary missing keys {summary_missing}"
+            )
+        # A committed lint report with findings means the tree was shipped
+        # dirty (or the artifact is stale): both are gate failures.
+        elif not payload["summary"]["clean"]:
+            problems.append(
+                f"{path.name}: committed report is not clean "
+                f"({payload['summary']['findings']} findings)"
+            )
     if path.name == "vecenv.json":
         for section, nested in (
             ("decomposition", VECENV_DECOMPOSITION_KEYS),

@@ -1,0 +1,42 @@
+"""The rule registry.
+
+Rules self-register at import time via :func:`register`; the engine and the
+CLI discover them through :func:`all_rules`.  Two framework pseudo-rules
+(RPL001 parse errors, RPL002 malformed suppressions) are emitted by the
+engine itself and listed here so ``--list-rules`` and the JSON reporter show
+the complete catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.analysis.suppressions import BAD_SUPPRESSION_RULE, PARSE_ERROR_RULE
+
+#: Framework-emitted rule ids → one-line description.
+FRAMEWORK_RULES: Dict[str, str] = {
+    PARSE_ERROR_RULE: "file does not parse as Python",
+    BAD_SUPPRESSION_RULE: "suppression comment without a reason or with an "
+                          "invalid rule id",
+}
+
+_REGISTRY: Dict[str, Type] = {}
+
+
+def register(rule_cls: Type) -> Type:
+    """Class decorator adding a rule to the global registry."""
+    rule_id = getattr(rule_cls, "rule_id", None)
+    if not rule_id:
+        raise ValueError(f"rule {rule_cls.__name__} has no rule_id")
+    if rule_id in _REGISTRY or rule_id in FRAMEWORK_RULES:
+        raise ValueError(f"duplicate rule id {rule_id}")
+    _REGISTRY[rule_id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> Dict[str, Type]:
+    """Registered rule classes keyed by id, in id order."""
+    # Importing the rules package populates the registry exactly once.
+    import repro.analysis.rules  # noqa: F401
+
+    return dict(sorted(_REGISTRY.items()))

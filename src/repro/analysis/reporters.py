@@ -1,0 +1,66 @@
+"""Text and JSON reporters.
+
+The JSON payload is a committed artifact (``benchmarks/results/
+reprolint.json``) gated by ``scripts/check_results_schema.py``, so its
+top-level shape is versioned and changes require a schema bump:
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "tool": "reprolint",
+      "rules_enabled": ["RPL101", "..."],
+      "paths_scanned": 123,
+      "findings": [
+        {"rule": "...", "path": "...", "line": 1, "col": 1,
+         "message": "...", "symbol": "..."}
+      ],
+      "summary": {"files": 123, "findings": 0, "suppressed": 12,
+                  "clean": true}
+    }
+
+Output is deterministic: findings sort by (path, line, col, rule) and no
+timestamps or absolute paths appear anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.findings import Report
+
+#: Bumped whenever the JSON payload's shape changes.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(report: Report) -> str:
+    lines = []
+    for finding in report.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.rule_id} {finding.message}"
+        )
+    suffix = f" ({report.suppressed} suppressed)" if report.suppressed else ""
+    status = "clean — 0 findings" if report.clean else f"{len(report.findings)} finding(s)"
+    lines.append(
+        f"reprolint: {status}{suffix} across {report.files_scanned} files, "
+        f"{len(report.rules_enabled)} rules enabled"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: Report) -> str:
+    payload = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "tool": "reprolint",
+        "rules_enabled": list(report.rules_enabled),
+        "paths_scanned": report.files_scanned,
+        "findings": [finding.to_dict() for finding in report.findings],
+        "summary": {
+            "files": report.files_scanned,
+            "findings": len(report.findings),
+            "suppressed": report.suppressed,
+            "clean": report.clean,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"

@@ -1,0 +1,109 @@
+"""RPL103: no ``id(x)`` used as a dict/cache key.
+
+CPython recycles object ids the moment the referent is garbage collected,
+so an id-keyed cache that does not also hold the object alive can serve a
+stale hit for a brand-new object (the PR 8 ``_type_info`` bug: a rebuilt
+``VNFType`` landed on the freed type's id and inherited its cached info).
+Caches must key on stable identity (names, versions) or hold strong
+references and compare with ``is``.
+
+Flagged contexts for an ``id(...)`` call:
+
+* a dict-literal key (directly or inside a tuple key),
+* a subscript index (``cache[id(x)]``, ``cache[attr, id(x)]``),
+* the first argument of ``.get`` / ``.setdefault`` / ``.pop``,
+* any value assigned to a ``key``-named variable.
+
+Transient identity *sets* over objects that stay referenced (dedup during a
+single pass) are deliberately out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import SourceModule
+from repro.analysis.registry import register
+from repro.analysis.rules.base import FileRule
+
+_KEYISH = re.compile(r"key", re.IGNORECASE)
+_DICT_METHODS = {"get", "setdefault", "pop"}
+
+
+def _is_id_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+    )
+
+
+@register
+class IdAsKeyRule(FileRule):
+    """Flag id() results flowing into dict/cache keys."""
+
+    rule_id = "RPL103"
+    name = "id-as-cache-key"
+    description = (
+        "id(x) used as a dict/cache key; ids are recycled after GC — key "
+        "on stable identity or hold the object and compare with 'is'"
+    )
+
+    def check_module(self, module: SourceModule) -> List[Finding]:
+        findings: List[Finding] = []
+        if module.tree is None:
+            return findings
+        parents = module.parents()
+        for node in ast.walk(module.tree):
+            if not _is_id_call(node):
+                continue
+            context = self._key_context(node, parents)
+            if context:
+                findings.append(
+                    self.finding(
+                        module.rel, node,
+                        f"id() result used as {context}; object ids are "
+                        "recycled after GC, so this cache can serve stale "
+                        "hits for new objects",
+                        symbol="id",
+                    )
+                )
+        return findings
+
+    def _key_context(self, node: ast.AST, parents) -> str:
+        """Classify the ancestor chain of one id() call, '' when benign."""
+        child = node
+        parent = parents.get(child)
+        while parent is not None:
+            if isinstance(parent, ast.Dict) and child in parent.keys:
+                return "a dict-literal key"
+            if isinstance(parent, ast.DictComp) and child is parent.key:
+                return "a dict-comprehension key"
+            if isinstance(parent, ast.Subscript) and child is parent.slice:
+                return "a subscript index"
+            if (
+                isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Attribute)
+                and parent.func.attr in _DICT_METHODS
+                and parent.args
+                and child is parent.args[0]
+            ):
+                return f"the key argument of .{parent.func.attr}()"
+            if isinstance(parent, ast.Assign) and child is parent.value:
+                for target in parent.targets:
+                    name = target.id if isinstance(target, ast.Name) else (
+                        target.attr if isinstance(target, ast.Attribute) else ""
+                    )
+                    if name and _KEYISH.search(name):
+                        return f"a cache key (assigned to {name!r})"
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef, ast.stmt)) and not isinstance(
+                parent, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Expr, ast.Return)
+            ):
+                # Crossed out of the value expression into control flow:
+                # no key context found on the way up.
+                return ""
+            child, parent = parent, parents.get(parent)
+        return ""

@@ -1,0 +1,72 @@
+"""RPL102: no wall-clock reads outside the explicit clock allowlist.
+
+The bitwise differential contract replays identical trajectories across
+backends and processes; any wall-clock read inside simulation, environment
+or policy code is hidden nondeterministic input.  Real elapsed-time
+measurement belongs to benchmark drivers and the CLI, and latency-sensitive
+serving code must take an injectable clock (see ``core/timeout.py``) so
+tests can drive it deterministically.  Those locations are waived by the
+per-path scope in the committed configuration, not by the rule itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import SourceModule, resolve_dotted
+from repro.analysis.registry import register
+from repro.analysis.rules.base import FileRule
+
+#: Canonical dotted paths that read a clock.
+WALL_CLOCK_READS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.thread_time",
+    "time.thread_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register
+class WallClockRule(FileRule):
+    """Flag references to wall-clock functions (called or passed around)."""
+
+    rule_id = "RPL102"
+    name = "wall-clock-read"
+    description = (
+        "wall-clock read (time.time, perf_counter, datetime.now, ...) "
+        "outside the benchmark/CLI/injectable-clock allowlist"
+    )
+
+    def check_module(self, module: SourceModule) -> List[Finding]:
+        findings: List[Finding] = []
+        if module.tree is None:
+            return findings
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            if not isinstance(getattr(node, "ctx", None), ast.Load):
+                continue
+            path = resolve_dotted(node, module.imports)
+            if path in WALL_CLOCK_READS:
+                findings.append(
+                    self.finding(
+                        module.rel, node,
+                        f"wall-clock read {path}; inject a clock (cf. "
+                        "core/timeout.py) or move the measurement into a "
+                        "benchmark driver",
+                        symbol=path,
+                    )
+                )
+        return findings

@@ -1,0 +1,153 @@
+"""RPL105: numpy-ledger mutations must pair with their Python shadow.
+
+``core/soa.py`` mirrors its ``(K, N, 3)`` node and ``(K, E)`` link usage
+arrays with Python-float shadow lists: the scalar commit/teardown paths read
+and write the shadows (pure-Python float arithmetic is what keeps the SoA
+core bitwise-equal to the reference env), while the array kernels write the
+numpy side and must resync the shadow rows before the next scalar read.
+A mutation site that touches only one side silently diverges the pair, and
+the divergence surfaces far away — as a bitwise mismatch in a differential
+campaign.  This rule enforces the pairing *lexically*: every function that
+mutates a registered numpy ledger must, in the same function, touch the
+paired shadow attribute or call a registered resync method.
+
+Configured via options::
+
+    pairs:          {"_node_used": "_node_used_py", ...}
+    resync_methods: ["_release_record", ...]
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import (
+    SourceModule,
+    is_self_attr,
+    resolve_dotted,
+    subscript_base,
+)
+from repro.analysis.registry import register
+from repro.analysis.rules.base import FileRule
+
+
+@register
+class ShadowLedgerRule(FileRule):
+    """Pairing check between numpy ledgers and their Python shadows."""
+
+    rule_id = "RPL105"
+    name = "shadow-ledger-pairing"
+    description = (
+        "a function mutates a registered numpy ledger without touching its "
+        "Python shadow (or calling a resync method) in the same function"
+    )
+
+    def check_module(self, module: SourceModule) -> List[Finding]:
+        findings: List[Finding] = []
+        if module.tree is None:
+            return findings
+        pairs: Dict[str, str] = dict(self.options.get("pairs", {}))
+        if not pairs:
+            return findings
+        resync = set(self.options.get("resync_methods", ()))
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for ledger, shadow in pairs.items():
+                mutation = self._first_mutation(fn, ledger, module)
+                if mutation is None:
+                    continue
+                if self._touches_shadow(fn, shadow, resync):
+                    continue
+                findings.append(
+                    self.finding(
+                        module.rel, mutation,
+                        f"{fn.name}() mutates numpy ledger '{ledger}' but "
+                        f"never touches its shadow '{shadow}' (or a resync "
+                        "method) in the same function; the pair silently "
+                        "diverges and breaks the bitwise contract",
+                        symbol=ledger,
+                    )
+                )
+        return findings
+
+    # ------------------------------------------------------------------ #
+    # Mutation detection
+    # ------------------------------------------------------------------ #
+    def _aliases(self, fn: ast.AST, ledger: str) -> Set[str]:
+        """Local names bound to the ledger or a subscripted view of it."""
+        aliases: Set[str] = set()
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if is_self_attr(subscript_base(node.value), ledger):
+                aliases.add(target.id)
+        return aliases
+
+    def _refers_to_ledger(self, node: ast.AST, ledger: str, aliases: Set[str]) -> bool:
+        base = subscript_base(node)
+        if is_self_attr(base, ledger):
+            return True
+        return isinstance(node, (ast.Name, ast.Subscript)) and isinstance(
+            base, ast.Name
+        ) and base.id in aliases
+
+    def _first_mutation(self, fn, ledger: str, module: SourceModule):
+        aliases = self._aliases(fn, ledger)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) and self._refers_to_ledger(
+                        target, ledger, aliases
+                    ):
+                        return node
+                    if is_self_attr(target, ledger):
+                        return node  # rebinding the ledger itself
+            elif isinstance(node, ast.AugAssign):
+                if self._refers_to_ledger(node.target, ledger, aliases):
+                    return node
+            elif isinstance(node, ast.Call):
+                func = node.func
+                # .fill(...) on the ledger or a view of it
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "fill"
+                    and self._refers_to_ledger(func.value, ledger, aliases)
+                ):
+                    return node
+                # in-place ufunc output: np.maximum(..., out=view)
+                for kw in node.keywords:
+                    if kw.arg == "out" and self._refers_to_ledger(
+                        kw.value, ledger, aliases
+                    ):
+                        return node
+                # indexed in-place update: np.add.at(ledger, idx, vals)
+                dotted = resolve_dotted(func, module.imports) or ""
+                if dotted.endswith(".at") and node.args and self._refers_to_ledger(
+                    node.args[0], ledger, aliases
+                ):
+                    return node
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Shadow detection
+    # ------------------------------------------------------------------ #
+    def _touches_shadow(self, fn, shadow: str, resync: Set[str]) -> bool:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Attribute) and node.attr == shadow:
+                return True
+            # self._release_record(...) style resync call
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in resync
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+            ):
+                return True
+        return False

@@ -1,0 +1,174 @@
+"""Seed-discipline rules: RPL101 (unseeded/global RNG), RPL104 (seed math).
+
+The reproducibility contract (docs/ARCHITECTURE.md, "Seeding discipline")
+routes every stochastic component through ``repro.utils.rng``: explicit
+``numpy.random.Generator`` instances built from explicit seeds, with derived
+per-lane/per-task seeds coming from ``derive_seed``/``lane_workload_seed``.
+Module-state RNG (``np.random.rand``, bare ``random.random``) and ad-hoc
+seed arithmetic (``seed + lane``) both silently break bitwise replays: the
+former leaks hidden global state across components, the latter produces
+correlated or colliding streams that ``derive_seed``'s label mixing avoids.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import SourceModule, resolve_dotted
+from repro.analysis.registry import register
+from repro.analysis.rules.base import FileRule
+
+#: numpy.random attributes that are seeded constructors, not module state.
+_NP_SAFE = {
+    "default_rng",
+    "Generator",
+    "RandomState",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "Philox",
+    "SFC64",
+}
+#: Constructors that are only deterministic when given an explicit seed.
+_NEEDS_SEED_ARG = {"default_rng", "RandomState", "Random"}
+
+
+@register
+class UnseededRandomRule(FileRule):
+    """RPL101: no module-state or unseeded RNG."""
+
+    rule_id = "RPL101"
+    name = "unseeded-rng"
+    description = (
+        "module-state RNG (np.random.*, bare random.*) or argless "
+        "default_rng()/Random(); route randomness through an explicit "
+        "seeded Generator (repro.utils.rng.new_rng)"
+    )
+
+    def check_module(self, module: SourceModule) -> List[Finding]:
+        findings: List[Finding] = []
+        if module.tree is None:
+            return findings
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = resolve_dotted(node.func, module.imports)
+            if path is None:
+                continue
+            finding = self._classify(module, node, path)
+            if finding is not None:
+                findings.append(finding)
+        return findings
+
+    def _classify(self, module, node: ast.Call, path: str):
+        argless = not node.args and not node.keywords
+        if path.startswith("numpy.random."):
+            tail = path[len("numpy.random."):]
+            if tail in _NP_SAFE:
+                if tail in _NEEDS_SEED_ARG and argless:
+                    return self.finding(
+                        module.rel, node,
+                        f"argless {path}() draws OS entropy; pass an explicit "
+                        "seed (or accept a Generator from the caller)",
+                        symbol=path,
+                    )
+                return None
+            if "." in tail:
+                return None
+            return self.finding(
+                module.rel, node,
+                f"{path}() uses numpy's hidden module-state RNG; build an "
+                "explicit Generator via repro.utils.rng.new_rng(seed)",
+                symbol=path,
+            )
+        if path == "random" or path.startswith("random."):
+            tail = path[len("random."):] if "." in path else path
+            if tail == "Random" and not argless:
+                return None
+            what = (
+                "argless random.Random() draws OS entropy"
+                if tail == "Random"
+                else f"stdlib {path}() uses interpreter-global RNG state"
+            )
+            return self.finding(
+                module.rel, node,
+                f"{what}; use a seeded numpy Generator instead",
+                symbol=path,
+            )
+        return None
+
+
+#: A name participates in RPL104 when it looks like a seed binding.
+_SEEDISH = re.compile(r"(^|_)seeds?($|_)", re.IGNORECASE)
+
+_ARITH_OPS = (
+    ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow,
+    ast.LShift, ast.RShift, ast.BitXor, ast.BitOr, ast.BitAnd,
+)
+
+
+def _seedish_operand(node: ast.AST) -> str:
+    if isinstance(node, ast.Name) and _SEEDISH.search(node.id):
+        return node.id
+    if isinstance(node, ast.Attribute) and _SEEDISH.search(node.attr):
+        return node.attr
+    return ""
+
+
+@register
+class SeedArithmeticRule(FileRule):
+    """RPL104: lane/worker seeds must come from derive_seed, not arithmetic."""
+
+    rule_id = "RPL104"
+    name = "seed-arithmetic"
+    description = (
+        "arithmetic on a seed-named value (seed + i, seed * k); derive "
+        "per-lane/per-task seeds via derive_seed/lane_workload_seed instead"
+    )
+
+    #: Functions whose bodies implement the sanctioned derivation and are
+    #: therefore exempt (configurable via the ``exempt_functions`` option).
+    DEFAULT_EXEMPT = (
+        "derive_seed",
+        "lane_workload_seed",
+        "lane_failure_seed",
+        "spawn_rngs",
+    )
+
+    def check_module(self, module: SourceModule) -> List[Finding]:
+        findings: List[Finding] = []
+        if module.tree is None:
+            return findings
+        exempt = set(self.options.get("exempt_functions", self.DEFAULT_EXEMPT))
+        skip_nodes = set()
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in exempt
+            ):
+                skip_nodes.update(id(n) for n in ast.walk(node))
+        for node in ast.walk(module.tree):
+            if id(node) in skip_nodes:
+                continue
+            if isinstance(node, ast.BinOp) and isinstance(node.op, _ARITH_OPS):
+                name = _seedish_operand(node.left) or _seedish_operand(node.right)
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, _ARITH_OPS):
+                name = _seedish_operand(node.target)
+            else:
+                continue
+            if name:
+                findings.append(
+                    self.finding(
+                        module.rel, node,
+                        f"arithmetic on seed-like value {name!r}; route "
+                        "derived seeds through repro.utils.rng.derive_seed "
+                        "(or lane_workload_seed/lane_failure_seed)",
+                        symbol=name,
+                    )
+                )
+        return findings

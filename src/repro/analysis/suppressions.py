@@ -1,0 +1,81 @@
+"""Inline suppression comments.
+
+The suppression syntax is::
+
+    some_call()  # repro-lint: disable=RPL102 — profiling timer, off by default
+
+    # repro-lint: disable=RPL103, RPL106 — reason covering the next line
+    offending_line()
+
+A trailing comment suppresses its own line; a standalone comment line
+suppresses the next non-comment, non-blank line.  Every suppression **must**
+carry a reason after an em dash (``—``), double hyphen (``--``) or spaced
+single hyphen (`` - ``): a suppression without a rationale is itself reported
+as RPL002 so "silenced, nobody remembers why" can never accumulate.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set, Tuple
+
+#: Rule id reported for a file that does not parse.
+PARSE_ERROR_RULE = "RPL001"
+#: Rule id reported for a suppression comment with no reason.
+BAD_SUPPRESSION_RULE = "RPL002"
+
+_MARKER = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+?)(?:(—|--| - )\s*(\S.*))?$")
+_RULE_ID = re.compile(r"^RPL\d{3}$")
+
+
+def collect_suppressions(
+    text: str,
+) -> Tuple[Dict[int, Set[str]], List[Tuple[int, str]]]:
+    """Parse one module's source for suppression comments.
+
+    Returns ``(by_line, malformed)`` where ``by_line`` maps a 1-based line
+    number to the set of rule ids suppressed on it, and ``malformed`` lists
+    ``(line, detail)`` pairs for marker comments missing a reason or naming
+    an invalid rule id.
+    """
+    by_line: Dict[int, Set[str]] = {}
+    malformed: List[Tuple[int, str]] = []
+    pending: List[Tuple[int, Set[str]]] = []
+    lines = text.splitlines()
+    for lineno, raw in enumerate(lines, start=1):
+        stripped = raw.strip()
+        match = _MARKER.search(raw)
+        ids: Set[str] = set()
+        if match is not None:
+            listed = [part.strip() for part in match.group(1).split(",")]
+            listed = [part for part in listed if part]
+            bad = [part for part in listed if not _RULE_ID.match(part)]
+            if match.group(3) is None or not match.group(3).strip():
+                # The marker text is assembled so this module's own source
+                # never matches the marker regex when reprolint scans itself.
+                syntax = "# repro-lint: " + "disable=RPLxxx — <reason>"
+                malformed.append(
+                    (lineno, f"suppression is missing a reason (use {syntax!r})")
+                )
+            elif bad:
+                malformed.append(
+                    (lineno, f"suppression names invalid rule id(s) {sorted(bad)}")
+                )
+            else:
+                ids = set(listed)
+        if stripped.startswith("#"):
+            # A standalone comment line: carry the ids forward to the next
+            # code line (comments may be stacked).
+            if ids:
+                pending.append((lineno, ids))
+            continue
+        if not stripped:
+            continue
+        # A code line: it receives any trailing suppression plus whatever
+        # standalone comments queued immediately above it.
+        if ids:
+            by_line.setdefault(lineno, set()).update(ids)
+        for _, queued in pending:
+            by_line.setdefault(lineno, set()).update(queued)
+        pending.clear()
+    return by_line, malformed

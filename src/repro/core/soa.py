@@ -930,9 +930,9 @@ class SoAVecPlacementEnv:
         mask.
         """
         if self._profile:
-            t0 = perf_counter()
+            t0 = perf_counter()  # repro-lint: disable=RPL102 — opt-in profiling timer (profile=True), not simulation state
             masks = self._masks_kernel()
-            self._timings["mask_s"] += perf_counter() - t0
+            self._timings["mask_s"] += perf_counter() - t0  # repro-lint: disable=RPL102 — opt-in profiling timer (profile=True), not simulation state
             return masks
         return self._masks_kernel()
 
@@ -961,9 +961,9 @@ class SoAVecPlacementEnv:
     def _observe_batch(self) -> np.ndarray:
         """Fused batched state encoding (bitwise equal to per-lane encode)."""
         if self._profile:
-            t0 = perf_counter()
+            t0 = perf_counter()  # repro-lint: disable=RPL102 — opt-in profiling timer (profile=True), not simulation state
             states = self._observe_kernel()
-            self._timings["observe_s"] += perf_counter() - t0
+            self._timings["observe_s"] += perf_counter() - t0  # repro-lint: disable=RPL102 — opt-in profiling timer (profile=True), not simulation state
             return states
         return self._observe_kernel()
 
@@ -1074,7 +1074,7 @@ class SoAVecPlacementEnv:
         """
         profiling = self._profile
         if profiling:
-            step_t0 = perf_counter()
+            step_t0 = perf_counter()  # repro-lint: disable=RPL102 — opt-in profiling timer (profile=True), not simulation state
         acts = np.asarray(actions, dtype=int).ravel()
         num_lanes = self.num_lanes
         if acts.shape[0] != num_lanes:
@@ -1187,10 +1187,10 @@ class SoAVecPlacementEnv:
                     completing.append((lane, st, view))
         if completing:
             if profiling:
-                commit_t0 = perf_counter()
+                commit_t0 = perf_counter()  # repro-lint: disable=RPL102 — opt-in profiling timer (profile=True), not simulation state
             self._finalize_batch(completing, rewards, place_list)
             if profiling:
-                self._timings["commit_s"] += perf_counter() - commit_t0
+                self._timings["commit_s"] += perf_counter() - commit_t0  # repro-lint: disable=RPL102 — opt-in profiling timer (profile=True), not simulation state
 
         # Reward/stat accumulation and episode boundaries run as one pass
         # after the batch commit, so completing lanes already carry their
@@ -1213,7 +1213,7 @@ class SoAVecPlacementEnv:
 
         if info:
             if profiling:
-                info_t0 = perf_counter()
+                info_t0 = perf_counter()  # repro-lint: disable=RPL102 — opt-in profiling timer (profile=True), not simulation state
             infos: Optional[List[Dict[str, object]]] = []
             lane_names = self.lane_names
             append_info = infos.append
@@ -1237,7 +1237,7 @@ class SoAVecPlacementEnv:
                     )
                 append_info(payload)
             if profiling:
-                self._timings["info_s"] += perf_counter() - info_t0
+                self._timings["info_s"] += perf_counter() - info_t0  # repro-lint: disable=RPL102 — opt-in profiling timer (profile=True), not simulation state
         else:
             infos = None
         if observe:
@@ -1245,7 +1245,7 @@ class SoAVecPlacementEnv:
         else:
             states = np.zeros((num_lanes, self.state_dim), dtype=float)
         if profiling:
-            self._timings["step_s"] += perf_counter() - step_t0
+            self._timings["step_s"] += perf_counter() - step_t0  # repro-lint: disable=RPL102 — opt-in profiling timer (profile=True), not simulation state
             self._timings["steps"] += 1.0
         return states, rewards, dones, infos
 

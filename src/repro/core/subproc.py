@@ -458,6 +458,10 @@ class SubprocVecPlacementEnv:
             from multiprocessing import resource_tracker
 
             resource_tracker.ensure_running()
+        # repro-lint: disable=RPL106 — best-effort tracker pre-start: on
+        # platforms without it each worker falls back to spawning its own
+        # tracker (slower cleanup, never incorrect), so any tracker-internal
+        # error must not block env construction.
         except Exception:
             pass
         context = mp.get_context("fork")
@@ -1039,6 +1043,9 @@ class SubprocVecPlacementEnv:
     def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown path
         try:
             self.close()
+        # repro-lint: disable=RPL106 — __del__ runs during interpreter
+        # shutdown where pipes/shm may already be gone; raising here would
+        # mask the original error (or crash GC), and close() is idempotent.
         except Exception:
             pass
 

@@ -519,10 +519,19 @@ class VecPlacementEnv:
         """
         if ledgers is None:
             ledgers = [env.network.ledger for env in self.envs]
-        key = (attr, tuple(id(ledger) for ledger in ledgers))
+        # The cache keys on the ledger *objects* (held strongly, compared by
+        # identity) rather than their id()s: a rebuilt ledger could land on
+        # a freed ledger's recycled id and inherit a stale stack (RPL103).
         cached = self._const_stack_cache.get(attr)
-        if cached is None or cached[0] != key:
-            cached = (key, np.stack([getattr(l, attr) for l in ledgers]))
+        if (
+            cached is None
+            or len(cached[0]) != len(ledgers)
+            or any(held is not live for held, live in zip(cached[0], ledgers))
+        ):
+            cached = (
+                tuple(ledgers),
+                np.stack([getattr(l, attr) for l in ledgers]),
+            )
             self._const_stack_cache[attr] = cached
         return cached[1]
 

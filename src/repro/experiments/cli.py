@@ -119,9 +119,11 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; choose from {sorted(EXPERIMENTS)}"
         )
     entry = EXPERIMENTS[experiment_id]
-    start = time.time()
+    # perf_counter, not time.time: wall clock is not monotonic (NTP slews
+    # can make a short run report negative or wildly wrong durations).
+    start = time.perf_counter()
     data = entry["runner"](config)
-    elapsed = time.time() - start
+    elapsed = time.perf_counter() - start
     if not quiet:
         if entry["kind"] == "table":
             print_table(data)

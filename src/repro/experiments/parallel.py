@@ -131,9 +131,13 @@ def run_parallel(
     payloads = [(fn, tuple(args)) for args in tasks]
     try:
         # Cheap picklability probe on one payload; tasks are homogeneous, so
-        # probing them all would serialize the dominant data twice.
+        # probing them all would serialize the dominant data twice.  The
+        # catch is narrowed to the ways pickling actually refuses an object
+        # (lambdas/local functions raise PicklingError or AttributeError,
+        # code/file handles raise TypeError); fn is not called inside the
+        # try, so no real worker error can be swallowed here.
         pickle.dumps(payloads[0])
-    except Exception:
+    except (TypeError, AttributeError, NotImplementedError, pickle.PicklingError):
         return [fn(*args) for args in tasks]
     try:
         with ProcessPoolExecutor(

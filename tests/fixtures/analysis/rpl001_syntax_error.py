@@ -1,0 +1,4 @@
+"""RPL001 fixture: this module deliberately does not parse."""
+
+def broken(:
+    return None

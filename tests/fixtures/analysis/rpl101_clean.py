@@ -1,0 +1,9 @@
+"""RPL101 clean fixture: explicit seeded generators only."""
+
+import numpy as np
+
+
+def draw(seed, rng: np.random.Generator):
+    own = np.random.default_rng(seed)
+    legacy = np.random.RandomState(seed)
+    return own.random(3), rng.random(3), legacy.rand(3)

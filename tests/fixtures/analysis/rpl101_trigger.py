@@ -1,0 +1,13 @@
+"""RPL101 fixture: module-state and unseeded RNG (one finding per line)."""
+
+import random
+
+import numpy as np
+
+
+def draw():
+    a = np.random.rand(3)  # module-state numpy RNG
+    b = random.random()  # stdlib global RNG
+    rng = np.random.default_rng()  # argless: OS entropy
+    unseeded = random.Random()  # argless: OS entropy
+    return a, b, rng, unseeded

@@ -1,0 +1,14 @@
+"""RPL102 clean fixture: the clock is injected, never read from a module."""
+
+
+def measure(clock):
+    start = clock()
+    return clock() - start
+
+
+class Budgeted:
+    def __init__(self, clock):
+        self._clock = clock
+
+    def elapsed(self, since):
+        return self._clock() - since

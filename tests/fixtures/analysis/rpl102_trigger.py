@@ -1,0 +1,16 @@
+"""RPL102 fixture: wall-clock reads (one finding per marked line)."""
+
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+
+def measure():
+    start = time.time()  # wall clock
+    mid = pc()  # aliased from-import still resolves
+    stamp = datetime.now()  # datetime wall clock
+    return start, mid, stamp
+
+
+def default_clock(clock=None):
+    return clock or time.perf_counter  # passing the clock counts too

@@ -1,0 +1,24 @@
+"""RPL103 clean fixture: stable keys; transient identity sets are fine."""
+
+_CACHE = {}
+
+
+def lookup(obj):
+    return _CACHE[obj.name]  # stable name key
+
+
+def dedupe(objs):
+    # Identity set over objects that stay referenced for the whole pass:
+    # deliberately out of RPL103 scope.
+    seen = {id(objs[0])}
+    kept = [objs[0]]
+    for obj in objs[1:]:
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        kept.append(obj)
+    return kept
+
+
+def debug_label(obj):
+    return f"{type(obj).__name__}@{id(obj):#x}"  # display only, not a key

@@ -1,0 +1,20 @@
+"""RPL103 fixture: id() flowing into dict/cache keys."""
+
+_CACHE = {}
+
+
+def lookup(obj):
+    return _CACHE[id(obj)]  # subscript index
+
+
+def memoize(obj, value):
+    _CACHE.setdefault(id(obj), value)  # dict-method key argument
+
+
+def snapshot(objs):
+    return {id(obj): obj.name for obj in objs}  # dict-literal key
+
+
+def stack_key(attr, ledgers):
+    key = (attr, tuple(id(ledger) for ledger in ledgers))  # key-named binding
+    return key

@@ -1,0 +1,13 @@
+"""RPL104 clean fixture: seeds route through derive_seed-style mixing."""
+
+from repro.utils.rng import derive_seed
+
+
+def lane_seeds(seed, lanes):
+    return [derive_seed(seed, "lane", lane) for lane in lanes]
+
+
+def lane_workload_seed(seed, lane_index, name):
+    # Functions named like the sanctioned derivation helpers are exempt:
+    # their bodies ARE the mixing implementation.
+    return (seed * 1000003 + lane_index) % (2**31 - 1) + hash(name)

@@ -1,0 +1,15 @@
+"""RPL104 fixture: ad-hoc seed arithmetic."""
+
+
+def lane_seeds(seed, lanes):
+    return [seed + lane for lane in lanes]  # additive derivation collides
+
+
+def worker_seed(base_seed, worker):
+    derived = base_seed * 1000 + worker  # multiplicative derivation
+    return derived
+
+
+def bump(seed):
+    seed += 1  # in-place seed arithmetic
+    return seed

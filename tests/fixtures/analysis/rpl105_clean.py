@@ -1,0 +1,37 @@
+"""RPL105 clean fixture: every ledger mutation pairs with its shadow."""
+
+import numpy as np
+
+
+class PairedSoACore:
+    def __init__(self, lanes, nodes):
+        self._node_used = np.zeros((lanes, nodes, 3))
+        self._node_used_py = self._node_used.tolist()
+        self._link_used = np.zeros((lanes, 4))
+        self._link_used_py = self._link_used.tolist()
+
+    def reset_lane(self, lane):
+        self._node_used[lane].fill(0.0)
+        self._node_used_py[lane] = self._node_used[lane].tolist()
+
+    def commit(self, lane, row, demand):
+        used_row = self._node_used[lane, row]
+        used_row += demand
+        self._node_used_py[lane][row] = used_row.tolist()
+
+    def release(self, lane, slot, bw):
+        self._link_used[lane, slot] -= bw
+        self._link_used_py[lane][slot] = float(self._link_used[lane, slot])
+
+    def teardown(self, lane, rec):
+        # Calling a registered resync method counts as touching the shadow.
+        self._release_record(lane, rec)
+        self._link_used[lane] = 0.0
+
+    def _release_record(self, lane, rec):
+        self._link_used[lane, rec] = 0.0
+        self._link_used_py[lane][rec] = 0.0
+
+    def observe(self, lane):
+        # Reads (copies) are not mutations.
+        return self._node_used[lane].copy()

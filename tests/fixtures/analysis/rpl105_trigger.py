@@ -1,0 +1,25 @@
+"""RPL105 fixture: numpy-ledger mutations missing their shadow updates."""
+
+import numpy as np
+
+
+class BrokenSoACore:
+    def __init__(self, lanes, nodes):
+        self._node_used = np.zeros((lanes, nodes, 3))
+        self._node_used_py = self._node_used.tolist()
+        self._link_used = np.zeros((lanes, 4))
+        self._link_used_py = self._link_used.tolist()
+
+    def reset_lane(self, lane):
+        self._node_used[lane].fill(0.0)  # .fill without shadow rebuild
+
+    def commit(self, lane, row, demand):
+        used_row = self._node_used[lane, row]
+        used_row += demand  # aliased in-place add without shadow write
+
+    def release(self, lane, slot, bw):
+        self._link_used[lane, slot] -= bw  # direct store without shadow
+
+    def clamp(self, lane, row, fence):
+        used_row = self._node_used[lane, row]
+        np.maximum(used_row - fence, 0.0, out=used_row)  # out= without shadow

@@ -1,0 +1,25 @@
+"""RPL106 clean fixture: broad catches that act, narrow catches that don't."""
+
+import traceback
+
+
+def report(conn, shard):
+    try:
+        shard.step()
+    except Exception:
+        conn.send(("error", traceback.format_exc()))  # fenced: reported
+
+
+def construct(env):
+    try:
+        env.start()
+    except Exception:
+        env.close()
+        raise  # re-raised
+
+
+def lookup(mapping, key):
+    try:
+        return mapping[key]
+    except KeyError:  # narrow catch may stay silent
+        return None

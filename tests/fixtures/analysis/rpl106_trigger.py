@@ -1,0 +1,24 @@
+"""RPL106 fixture: silent broad exception swallowing."""
+
+
+def cleanup(resource):
+    try:
+        resource.close()
+    except Exception:
+        pass  # swallowed: close errors vanish
+
+
+def drain(queue):
+    try:
+        return queue.pop()
+    except:  # noqa: E722 - bare except, silent
+        return None
+
+
+def teardown(workers):
+    for worker in workers:
+        try:
+            worker.join()
+        except (ValueError, Exception):
+            broken = True  # no raise, no call: still silent
+    return broken

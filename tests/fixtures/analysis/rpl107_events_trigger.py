@@ -1,0 +1,10 @@
+"""RPL107 fixture: an event enum with one member nobody handles."""
+
+from enum import Enum
+
+
+class EventType(Enum):
+    ARRIVAL = "arrival"
+    DEPARTURE = "departure"
+    ORPHANED = "orphaned"  # no handler registers this member
+    END = "end"

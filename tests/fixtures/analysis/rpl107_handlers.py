@@ -1,0 +1,28 @@
+"""RPL107 fixture: handlers for every member except ORPHANED.
+
+Creating an event (``Event.create(..., EventType.ORPHANED)``) must not
+count as handling it.
+"""
+
+from tests.fixtures.analysis.rpl107_events_trigger import EventType
+
+
+class Engine:
+    def on(self, event_type, handler):
+        pass
+
+
+def wire(engine, sim):
+    engine.on(EventType.ARRIVAL, sim.handle_arrival)
+    engine.on(EventType.DEPARTURE, sim.handle_departure)
+
+
+def run_loop(engine, event):
+    if event.event_type is EventType.END:
+        return False  # dispatch comparison counts as handling
+    return True
+
+
+def schedule_orphan(engine, factory):
+    # An event *creation* site, deliberately not a handler.
+    return factory.create(0.0, EventType.ORPHANED)

@@ -1,0 +1,12 @@
+"""Suppression fixture: a reasonless suppression is itself a finding.
+
+The RPL102 below stays visible (the malformed marker suppresses nothing)
+and the marker line earns an RPL002.
+"""
+
+import time
+
+
+def profiled_step(kernel):
+    t0 = time.perf_counter()  # repro-lint: disable=RPL102
+    return kernel(), t0

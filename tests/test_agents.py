@@ -157,8 +157,9 @@ class TestDQNMechanics:
     def test_target_network_sync_interval(self):
         config = fast_dqn_config(target_update_interval=3)
         agent = DQNAgent(2, 2, config=config, seed=0)
+        rng = np.random.default_rng(7)
         for _ in range(64):
-            agent.observe(np.random.rand(2), 0, 1.0, np.random.rand(2), False)
+            agent.observe(rng.random(2), 0, 1.0, rng.random(2), False)
         for _ in range(3):
             agent.update()
         # After a sync the target equals the online network.
