@@ -11,8 +11,10 @@ check:
 	bash scripts/check.sh
 
 ## lint: reprolint project-contract static analysis (see docs/ANALYSIS.md)
+## Pass extra flags via LINT_ARGS, e.g. `make lint LINT_ARGS="--cache"`
+## or `make lint LINT_ARGS="--select RPL204 --format json"`.
 lint:
-	python -m repro.analysis src benchmarks tests
+	python -m repro.analysis src benchmarks tests $(LINT_ARGS)
 
 ## test: the tier-1 test suite only
 test:

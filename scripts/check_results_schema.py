@@ -49,8 +49,23 @@ ENGINEERING_SCHEMAS = {
     },
 }
 
-#: Required keys of the reprolint payload's summary section.
-REPROLINT_SUMMARY_KEYS = {"files", "findings", "suppressed", "clean"}
+#: Required keys of the reprolint payload's summary section (schema v2:
+#: per-rule counts and the incremental-cache section joined in).
+REPROLINT_SUMMARY_KEYS = {
+    "files",
+    "findings",
+    "suppressed",
+    "clean",
+    "by_rule",
+    "cache",
+}
+
+#: Required keys of summary.cache (hit/miss detail deliberately excluded —
+#: it would differ between cold and warm runs of the same tree).
+REPROLINT_CACHE_KEYS = {"enabled", "files"}
+
+#: Minimum reprolint JSON schema version the gate understands.
+REPROLINT_MIN_SCHEMA_VERSION = 2
 
 #: Required nested keys of the vecenv payload's lean-step extensions: the
 #: per-protocol cost-model fits plus the lean stepping series themselves.
@@ -109,6 +124,32 @@ def check_file(path: Path) -> list:
                 f"{path.name}: committed report is not clean "
                 f"({payload['summary']['findings']} findings)"
             )
+        else:
+            if payload["schema_version"] < REPROLINT_MIN_SCHEMA_VERSION:
+                problems.append(
+                    f"{path.name}: stale schema_version "
+                    f"{payload['schema_version']} "
+                    f"(gate requires >= {REPROLINT_MIN_SCHEMA_VERSION}; "
+                    "re-run scripts/check.sh to refresh)"
+                )
+            by_rule = payload["summary"]["by_rule"]
+            if not isinstance(by_rule, dict) or not all(
+                isinstance(count, int) for count in by_rule.values()
+            ):
+                problems.append(
+                    f"{path.name}: summary.by_rule is not a per-rule count map"
+                )
+            elif set(payload["rules_enabled"]) - set(by_rule):
+                problems.append(
+                    f"{path.name}: summary.by_rule missing enabled rules "
+                    f"{sorted(set(payload['rules_enabled']) - set(by_rule))}"
+                )
+            cache = payload["summary"]["cache"]
+            cache_missing = sorted(REPROLINT_CACHE_KEYS - set(cache))
+            if cache_missing:
+                problems.append(
+                    f"{path.name}: summary.cache missing keys {cache_missing}"
+                )
     if path.name == "vecenv.json":
         for section, nested in (
             ("decomposition", VECENV_DECOMPOSITION_KEYS),

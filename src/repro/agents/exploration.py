@@ -121,6 +121,7 @@ class EpsilonGreedy:
         O(K·A) array work instead of K Python-level selections.  Returns a
         ``(K,)`` integer action array.
         """
+        # repro-lint: readonly=masks
         q_values = np.atleast_2d(np.asarray(q_values, dtype=float))
         valid = _valid_mask_batch(q_values.shape, masks)
         epsilon = 0.0 if greedy else self.schedule.value(step)
@@ -156,6 +157,7 @@ class BoltzmannExploration:
         greedy: bool = False,
     ) -> int:
         """Sample an action with probability proportional to exp(Q / T)."""
+        # repro-lint: readonly=mask
         q_values = np.asarray(q_values, dtype=float).ravel()
         valid = _valid_indices(q_values.shape[0], mask)
         if greedy:

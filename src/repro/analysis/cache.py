@@ -1,0 +1,237 @@
+"""Content-hash incremental cache for reprolint runs.
+
+A lint run over the whole tree re-parses ~160 files to rediscover what it
+already knew: almost nothing changed since the last run.  The cache keyed
+on content hashes removes that work while guaranteeing the one property an
+incremental linter must never trade away: **a cached run's output is
+byte-identical to a cold run's** (text and JSON).  That falls out of what
+gets cached — per-file *raw* (pre-suppression) findings plus the file's
+suppression map — so the engine replays exactly the inputs of the final
+suppression/sort/summary passes instead of caching their outputs.
+
+Invalidation is three-layered:
+
+* **Config fingerprint.**  The whole cache is discarded when the enabled
+  rule set, scopes, options, excludes or payload schema change — the
+  fingerprint hashes the canonical JSON of all of them.
+* **Per-file content hash.**  A file entry is valid only when its sha256
+  and its set of applicable file rules both match.
+* **Per-project-rule scope hash.**  A project rule declares its input files
+  (:meth:`ProjectRule.project_inputs`); its cached findings are valid only
+  while the hash over those inputs' contents is unchanged.  A rule that
+  declares no inputs depends on the entire scan set.
+
+The cache file is itself deterministic (sorted keys, no timestamps) and
+lives under ``benchmarks/results/cache/`` with the other derived artifacts
+(``make clean-cache`` removes it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.findings import Finding
+
+#: Bumped whenever the cache file layout changes.
+CACHE_FORMAT_VERSION = 1
+
+#: Default location, alongside the other derived artifacts.
+DEFAULT_CACHE_FILE = "benchmarks/results/cache/reprolint-cache.json"
+
+
+def file_digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def config_fingerprint(config, registered_rules, schema_version: int) -> str:
+    """Hash of everything that changes findings without changing sources."""
+    payload = {
+        "cache_format": CACHE_FORMAT_VERSION,
+        "schema_version": schema_version,
+        "exclude": list(config.exclude),
+        "select": None if config.select is None else list(config.select),
+        "disable": list(config.disable),
+        "scopes": {
+            rule_id: {"only": list(scope.only), "skip": list(scope.skip)}
+            for rule_id, scope in sorted(config.scopes.items())
+        },
+        "options": config.options,
+        "rules": sorted(registered_rules),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _encode_findings(findings: List[Finding]) -> List[dict]:
+    return [finding.to_dict() for finding in findings]
+
+
+def _decode_findings(raw: List[dict]) -> List[Finding]:
+    return [
+        Finding(
+            rule_id=entry["rule"],
+            path=entry["path"],
+            line=int(entry["line"]),
+            col=int(entry["col"]),
+            message=entry["message"],
+            symbol=entry.get("symbol", ""),
+        )
+        for entry in raw
+    ]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cached run (reported to stderr only —
+    putting them in the payload would break cold/warm byte-identity)."""
+
+    file_hits: int = 0
+    file_misses: int = 0
+    project_hits: int = 0
+    project_misses: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"reprolint cache: {self.file_hits} file hit(s), "
+            f"{self.file_misses} file miss(es), "
+            f"{self.project_hits} project-rule hit(s), "
+            f"{self.project_misses} project-rule miss(es)"
+        )
+
+
+@dataclass
+class LintCache:
+    """The on-disk cache: per-file and per-project-rule entries."""
+
+    fingerprint: str
+    files: Dict[str, dict] = field(default_factory=dict)
+    project: Dict[str, dict] = field(default_factory=dict)
+
+    # ---------------------------------------------------------------- #
+    # Persistence
+    # ---------------------------------------------------------------- #
+    @classmethod
+    def load(cls, path: Path, fingerprint: str) -> "LintCache":
+        """Read the cache; any mismatch or damage yields an empty cache."""
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cls(fingerprint=fingerprint)
+        if (
+            not isinstance(payload, dict)
+            or payload.get("cache_version") != CACHE_FORMAT_VERSION
+            or payload.get("fingerprint") != fingerprint
+        ):
+            return cls(fingerprint=fingerprint)
+        files = payload.get("files", {})
+        project = payload.get("project", {})
+        if not isinstance(files, dict) or not isinstance(project, dict):
+            return cls(fingerprint=fingerprint)
+        return cls(fingerprint=fingerprint, files=files, project=project)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "cache_version": CACHE_FORMAT_VERSION,
+            "fingerprint": self.fingerprint,
+            "files": self.files,
+            "project": self.project,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n",
+            encoding="utf-8",
+        )
+
+    # ---------------------------------------------------------------- #
+    # Per-file entries
+    # ---------------------------------------------------------------- #
+    def lookup_file(
+        self, rel: str, digest: str, applicable_rules: List[str]
+    ) -> Optional[dict]:
+        """The valid cache entry for ``rel``, or None on any mismatch."""
+        entry = self.files.get(rel)
+        if (
+            not isinstance(entry, dict)
+            or entry.get("hash") != digest
+            or sorted(entry.get("rules", ())) != sorted(applicable_rules)
+        ):
+            return None
+        return entry
+
+    def store_file(
+        self,
+        rel: str,
+        digest: str,
+        applicable_rules: List[str],
+        findings: List[Finding],
+        suppressions: Dict[int, Set[str]],
+    ) -> None:
+        self.files[rel] = {
+            "hash": digest,
+            "rules": sorted(applicable_rules),
+            "findings": _encode_findings(findings),
+            "suppressions": {
+                str(line): sorted(ids) for line, ids in suppressions.items()
+            },
+        }
+
+    @staticmethod
+    def entry_findings(entry: dict) -> List[Finding]:
+        return _decode_findings(entry.get("findings", ()))
+
+    @staticmethod
+    def entry_suppressions(entry: dict) -> Dict[int, Set[str]]:
+        return {
+            int(line): set(ids)
+            for line, ids in entry.get("suppressions", {}).items()
+        }
+
+    # ---------------------------------------------------------------- #
+    # Per-project-rule entries
+    # ---------------------------------------------------------------- #
+    def lookup_project(self, rule_id: str, scope_digest: str) -> Optional[List[Finding]]:
+        entry = self.project.get(rule_id)
+        if not isinstance(entry, dict) or entry.get("scope") != scope_digest:
+            return None
+        return _decode_findings(entry.get("findings", ()))
+
+    def store_project(
+        self, rule_id: str, scope_digest: str, findings: List[Finding]
+    ) -> None:
+        self.project[rule_id] = {
+            "scope": scope_digest,
+            "findings": _encode_findings(findings),
+        }
+
+
+def project_scope_digest(
+    input_rels: Optional[List[str]],
+    scanned_digests: Dict[str, str],
+    root: Path,
+) -> str:
+    """Hash of a project rule's input files (contents, not mtimes).
+
+    ``input_rels`` of None means the rule depends on the whole scan set.
+    Inputs outside the scan set are read from disk; a missing file hashes
+    as the sentinel ``"absent"`` so creating it later invalidates.
+    """
+    if input_rels is None:
+        pairs = sorted(scanned_digests.items())
+    else:
+        pairs = []
+        for rel in sorted(set(input_rels)):
+            digest = scanned_digests.get(rel)
+            if digest is None:
+                try:
+                    digest = file_digest(
+                        (root / rel).read_text(encoding="utf-8")
+                    )
+                except OSError:
+                    digest = "absent"
+            pairs.append((rel, digest))
+    canonical = json.dumps(pairs, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

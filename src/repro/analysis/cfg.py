@@ -1,0 +1,398 @@
+"""Intra-procedural control-flow graphs over Python function bodies.
+
+The flow-sensitive rules (RPL204's shadow-staleness ordering) and the
+reaching-definitions analysis need more than ``ast.walk`` order: whether a
+mutation *can reach* a read depends on branches, loop back-edges and
+exception routing.  :func:`build_cfg` lowers one ``ast.FunctionDef`` into a
+graph of basic blocks whose elements are the function's statements (and,
+for decomposed conditions, bare test expressions) in evaluation order.
+
+Shape of the graph:
+
+* ``if``/``while``/``for`` produce the usual diamond/loop shapes, with the
+  loop head owning the back-edge and ``break``/``continue`` edges routed to
+  the innermost loop's after/head blocks.
+* Boolean short-circuit is explicit: ``if a and b:`` evaluates ``a`` in its
+  own block with an edge that skips ``b`` entirely on the false arm (and
+  symmetrically for ``or``), so a dataflow fact established only by ``b``'s
+  evaluation does not leak onto the short-circuit path.
+* ``try`` is conservative: every block of the protected body gets an edge
+  to every handler entry ("an exception may occur anywhere"), the ``else``
+  body runs on normal completion, and a ``finally`` body is entered from
+  normal and abrupt exits alike.  A ``return``/``break``/``continue``/
+  ``raise`` under a pending ``finally`` routes through the finally entry,
+  and the finally exit fans out only to the abrupt targets actually
+  recorded (plus fall-through) — no spurious exits are invented.
+* ``with`` bodies are inline (``__exit__`` is not modeled as a handler);
+  an early ``return`` inside ``with`` flows to the function exit like any
+  other return.
+* Nested function/class definitions are opaque single elements — the
+  analysis is strictly intra-procedural.
+
+The builder never executes or imports the analyzed code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: Statement types appended to the current block with no control effect.
+_LINEAR_STMTS = (
+    ast.Assign,
+    ast.AugAssign,
+    ast.AnnAssign,
+    ast.Expr,
+    ast.Delete,
+    ast.Assert,
+    ast.Pass,
+    ast.Import,
+    ast.ImportFrom,
+    ast.Global,
+    ast.Nonlocal,
+)
+
+
+@dataclass
+class Block:
+    """One basic block: elements in evaluation order plus edge lists."""
+
+    id: int
+    elems: List[ast.AST] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    """The control-flow graph of one function."""
+
+    function: ast.AST
+    blocks: Dict[int, Block]
+    entry: int
+    exit: int
+
+    def block_of(self, node: ast.AST) -> Optional[Block]:
+        """The block holding ``node`` as a direct element, if any."""
+        for block in self.blocks.values():
+            for elem in block.elems:
+                if elem is node:
+                    return block
+        return None
+
+    def rpo(self) -> List[int]:
+        """Block ids in reverse postorder from the entry (stable, iterative)."""
+        seen: Set[int] = set()
+        order: List[int] = []
+        stack: List[Tuple[int, int]] = [(self.entry, 0)]
+        seen.add(self.entry)
+        while stack:
+            block_id, child = stack[-1]
+            succs = self.blocks[block_id].succs
+            if child < len(succs):
+                stack[-1] = (block_id, child + 1)
+                nxt = succs[child]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                stack.pop()
+                order.append(block_id)
+        order.reverse()
+        return order
+
+
+@dataclass
+class _FinallyFrame:
+    """A pending ``finally`` body: its entry plus recorded abrupt routes."""
+
+    entry: int
+    #: ("return"/"raise", None) and ("break"/"continue", target_block_id).
+    abrupt: Set[Tuple[str, Optional[int]]] = field(default_factory=set)
+
+
+class _Builder:
+    def __init__(self, fn: ast.AST):
+        self.fn = fn
+        self.blocks: Dict[int, Block] = {}
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+        self.current: Optional[int] = self.entry
+        #: (continue_target, break_target) per enclosing loop.
+        self.loops: List[Tuple[int, int]] = []
+        #: Where an exception raised "here" may land (handler entries).
+        self.exc_targets: List[List[int]] = []
+        #: Pending finally bodies, innermost last.
+        self.finallies: List[_FinallyFrame] = []
+
+    # ------------------------------------------------------------------ #
+    # Graph primitives
+    # ------------------------------------------------------------------ #
+    def _new_block(self) -> int:
+        block = Block(id=len(self.blocks))
+        self.blocks[block.id] = block
+        return block.id
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+            self.blocks[dst].preds.append(src)
+
+    def _append(self, node: ast.AST) -> None:
+        if self.current is not None:
+            self.blocks[self.current].elems.append(node)
+            self._note_exceptional(self.current)
+
+    def _note_exceptional(self, block_id: int) -> None:
+        """Inside a protected region, any block may jump to each handler."""
+        if self.exc_targets:
+            for handler_entry in self.exc_targets[-1]:
+                self._edge(block_id, handler_entry)
+
+    # ------------------------------------------------------------------ #
+    # Abrupt exits
+    # ------------------------------------------------------------------ #
+    def _abrupt(self, kind: str, target: Optional[int]) -> None:
+        """Route return/raise/break/continue, honoring pending finallys."""
+        if self.current is None:
+            return
+        if self.finallies:
+            frame = self.finallies[-1]
+            frame.abrupt.add((kind, target))
+            self._edge(self.current, frame.entry)
+        elif kind in ("return", "raise"):
+            self._edge(self.current, self.exit)
+        elif target is not None:
+            self._edge(self.current, target)
+        self.current = None
+
+    # ------------------------------------------------------------------ #
+    # Statement dispatch
+    # ------------------------------------------------------------------ #
+    def build(self) -> CFG:
+        self.visit_body(self.fn.body)
+        if self.current is not None:
+            self._edge(self.current, self.exit)
+        return CFG(
+            function=self.fn, blocks=self.blocks, entry=self.entry, exit=self.exit
+        )
+
+    def visit_body(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            if self.current is None:
+                break  # unreachable code after return/raise/break
+            self.visit_stmt(stmt)
+
+    def visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, _LINEAR_STMTS):
+            self._append(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._append(stmt)
+            self._abrupt("return", None)
+        elif isinstance(stmt, ast.Raise):
+            self._append(stmt)
+            self._abrupt("raise", None)
+        elif isinstance(stmt, ast.Break):
+            self._append(stmt)
+            self._abrupt("break", self.loops[-1][1] if self.loops else None)
+        elif isinstance(stmt, ast.Continue):
+            self._append(stmt)
+            self._abrupt("continue", self.loops[-1][0] if self.loops else None)
+        elif isinstance(stmt, ast.If):
+            self.visit_if(stmt)
+        elif isinstance(stmt, (ast.While,)):
+            self.visit_while(stmt)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.visit_for(stmt)
+        elif isinstance(stmt, ast.Try):
+            self.visit_try(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self.visit_with(stmt)
+        else:
+            # FunctionDef/ClassDef/Match/...: opaque single element.
+            self._append(stmt)
+
+    # ------------------------------------------------------------------ #
+    # Conditions with short-circuit decomposition
+    # ------------------------------------------------------------------ #
+    def visit_test(self, test: ast.expr, on_true: int, on_false: int) -> None:
+        """Lower ``test`` into condition blocks ending in true/false edges."""
+        if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+            for value in test.values[:-1]:
+                nxt = self._new_block()
+                self.visit_test(value, nxt, on_false)
+                self.current = nxt
+            self.visit_test(test.values[-1], on_true, on_false)
+        elif isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
+            for value in test.values[:-1]:
+                nxt = self._new_block()
+                self.visit_test(value, on_true, nxt)
+                self.current = nxt
+            self.visit_test(test.values[-1], on_true, on_false)
+        elif isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            self.visit_test(test.operand, on_false, on_true)
+        else:
+            self._append(test)
+            if self.current is not None:
+                self._edge(self.current, on_true)
+                self._edge(self.current, on_false)
+            self.current = None
+
+    def visit_if(self, stmt: ast.If) -> None:
+        then_entry = self._new_block()
+        else_entry = self._new_block()
+        after = self._new_block()
+        self.visit_test(stmt.test, then_entry, else_entry)
+        self.current = then_entry
+        self.visit_body(stmt.body)
+        if self.current is not None:
+            self._edge(self.current, after)
+        self.current = else_entry
+        self.visit_body(stmt.orelse)
+        if self.current is not None:
+            self._edge(self.current, after)
+        self.current = after
+
+    # ------------------------------------------------------------------ #
+    # Loops
+    # ------------------------------------------------------------------ #
+    def visit_while(self, stmt: ast.While) -> None:
+        head = self._new_block()
+        body_entry = self._new_block()
+        orelse_entry = self._new_block()
+        after = self._new_block()
+        if self.current is not None:
+            self._edge(self.current, head)
+        self.current = head
+        self.visit_test(stmt.test, body_entry, orelse_entry)
+        self.loops.append((head, after))
+        self.current = body_entry
+        self.visit_body(stmt.body)
+        if self.current is not None:
+            self._edge(self.current, head)  # back-edge
+        self.loops.pop()
+        self.current = orelse_entry
+        self.visit_body(stmt.orelse)
+        if self.current is not None:
+            self._edge(self.current, after)
+        self.current = after
+
+    def visit_for(self, stmt) -> None:
+        head = self._new_block()
+        body_entry = self._new_block()
+        orelse_entry = self._new_block()
+        after = self._new_block()
+        # Iterator construction happens once, before the head.
+        self._append(stmt.iter)
+        if self.current is not None:
+            self._edge(self.current, head)
+        # The head element is the For node itself: each arrival re-binds the
+        # loop target (transfer functions treat it as target = next(iter)).
+        self.current = head
+        self._append(stmt)
+        self._edge(head, body_entry)
+        self._edge(head, orelse_entry)
+        self.loops.append((head, after))
+        self.current = body_entry
+        self.visit_body(stmt.body)
+        if self.current is not None:
+            self._edge(self.current, head)  # back-edge
+        self.loops.pop()
+        self.current = orelse_entry
+        self.visit_body(stmt.orelse)
+        if self.current is not None:
+            self._edge(self.current, after)
+        self.current = after
+
+    # ------------------------------------------------------------------ #
+    # try / except / else / finally
+    # ------------------------------------------------------------------ #
+    def visit_try(self, stmt: ast.Try) -> None:
+        after = self._new_block()
+        handler_entries = [self._new_block() for _ in stmt.handlers]
+        fin_entry = self._new_block() if stmt.finalbody else None
+        frame: Optional[_FinallyFrame] = None
+        if fin_entry is not None:
+            frame = _FinallyFrame(entry=fin_entry)
+            self.finallies.append(frame)
+
+        # Protected body: every block inside may divert to every handler
+        # (or straight to the finally when there is no matching handler).
+        body_entry = self._new_block()
+        if self.current is not None:
+            self._edge(self.current, body_entry)
+        self.current = body_entry
+        exc_landing = handler_entries if handler_entries else (
+            [fin_entry] if fin_entry is not None else []
+        )
+        self.exc_targets.append(exc_landing)
+        self._note_exceptional(body_entry)
+        self.visit_body(stmt.body)
+        self.exc_targets.pop()
+        body_exit = self.current
+
+        # else runs on normal body completion.
+        if stmt.orelse:
+            self.current = body_exit
+            if self.current is not None:
+                else_entry = self._new_block()
+                self._edge(self.current, else_entry)
+                self.current = else_entry
+                self.visit_body(stmt.orelse)
+            body_exit = self.current
+
+        normal_exit = fin_entry if fin_entry is not None else after
+        if body_exit is not None:
+            self._edge(body_exit, normal_exit)
+
+        # Handlers: an unmatched/re-raised exception continues outward, so a
+        # handler entry also routes to the finally (or the outer context).
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            self.current = entry
+            self._append(handler)  # binds `except E as name`
+            self.visit_body(handler.body)
+            if self.current is not None:
+                self._edge(self.current, normal_exit)
+            if fin_entry is not None:
+                self._edge(entry, fin_entry)
+
+        # The finally body runs once per route; its exit fans out to the
+        # recorded abrupt targets plus normal fall-through.
+        if fin_entry is not None and frame is not None:
+            self.finallies.pop()
+            self.current = fin_entry
+            self.visit_body(stmt.finalbody)
+            fin_exit = self.current
+            if fin_exit is not None:
+                self._edge(fin_exit, after)
+                for kind, target in sorted(
+                    frame.abrupt, key=lambda item: (item[0], item[1] or -1)
+                ):
+                    if kind in ("return", "raise"):
+                        # Chain outward through the next pending finally.
+                        if self.finallies:
+                            outer = self.finallies[-1]
+                            outer.abrupt.add((kind, None))
+                            self._edge(fin_exit, outer.entry)
+                        else:
+                            self._edge(fin_exit, self.exit)
+                    elif target is not None:
+                        self._edge(fin_exit, target)
+        self.current = after
+
+    # ------------------------------------------------------------------ #
+    # with
+    # ------------------------------------------------------------------ #
+    def visit_with(self, stmt) -> None:
+        # Context-manager construction and the optional `as name` binding are
+        # one element; the body then runs inline.
+        self._append(stmt)
+        self.visit_body(stmt.body)
+
+
+def build_cfg(fn: ast.AST) -> CFG:
+    """The control-flow graph of one ``FunctionDef``/``AsyncFunctionDef``."""
+    if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        raise TypeError(f"build_cfg expects a function node, got {type(fn).__name__}")
+    return _Builder(fn).build()

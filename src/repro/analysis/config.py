@@ -11,6 +11,16 @@ The default configuration encodes this repository's contract surface:
   that declares mirrored numpy/Python ledgers.
 * RPL107 (event-handler exhaustiveness) is a cross-module rule configured
   with the event enum's module and the modules allowed to register handlers.
+* RPL201 (shared-memory view escapes) runs only on ``core/subproc.py``,
+  where the shm-backed ``self._views`` mapping lives.
+* RPL202 (pipe-protocol exhaustiveness) is a cross-module rule configured
+  with the parent/worker module, the worker loop's dispatch variable and
+  the ``_command_all``/``_command_one`` send wrappers.
+* RPL203 (read-only parameters) runs repo-wide; obligations come from
+  ``# repro-lint: readonly=...`` anchors and frozen-dataclass annotations.
+* RPL204 (flow-sensitive shadow staleness) runs only on ``core/soa.py``
+  and carries the same ledger pairs as RPL105 plus the scalar-replay
+  reader and resync-method vocabularies.
 * ``tests/fixtures`` is excluded entirely: it holds deliberately-violating
   lint fixtures.
 
@@ -94,6 +104,8 @@ def default_config() -> AnalysisConfig:
             ),
             "RPL104": RuleScope(skip=("tests/*", "tests/**/*")),
             "RPL105": RuleScope(only=("src/repro/core/soa.py",)),
+            "RPL201": RuleScope(only=("src/repro/core/subproc.py",)),
+            "RPL204": RuleScope(only=("src/repro/core/soa.py",)),
         },
         options={
             "RPL105": {
@@ -104,7 +116,11 @@ def default_config() -> AnalysisConfig:
                 },
                 # Methods whose call counts as a shadow resync at the call
                 # site (each syncs the shadows for the rows it touches).
-                "resync_methods": ["_release_record", "_reset_lane_state"],
+                "resync_methods": [
+                    "_release_record",
+                    "_reset_lane_state",
+                    "_resync_shadow_lanes",
+                ],
             },
             "RPL107": {
                 "events_module": "src/repro/sim/events.py",
@@ -116,6 +132,39 @@ def default_config() -> AnalysisConfig:
                     "src/repro/serving/service.py",
                 ],
                 "register_methods": ["on"],
+            },
+            "RPL201": {
+                # self attributes holding shm-backed view mappings.
+                "view_attrs": ["_views"],
+            },
+            "RPL202": {
+                "module": "src/repro/core/subproc.py",
+                "worker_function": "_worker_main",
+                "command_var": "command",
+                "reply_var": "tag",
+                # Wrapper method → index of its command argument.
+                "send_wrappers": {"_command_all": 0, "_command_one": 1},
+            },
+            "RPL204": {
+                # Same pairs as RPL105; RPL204 adds the ordering dimension.
+                "pairs": {
+                    "_node_used": "_node_used_py",
+                    "_link_used": "_link_used_py",
+                },
+                # Scalar-replay entry points: calling one while a ledger is
+                # dirty means the replay consumes stale shadow rows.
+                "shadow_readers": [
+                    "_release_record",
+                    "_check_feasible",
+                    "_commit",
+                    "_rollback",
+                    "_finalize_request",
+                ],
+                # Methods that bring every shadow row they touch up to date.
+                "resync_methods": [
+                    "_reset_lane_state",
+                    "_resync_shadow_lanes",
+                ],
             },
         },
     )

@@ -1,0 +1,164 @@
+"""Generic forward dataflow over :mod:`repro.analysis.cfg` graphs.
+
+A flow rule supplies a :class:`ForwardAnalysis`: an initial state for the
+function entry, a pure ``transfer(elem, state) -> state`` over one block
+element, and a ``join`` merging the out-states of a block's predecessors.
+:func:`run_forward` iterates a worklist in reverse postorder until the
+block in-states stop changing (states must implement ``==``); the usual
+termination argument applies — transfer and join must be monotone over a
+finite-height lattice, which every analysis in this package satisfies by
+building states from frozensets of program facts.
+
+Two ready-made pieces ship here:
+
+* :class:`ReachingDefinitions` — name → frozenset of definition sites
+  (1-based line numbers), the textbook may-analysis.  Used by the CFG unit
+  tests and available to future rules.
+* The RPL204 staleness lattice lives with its rule
+  (``rules/staleness.py``); it follows the same protocol.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.analysis.cfg import CFG
+
+
+class ForwardAnalysis:
+    """Protocol for a forward may/must analysis (subclass and override)."""
+
+    def initial_state(self):
+        raise NotImplementedError
+
+    def transfer(self, elem: ast.AST, state):
+        raise NotImplementedError
+
+    def join(self, left, right):
+        raise NotImplementedError
+
+
+def run_forward(cfg: CFG, analysis: ForwardAnalysis) -> Dict[int, object]:
+    """Fixpoint in-states per block id (unreachable blocks are absent)."""
+    in_states: Dict[int, object] = {cfg.entry: analysis.initial_state()}
+    out_states: Dict[int, object] = {}
+    order = cfg.rpo()
+    position = {block_id: index for index, block_id in enumerate(order)}
+    worklist = deque(order)
+    queued = set(order)
+    while worklist:
+        block_id = worklist.popleft()
+        queued.discard(block_id)
+        block = cfg.blocks[block_id]
+        if block_id == cfg.entry:
+            state = in_states[cfg.entry]
+        else:
+            merged = None
+            for pred in block.preds:
+                if pred not in out_states:
+                    continue
+                merged = (
+                    out_states[pred]
+                    if merged is None
+                    else analysis.join(merged, out_states[pred])
+                )
+            if merged is None:
+                continue  # not yet reachable
+            in_states[block_id] = state = merged
+        for elem in block.elems:
+            state = analysis.transfer(elem, state)
+        if block_id in out_states and out_states[block_id] == state:
+            continue
+        out_states[block_id] = state
+        for succ in block.succs:
+            if succ in position and succ not in queued:
+                worklist.append(succ)
+                queued.add(succ)
+    return in_states
+
+
+# --------------------------------------------------------------------- #
+# Reaching definitions
+# --------------------------------------------------------------------- #
+
+#: name → frozenset of definition lines.
+ReachState = Tuple[Tuple[str, FrozenSet[int]], ...]
+
+
+def _bound_names(target: ast.AST):
+    """Names bound by an assignment target (tuples/lists/stars unpacked)."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _bound_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _bound_names(target.value)
+
+
+class ReachingDefinitions(ForwardAnalysis):
+    """May-analysis: which definition lines of each local reach a point."""
+
+    def __init__(self, fn: ast.AST):
+        self.fn = fn
+
+    def initial_state(self) -> ReachState:
+        params = []
+        args = self.fn.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args)
+            + ([args.vararg] if args.vararg else [])
+            + list(args.kwonlyargs)
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            params.append((arg.arg, frozenset({self.fn.lineno})))
+        return tuple(sorted(params))
+
+    def join(self, left: ReachState, right: ReachState) -> ReachState:
+        merged: Dict[str, FrozenSet[int]] = dict(left)
+        for name, sites in right:
+            merged[name] = merged.get(name, frozenset()) | sites
+        return tuple(sorted(merged.items()))
+
+    def transfer(self, elem: ast.AST, state: ReachState) -> ReachState:
+        defined = []
+        if isinstance(elem, ast.Assign):
+            for target in elem.targets:
+                defined.extend(_bound_names(target))
+        elif isinstance(elem, (ast.AugAssign, ast.AnnAssign)):
+            if isinstance(elem.target, ast.Name):
+                defined.append(elem.target.id)
+        elif isinstance(elem, (ast.For, ast.AsyncFor)):
+            defined.extend(_bound_names(elem.target))
+        elif isinstance(elem, (ast.With, ast.AsyncWith)):
+            for item in elem.items:
+                if item.optional_vars is not None:
+                    defined.extend(_bound_names(item.optional_vars))
+        elif isinstance(elem, ast.ExceptHandler):
+            if elem.name:
+                defined.append(elem.name)
+        elif isinstance(elem, ast.Delete):
+            removed = {t.id for t in elem.targets if isinstance(t, ast.Name)}
+            if removed:
+                return tuple(
+                    (name, sites) for name, sites in state if name not in removed
+                )
+        if not defined:
+            return state
+        site = frozenset({getattr(elem, "lineno", 0)})
+        mapping = dict(state)
+        for name in defined:
+            mapping[name] = site  # strong update: this def kills prior ones
+        return tuple(sorted(mapping.items()))
+
+
+def defs_at(state: Optional[ReachState], name: str) -> FrozenSet[int]:
+    """The definition lines of ``name`` in a state (empty if unknown)."""
+    if state is None:
+        return frozenset()
+    for key, sites in state:
+        if key == name:
+            return sites
+    return frozenset()

@@ -47,7 +47,19 @@ class Report:
     suppressed: int = 0
     rules_enabled: list = field(default_factory=list)
     paths: list = field(default_factory=list)
+    #: CacheStats when the run used the incremental cache, else None.
+    #: Hit/miss detail never enters the payload (see cache module docstring);
+    #: reporters only expose whether caching was on.
+    cache_stats: object = None
 
     @property
     def clean(self) -> bool:
         return not self.findings
+
+    def by_rule(self) -> Dict[str, int]:
+        """Post-suppression finding counts per rule, zeros included for
+        every enabled rule (sorted for deterministic JSON)."""
+        counts = {rule_id: 0 for rule_id in self.rules_enabled}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return dict(sorted(counts.items()))

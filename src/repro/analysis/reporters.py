@@ -1,4 +1,4 @@
-"""Text and JSON reporters.
+"""Text, JSON and GitHub-annotation reporters.
 
 The JSON payload is a committed artifact (``benchmarks/results/
 reprolint.json``) gated by ``scripts/check_results_schema.py``, so its
@@ -7,7 +7,7 @@ top-level shape is versioned and changes require a schema bump:
 .. code-block:: json
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "tool": "reprolint",
       "rules_enabled": ["RPL101", "..."],
       "paths_scanned": 123,
@@ -16,11 +16,25 @@ top-level shape is versioned and changes require a schema bump:
          "message": "...", "symbol": "..."}
       ],
       "summary": {"files": 123, "findings": 0, "suppressed": 12,
-                  "clean": true}
+                  "clean": true,
+                  "by_rule": {"RPL101": 0, "...": 0},
+                  "cache": {"enabled": true, "files": 123}}
     }
+
+Schema history: v1 had no ``summary.by_rule``/``summary.cache``; v2 added
+both (per-rule post-suppression counts with zeros for every enabled rule,
+and whether the incremental cache served the run).  Cache hit/miss counts
+deliberately stay out of the payload — they differ between a cold and a
+warm run, and the committed artifact must be byte-identical across both.
 
 Output is deterministic: findings sort by (path, line, col, rule) and no
 timestamps or absolute paths appear anywhere.
+
+The GitHub format emits one `workflow command
+<https://docs.github.com/actions/reference/workflow-commands>`_ error
+annotation per finding — CI runs surface findings inline on the PR diff —
+followed by the text summary line (``::`` lines are consumed by the runner;
+the summary keeps the raw log readable).
 """
 
 from __future__ import annotations
@@ -30,7 +44,7 @@ import json
 from repro.analysis.findings import Report
 
 #: Bumped whenever the JSON payload's shape changes.
-JSON_SCHEMA_VERSION = 1
+JSON_SCHEMA_VERSION = 2
 
 
 def render_text(report: Report) -> str:
@@ -39,6 +53,43 @@ def render_text(report: Report) -> str:
         lines.append(
             f"{finding.path}:{finding.line}:{finding.col}: "
             f"{finding.rule_id} {finding.message}"
+        )
+    suffix = f" ({report.suppressed} suppressed)" if report.suppressed else ""
+    status = "clean — 0 findings" if report.clean else f"{len(report.findings)} finding(s)"
+    lines.append(
+        f"reprolint: {status}{suffix} across {report.files_scanned} files, "
+        f"{len(report.rules_enabled)} rules enabled"
+    )
+    return "\n".join(lines)
+
+
+def _escape_property(value: str) -> str:
+    """Escape a workflow-command property value (file=, title=)."""
+    return (
+        value.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+        .replace(":", "%3A")
+        .replace(",", "%2C")
+    )
+
+
+def _escape_data(value: str) -> str:
+    """Escape workflow-command message data."""
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def render_github(report: Report) -> str:
+    """``::error`` annotations per finding, plus the text summary line."""
+    lines = []
+    for finding in report.findings:
+        lines.append(
+            "::error "
+            f"file={_escape_property(finding.path)},"
+            f"line={finding.line},"
+            f"col={finding.col},"
+            f"title={_escape_property('reprolint ' + finding.rule_id)}"
+            f"::{_escape_data(finding.message)}"
         )
     suffix = f" ({report.suppressed} suppressed)" if report.suppressed else ""
     status = "clean — 0 findings" if report.clean else f"{len(report.findings)} finding(s)"
@@ -61,6 +112,11 @@ def render_json(report: Report) -> str:
             "findings": len(report.findings),
             "suppressed": report.suppressed,
             "clean": report.clean,
+            "by_rule": report.by_rule(),
+            "cache": {
+                "enabled": report.cache_stats is not None,
+                "files": report.files_scanned,
+            },
         },
     }
     return json.dumps(payload, indent=2, sort_keys=False) + "\n"

@@ -12,6 +12,10 @@ from repro.analysis.rules import (  # noqa: F401  (imported for registration)
     exceptions,
     ledger,
     rng,
+    views,
+    protocol,
+    readonly,
+    staleness,
 )
 
 __all__ = ["FileRule", "ProjectRule", "Rule"]

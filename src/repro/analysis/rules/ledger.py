@@ -26,9 +26,9 @@ from repro.analysis.findings import Finding
 from repro.analysis.module import (
     SourceModule,
     is_self_attr,
-    resolve_dotted,
     subscript_base,
 )
+from repro.analysis.mutation import base_name_or_attr_refers, mutation_kind
 from repro.analysis.registry import register
 from repro.analysis.rules.base import FileRule
 
@@ -90,48 +90,25 @@ class ShadowLedgerRule(FileRule):
         return aliases
 
     def _refers_to_ledger(self, node: ast.AST, ledger: str, aliases: Set[str]) -> bool:
-        base = subscript_base(node)
-        if is_self_attr(base, ledger):
-            return True
-        return isinstance(node, (ast.Name, ast.Subscript)) and isinstance(
-            base, ast.Name
-        ) and base.id in aliases
+        return base_name_or_attr_refers(
+            node, aliases, lambda base: is_self_attr(base, ledger)
+        )
 
     def _first_mutation(self, fn, ledger: str, module: SourceModule):
         aliases = self._aliases(fn, ledger)
+
+        def refers(expr: ast.AST) -> bool:
+            return self._refers_to_ledger(expr, ledger, aliases)
+
         for node in ast.walk(fn):
-            if isinstance(node, ast.Assign):
-                for target in node.targets:
-                    if isinstance(target, ast.Subscript) and self._refers_to_ledger(
-                        target, ledger, aliases
-                    ):
-                        return node
-                    if is_self_attr(target, ledger):
-                        return node  # rebinding the ledger itself
-            elif isinstance(node, ast.AugAssign):
-                if self._refers_to_ledger(node.target, ledger, aliases):
-                    return node
-            elif isinstance(node, ast.Call):
-                func = node.func
-                # .fill(...) on the ledger or a view of it
-                if (
-                    isinstance(func, ast.Attribute)
-                    and func.attr == "fill"
-                    and self._refers_to_ledger(func.value, ledger, aliases)
-                ):
-                    return node
-                # in-place ufunc output: np.maximum(..., out=view)
-                for kw in node.keywords:
-                    if kw.arg == "out" and self._refers_to_ledger(
-                        kw.value, ledger, aliases
-                    ):
-                        return node
-                # indexed in-place update: np.add.at(ledger, idx, vals)
-                dotted = resolve_dotted(func, module.imports) or ""
-                if dotted.endswith(".at") and node.args and self._refers_to_ledger(
-                    node.args[0], ledger, aliases
-                ):
-                    return node
+            # Shared idiom catalog: subscript stores, augassign, .fill(),
+            # out= outputs, np.<ufunc>.at — see analysis/mutation.py.
+            if mutation_kind(node, refers, module.imports) is not None:
+                return node
+            if isinstance(node, ast.Assign) and any(
+                is_self_attr(target, ledger) for target in node.targets
+            ):
+                return node  # rebinding the ledger itself
         return None
 
     # ------------------------------------------------------------------ #

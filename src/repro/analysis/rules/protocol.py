@@ -1,0 +1,257 @@
+"""RPL202: subprocess command protocol must be exhaustive, both directions.
+
+The vectorized subprocess environment speaks a tiny pipe protocol: the
+parent sends ``(command, payload)`` tuples — through the
+``_command_all``/``_command_one`` wrappers or directly via ``conn.send`` —
+and each worker's command loop dispatches on the tag; replies travel back as
+``(tag, payload)`` and the parent branches on the reply tag.  The tag sets
+live only in string literals, so nothing but review discipline keeps them
+aligned: a parent-side command with no worker branch raises a generic
+"unknown worker command" *at runtime, in a subprocess*, and a worker reply
+the parent never examines silently stands in for an ack (the original
+``"ok"`` tag was exactly that — see ``_collect``).
+
+Like RPL107, the check is AST-derived from the real modules so it can never
+drift from the code:
+
+* every command the parent sends must be dispatched by the worker loop, and
+  every dispatched command must be sent by some parent call site;
+* every reply tag the worker sends must be examined by the parent, and
+  every examined tag must be sent by some worker site.
+
+Configured via options::
+
+    module:          "src/repro/core/subproc.py"   # parent side
+    worker_module:   "src/repro/core/subproc.py"   # worker side (same file here)
+    worker_function: "_worker_main"
+    command_var:     "command"   # worker's dispatch variable
+    reply_var:       "tag"       # parent's reply variable
+    send_wrappers:   {"_command_all": 0, "_command_one": 1}  # cmd arg index
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import SourceModule
+from repro.analysis.registry import register
+from repro.analysis.rules.base import ProjectRule
+
+_COMPARE_OPS = (ast.Eq, ast.NotEq)
+_MEMBER_OPS = (ast.In, ast.NotIn)
+
+
+def _const_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _compared_tags(node: ast.Compare, var: str) -> List[str]:
+    """String constants this compare tests ``var`` against (any direction)."""
+    tags: List[str] = []
+    sides = [node.left] + list(node.comparators)
+    involves_var = any(
+        isinstance(side, ast.Name) and side.id == var for side in sides
+    )
+    if not involves_var:
+        return tags
+    for op, comparator in zip(node.ops, node.comparators):
+        if isinstance(op, _COMPARE_OPS):
+            for side in (node.left, comparator):
+                value = _const_str(side)
+                if value is not None:
+                    tags.append(value)
+        elif isinstance(op, _MEMBER_OPS) and isinstance(
+            comparator, (ast.Tuple, ast.List, ast.Set)
+        ):
+            for elt in comparator.elts:
+                value = _const_str(elt)
+                if value is not None:
+                    tags.append(value)
+    return tags
+
+
+def _sent_tag(call: ast.Call) -> Optional[str]:
+    """Tag of a ``<conn>.send(("tag", payload))`` call, else None."""
+    if (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr == "send"
+        and call.args
+        and isinstance(call.args[0], ast.Tuple)
+        and call.args[0].elts
+    ):
+        return _const_str(call.args[0].elts[0])
+    return None
+
+
+@register
+class CommandProtocolRule(ProjectRule):
+    """Tag-set equality between parent senders and worker dispatch."""
+
+    rule_id = "RPL202"
+    name = "subproc-protocol-exhaustiveness"
+    description = (
+        "the parent/worker command and reply tag sets of the subprocess "
+        "protocol must match exactly in both directions (AST-derived)"
+    )
+
+    def project_inputs(self) -> List[str]:
+        parent_rel = self.options.get("module", "src/repro/core/subproc.py")
+        worker_rel = self.options.get("worker_module", parent_rel)
+        return sorted({parent_rel, worker_rel})
+
+    def check_project(
+        self, modules: Dict[str, SourceModule], root
+    ) -> List[Finding]:
+        parent_rel = self.options.get("module", "src/repro/core/subproc.py")
+        worker_rel = self.options.get("worker_module", parent_rel)
+        worker_fn_name = self.options.get("worker_function", "_worker_main")
+        command_var = self.options.get("command_var", "command")
+        reply_var = self.options.get("reply_var", "tag")
+        wrappers: Dict[str, int] = dict(
+            self.options.get(
+                "send_wrappers", {"_command_all": 0, "_command_one": 1}
+            )
+        )
+
+        parent = self.load_module(modules, root, parent_rel)
+        worker = (
+            parent
+            if worker_rel == parent_rel
+            else self.load_module(modules, root, worker_rel)
+        )
+        findings: List[Finding] = []
+        for rel, mod in {parent_rel: parent, worker_rel: worker}.items():
+            if mod is None or mod.tree is None:
+                findings.append(
+                    Finding(
+                        rule_id=self.rule_id,
+                        path=rel,
+                        line=1,
+                        col=1,
+                        message=(
+                            f"protocol module {rel!r} not found or unparsable; "
+                            "RPL202 cannot verify the command protocol"
+                        ),
+                    )
+                )
+        if findings:
+            return findings
+
+        worker_fn = self._find_function(worker.tree, worker_fn_name)
+        if worker_fn is None:
+            return [
+                Finding(
+                    rule_id=self.rule_id,
+                    path=worker_rel,
+                    line=1,
+                    col=1,
+                    message=(
+                        f"worker function {worker_fn_name!r} not found in "
+                        f"{worker_rel!r}; RPL202 cannot verify the protocol"
+                    ),
+                )
+            ]
+
+        # Worker side: dispatched commands + sent reply tags.
+        dispatched: Dict[str, ast.AST] = {}
+        replies_sent: Dict[str, ast.AST] = {}
+        for node in ast.walk(worker_fn):
+            if isinstance(node, ast.Compare):
+                for tag in _compared_tags(node, command_var):
+                    dispatched.setdefault(tag, node)
+            elif isinstance(node, ast.Call):
+                tag = _sent_tag(node)
+                if tag is not None:
+                    replies_sent.setdefault(tag, node)
+
+        # Parent side: everything in the parent module OUTSIDE the worker fn.
+        inside_worker = (
+            {id(node) for node in ast.walk(worker_fn)}
+            if worker is parent
+            else set()
+        )
+        commands_sent: Dict[str, ast.AST] = {}
+        replies_examined: Dict[str, ast.AST] = {}
+        for node in ast.walk(parent.tree):
+            if id(node) in inside_worker:
+                continue
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in wrappers
+                    and len(node.args) > wrappers[func.attr]
+                ):
+                    tag = _const_str(node.args[wrappers[func.attr]])
+                    if tag is not None:
+                        commands_sent.setdefault(tag, node)
+                else:
+                    tag = _sent_tag(node)
+                    if tag is not None:
+                        commands_sent.setdefault(tag, node)
+            elif isinstance(node, ast.Compare):
+                for tag in _compared_tags(node, reply_var):
+                    replies_examined.setdefault(tag, node)
+
+        def report(rel: str, node: ast.AST, message: str, tag: str) -> None:
+            findings.append(
+                Finding(
+                    rule_id=self.rule_id,
+                    path=rel,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0) + 1,
+                    message=message,
+                    symbol=tag,
+                )
+            )
+
+        for tag in sorted(set(commands_sent) - set(dispatched)):
+            report(
+                parent_rel,
+                commands_sent[tag],
+                f"parent sends command {tag!r} but {worker_fn_name}() has no "
+                "dispatch branch for it; the worker would die with 'unknown "
+                "worker command' at runtime",
+                tag,
+            )
+        for tag in sorted(set(dispatched) - set(commands_sent)):
+            report(
+                worker_rel,
+                dispatched[tag],
+                f"{worker_fn_name}() dispatches command {tag!r} but no "
+                "parent call site ever sends it; dead protocol branch or a "
+                "missing parent API",
+                tag,
+            )
+        for tag in sorted(set(replies_sent) - set(replies_examined)):
+            report(
+                worker_rel,
+                replies_sent[tag],
+                f"{worker_fn_name}() sends reply tag {tag!r} but the parent "
+                "never examines it; an unexpected tag would silently stand "
+                "in for an acknowledgement",
+                tag,
+            )
+        for tag in sorted(set(replies_examined) - set(replies_sent)):
+            report(
+                parent_rel,
+                replies_examined[tag],
+                f"parent examines reply tag {tag!r} but the worker never "
+                "sends it; dead handling or a missing worker reply",
+                tag,
+            )
+        return findings
+
+    @staticmethod
+    def _find_function(tree: ast.AST, name: str):
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == name
+            ):
+                return node
+        return None

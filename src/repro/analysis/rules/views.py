@@ -1,0 +1,128 @@
+"""RPL201: shared-memory views must not escape without a copy.
+
+``core/subproc.py`` maps every exchange array (states, rewards, masks,
+contexts, ...) straight onto one shared-memory block: ``self._views`` holds
+numpy arrays whose buffer *is* the block, and every ``step``/``reset``
+overwrites them in place.  Returning such a view — or stashing it on
+``self`` — hands the caller an array that silently changes under it on the
+next command, the classic aliasing bug behind "my rollout buffer is full of
+the final state".  The public API therefore ``.copy()``s everything it hands
+out; the deliberate exceptions (the lean-step accessors, which exist
+precisely to skip the copy) carry reasoned suppressions.
+
+This rule flags a function that lets a raw view escape:
+
+* ``return self._views[...]`` (any subscript depth) or a local transitively
+  aliased to one, including the whole ``self._views`` mapping itself;
+* ``self.<attr> = <raw view>`` for any attribute other than the registered
+  view mappings themselves;
+* containers (tuples/lists/dicts) returned with a raw view inside.
+
+``.copy()`` (or any other call) on the view breaks the chain — the escaping
+expression is then a call result, not a view.  Configured via options::
+
+    view_attrs: ["_views"]     # self attributes holding shm-backed mappings
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Sequence, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.module import SourceModule, is_self_attr, subscript_base
+from repro.analysis.mutation import chained_alias_names
+from repro.analysis.registry import register
+from repro.analysis.rules.base import FileRule
+
+
+@register
+class ViewEscapeRule(FileRule):
+    """Raw shm-backed views must not outlive the command that filled them."""
+
+    rule_id = "RPL201"
+    name = "shared-view-escape"
+    description = (
+        "a raw view of a shared-memory-backed array escapes the function "
+        "(returned or stored on self) without .copy(); the next worker "
+        "command overwrites it in place under the caller"
+    )
+
+    def check_module(self, module: SourceModule) -> List[Finding]:
+        findings: List[Finding] = []
+        if module.tree is None:
+            return findings
+        view_attrs: Sequence[str] = tuple(
+            self.options.get("view_attrs", ("_views",))
+        )
+        if not view_attrs:
+            return findings
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            findings.extend(self._check_function(fn, view_attrs, module))
+        return findings
+
+    def _check_function(
+        self, fn, view_attrs: Sequence[str], module: SourceModule
+    ) -> List[Finding]:
+        def seed(base: ast.AST) -> bool:
+            return any(is_self_attr(base, attr) for attr in view_attrs)
+
+        aliases = chained_alias_names(fn, seed)
+
+        def is_raw_view(expr: ast.AST) -> bool:
+            if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+                return any(is_raw_view(elt) for elt in expr.elts)
+            if isinstance(expr, ast.Dict):
+                return any(
+                    value is not None and is_raw_view(value)
+                    for value in expr.values
+                )
+            if isinstance(expr, ast.Starred):
+                return is_raw_view(expr.value)
+            if isinstance(expr, ast.IfExp):
+                return is_raw_view(expr.body) or is_raw_view(expr.orelse)
+            base = subscript_base(expr)
+            if seed(base):
+                return True
+            return isinstance(base, ast.Name) and base.id in aliases
+
+        findings: List[Finding] = []
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Return):
+                if node.value is not None and is_raw_view(node.value):
+                    findings.append(
+                        self.finding(
+                            module.rel,
+                            node,
+                            f"{fn.name}() returns a raw shared-memory view "
+                            "(no .copy()); the next worker command rewrites "
+                            "it in place under the caller — copy it, or "
+                            "suppress with a reason documenting the no-copy "
+                            "contract",
+                            symbol=fn.name,
+                        )
+                    )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and target.attr not in view_attrs
+                        and is_raw_view(node.value)
+                    ):
+                        findings.append(
+                            self.finding(
+                                module.rel,
+                                node,
+                                f"{fn.name}() stores a raw shared-memory "
+                                f"view on self.{target.attr}; the stored "
+                                "array mutates on every later command — "
+                                ".copy() it at the boundary",
+                                symbol=fn.name,
+                            )
+                        )
+                        break
+        return findings

@@ -124,6 +124,7 @@ def masked_score_actions(
     all infinite — resolve to the lowest action index, the same
     first-minimum rule as ``min()`` over an ordered candidate list.
     """
+    # repro-lint: readonly=masks,scores,active
     reject = masks.shape[1] - 1
     node_valid = masks[:, :reject] & active[:, None]
     masked = np.where(node_valid, scores, np.inf)
@@ -136,6 +137,7 @@ def masked_score_actions(
 
 def first_valid_actions(masks: np.ndarray, active: np.ndarray) -> np.ndarray:
     """First (lowest-index) valid node action per lane, reject when none."""
+    # repro-lint: readonly=masks,active
     reject = masks.shape[1] - 1
     node_valid = masks[:, :reject] & active[:, None]
     first = node_valid.argmax(axis=1)

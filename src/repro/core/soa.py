@@ -810,6 +810,25 @@ class SoAVecPlacementEnv:
             used[row, 2] = v2
         store.committed[rec] = False
 
+    def _resync_shadow_lanes(
+        self, lanes: "np.ndarray", nodes: "np.ndarray", links: "np.ndarray"
+    ) -> None:
+        """Overwrite the Python shadow rows of ``lanes`` from committed arrays.
+
+        One bulk resync per batch: after a kernel writes whole lanes of
+        ``_node_used``/``_link_used``, the shadows must match before any
+        scalar path replays against them.  Registered as a resync method
+        with RPL105/RPL204 so the linter knows a call site closes the
+        dirty window.
+        """
+        node_rows_py = nodes.tolist()
+        link_rows_py = links.tolist()
+        node_shadow = self._node_used_py
+        link_shadow = self._link_used_py
+        for i, lane in enumerate(lanes.tolist()):
+            node_shadow[lane] = node_rows_py[i]
+            link_shadow[lane] = link_rows_py[i]
+
     def _fail_node(self, lane: int, st: _LaneState, row: int) -> None:
         """Fence one row and tear down every active placement hosting on it."""
         if row in st.failed_rows:
@@ -1394,7 +1413,9 @@ class SoAVecPlacementEnv:
                 weights=inst_demands.ravel(),
                 minlength=num_candidates * num_nodes * 3,
             ).reshape(num_candidates, num_nodes, 3)
-            used_sel = self._node_used[lanes_arr]  # (C, N, 3) copy
+            # (C, N, 3) gather; np.take makes the copy explicit — a fancy
+            # index reads as a view to both humans and the staleness rule.
+            used_sel = np.take(self._node_used, lanes_arr, axis=0)
             free_tol = (self._capacity[None, :, :] - used_sel) + 1e-9
             node_bad = (agg > free_tol).any(axis=2) & touched
             node_ok_list = (~node_bad.any(axis=1)).tolist()
@@ -1424,7 +1445,8 @@ class SoAVecPlacementEnv:
                 link_counts = np.zeros(
                     (num_candidates, num_links), dtype=np.int64
                 )
-            link_used_sel = self._link_used[lanes_arr]  # (C, E) copy
+            # (C, E) gather, explicit copy as above.
+            link_used_sel = np.take(self._link_used, lanes_arr, axis=0)
             link_free_tol = (
                 self._link_capacity[None, :] - link_used_sel
             ) + 1e-9
@@ -1517,13 +1539,9 @@ class SoAVecPlacementEnv:
                     # One shadow-ledger resync per step for the whole
                     # committed-lane set (the scalar paths previously paid
                     # this per mutation).
-                    node_rows_py = committed_nodes.tolist()
-                    link_rows_py = committed_links.tolist()
-                    node_shadow = self._node_used_py
-                    link_shadow = self._link_used_py
-                    for i, lane in enumerate(commit_lanes.tolist()):
-                        node_shadow[lane] = node_rows_py[i]
-                        link_shadow[lane] = link_rows_py[i]
+                    self._resync_shadow_lanes(
+                        commit_lanes, committed_nodes, committed_links
+                    )
 
         # ---- per-lane bookkeeping, in lane order ----------------------- #
         store = self._store

@@ -602,6 +602,17 @@ class SubprocVecPlacementEnv:
             if tag == "error":
                 errors.append(f"environment worker {worker} failed:\n{payload}")
                 continue
+            if tag != "ok":
+                # A stray tag (a desynchronized pipe, a stale handshake
+                # reply) must not silently stand in for an acknowledgement:
+                # the payload would be garbage and every later command would
+                # read one reply off.
+                errors.append(
+                    f"environment worker {worker} "
+                    f"({self._worker_context(worker)}) sent unexpected reply "
+                    f"tag {tag!r} (protocol desync)"
+                )
+                continue
             payloads.append(payload)
         if errors:
             self._broken = True
@@ -816,16 +827,22 @@ class SubprocVecPlacementEnv:
         overwrites the returned array in place.
         """
         self._ensure_open()
+        # repro-lint: disable=RPL201 — lean-step contract: zero-copy view,
+        # documented single-step validity; callers copy if they retain it.
         return self._views["outcomes"]
 
     def last_request_done(self) -> np.ndarray:
         """Per-lane "request finished this step" flags of the last step."""
         self._ensure_open()
+        # repro-lint: disable=RPL201 — lean-step contract: zero-copy view,
+        # documented single-step validity; callers copy if they retain it.
         return self._views["request_done"]
 
     def last_request_ids(self) -> np.ndarray:
         """Per-lane ids of the request each lane acted on last step."""
         self._ensure_open()
+        # repro-lint: disable=RPL201 — lean-step contract: zero-copy view,
+        # documented single-step validity; callers copy if they retain it.
         return self._views["request_ids"]
 
     def last_episode_stats(self, lane: int) -> Dict[str, object]:

@@ -1,0 +1,24 @@
+"""RPL201 clean fixture: every escape copies at the boundary."""
+
+
+class CopyingEnv:
+    def __init__(self, views):
+        self._views = views  # binding the registered mapping itself is fine
+
+    def states(self):
+        return self._views["states"].copy()
+
+    def pair(self):
+        return self._views["states"].copy(), self._views["rewards"].copy()
+
+    def via_alias(self):
+        views = self._views
+        return views["masks"][0].copy()
+
+    def stash(self):
+        self._snapshot = self._views["states"].copy()
+        return None
+
+    def internal_use(self, actions):
+        # Using views without escaping them is the whole point — no finding.
+        self._views["actions"][:] = actions

@@ -1,0 +1,29 @@
+"""RPL201 trigger fixture: raw shared-memory views escaping the class.
+
+Every method below leaks a view of the shm-backed ``self._views`` mapping:
+returned bare, returned inside a container, via a local alias chain, or
+stored on an unrelated self attribute.
+"""
+
+
+class LeakyEnv:
+    def __init__(self, views):
+        self._views = views
+
+    def states(self):
+        return self._views["states"]  # raw view returned
+
+    def pair(self):
+        return self._views["states"], self._views["rewards"]  # tuple escape
+
+    def via_alias(self):
+        views = self._views
+        row = views["masks"][0]
+        return row  # alias chain escape
+
+    def stash(self):
+        self._snapshot = self._views["states"]  # stored raw on self
+        return None
+
+    def whole_mapping(self):
+        return self._views  # the entire mapping is shm-backed

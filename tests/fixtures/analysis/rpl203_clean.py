@@ -1,0 +1,36 @@
+"""RPL203 clean fixture: anchored parameters only read; copies are mutated."""
+
+import dataclasses
+
+import numpy as np
+
+
+def score_actions(masks, scores):
+    # repro-lint: readonly=masks,scores
+    masked = np.where(masks, scores, np.inf)
+    return masked.argmin(axis=1)
+
+
+def owned_copy(masks):
+    # repro-lint: readonly=masks
+    masks = masks.copy()  # rebind: the function now owns a private array
+    masks[0] = False
+    return masks
+
+
+def derived_buffers(masks):
+    # repro-lint: readonly=masks
+    scratch = np.zeros_like(masks)
+    scratch[0] = 1  # mutating a fresh local is not a violation
+    np.minimum(masks, 1, out=scratch)
+    return scratch
+
+
+@dataclasses.dataclass(frozen=True)
+class FrozenRequest:
+    bw: float
+    sla: float
+
+
+def read_request(request: FrozenRequest):
+    return request.bw + request.sla

@@ -1,0 +1,42 @@
+"""RPL203 trigger fixture: anchored read-only parameters mutated in place."""
+
+import dataclasses
+
+import numpy as np
+
+
+def clobber_masks(masks, scores):
+    # repro-lint: readonly=masks,scores
+    masks[0] = False  # subscript store
+    scores += 1.0  # augmented assignment
+    return masks
+
+
+def fill_via_alias(masks):
+    # repro-lint: readonly=masks
+    row = masks[0]
+    row.fill(0)  # .fill through an alias of the parameter
+    return row
+
+
+def ufunc_targets(masks, out_buffer):
+    # repro-lint: readonly=masks,out_buffer
+    np.add.at(masks, [0, 1], 1)  # indexed in-place update
+    np.minimum(masks, 1, out=out_buffer)  # out= aimed at a readonly param
+    return out_buffer
+
+
+def anchor_typo(masks):
+    # repro-lint: readonly=maks
+    return masks
+
+
+@dataclasses.dataclass(frozen=True)
+class FrozenRequest:
+    bw: float
+    sla: float
+
+
+def bump_request(request: FrozenRequest):
+    request.bw = 2.0  # raises FrozenInstanceError at runtime
+    return request

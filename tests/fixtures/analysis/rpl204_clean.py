@@ -1,0 +1,31 @@
+"""RPL204 clean fixture: every path resyncs before any shadow read.
+
+Same options as the trigger fixture: ``pairs={"_used": "_used_py"}``,
+``shadow_readers=["_replay"]``, ``resync_methods=["_resync_all"]``.
+"""
+
+
+class SyncedCore:
+    def resync_before_read(self, lane, rows, demand):
+        self._used[lane, rows] += demand
+        self._used_py[lane] = self._used[lane].tolist()  # resync first
+        if demand > 1.0:
+            return self._used_py[lane]
+        return None
+
+    def lockstep_scalars(self, lane, slot, demand):
+        # Shadow-first lockstep writes keep the pair equal the whole time:
+        # storing the same name to both sides never dirties the ledger.
+        value = max(0.0, self._used_py[lane][slot] - demand)
+        self._used_py[lane][slot] = value
+        self._used[lane, slot] = value
+        return self._replay(lane)
+
+    def method_resync(self, lanes, committed):
+        self._used[lanes] = committed  # bulk kernel write
+        self._resync_all(lanes, committed)  # registered resync method
+        self._replay(0)
+
+    def read_only(self, lane):
+        # No mutation at all: shadow reads are always safe.
+        return self._used_py[lane][0] + float(self._used[lane, 0])

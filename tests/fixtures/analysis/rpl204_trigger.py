@@ -1,0 +1,32 @@
+"""RPL204 trigger fixture: numpy ledger mutated, shadow read before resync.
+
+The test configures ``pairs={"_used": "_used_py"}``,
+``shadow_readers=["_replay"]`` and ``resync_methods=["_resync_all"]``.
+"""
+
+
+class StaleCore:
+    def branch_read(self, lane, rows, demand):
+        self._used[lane, rows] += demand  # ledger dirty
+        if demand > 1.0:
+            return self._used_py[lane]  # shadow read while dirty
+        self._used_py[lane] = self._used[lane].tolist()
+        return None
+
+    def replay_while_dirty(self, lane, demand):
+        self._used[lane, 0] = demand  # ledger dirty
+        self._replay(lane)  # scalar replay entry point while dirty
+        self._used_py[lane][0] = demand
+
+    def dirty_through_alias(self, lane, demand):
+        used = self._used[lane]  # numpy view alias
+        used[0] = demand  # mutation through the alias dirties the pair
+        return self._used_py[lane][0]  # stale shadow read
+
+    def loop_skips_resync(self, lanes, rows_py):
+        self._used[lanes] = 0.0  # bulk kernel write
+        for i, lane in enumerate(lanes.tolist()):
+            self._used_py[lane] = rows_py[i]
+        # The loop resyncs only on iterations that run; the zero-trip path
+        # reaches the replay with the pair still dirty.
+        self._replay(0)

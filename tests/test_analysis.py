@@ -23,6 +23,7 @@ from repro.analysis import (
     analyze_paths,
     analyze_source,
     default_config,
+    render_github,
     render_json,
     render_text,
 )
@@ -43,6 +44,12 @@ RPL107_OPTIONS = {
     "handler_modules": ["tests/fixtures/analysis/rpl107_handlers.py"],
     "register_methods": ["on"],
 }
+#: The staleness pair/reader/resync vocabulary of the RPL204 fixtures.
+RPL204_OPTIONS = {
+    "pairs": {"_used": "_used_py"},
+    "shadow_readers": ["_replay"],
+    "resync_methods": ["_resync_all"],
+}
 
 
 def run_fixture(name, select, options=None):
@@ -53,10 +60,12 @@ def run_fixture(name, select, options=None):
 
 
 class TestRuleCatalog:
-    def test_all_seven_contract_rules_registered(self):
+    def test_full_rule_catalog_registered(self):
+        # RPL1xx: syntactic contract rules; RPL2xx: flow/protocol rules.
         assert sorted(all_rules()) == [
             "RPL101", "RPL102", "RPL103", "RPL104",
             "RPL105", "RPL106", "RPL107",
+            "RPL201", "RPL202", "RPL203", "RPL204",
         ]
 
     def test_framework_rules_reserved(self):
@@ -80,6 +89,15 @@ RULE_CASES = [
      {"_node_used", "_link_used"},
      "rpl105_clean.py", {"RPL105": RPL105_OPTIONS}),
     ("rpl106_trigger.py", "RPL106", 3, {"except"}, "rpl106_clean.py", None),
+    ("rpl201_trigger.py", "RPL201", 5,
+     {"states", "pair", "via_alias", "stash", "whole_mapping"},
+     "rpl201_clean.py", None),
+    ("rpl203_trigger.py", "RPL203", 7,
+     {"clobber_masks", "fill_via_alias", "ufunc_targets", "anchor_typo",
+      "bump_request"},
+     "rpl203_clean.py", None),
+    ("rpl204_trigger.py", "RPL204", 4, {"_used"},
+     "rpl204_clean.py", {"RPL204": RPL204_OPTIONS}),
 ]
 
 
@@ -135,6 +153,76 @@ class TestRulesFire:
         assert "EventType.ARRIVAL" not in reported
         assert "EventType.DEPARTURE" not in reported
         assert "EventType.END" not in reported
+
+
+class TestCommandProtocol:
+    """RPL202 lock-in: patch the real subproc source, assert the drift fires.
+
+    Mirrors the RPL107 lock-in test: the rule is exercised against the real
+    module text so these tests prove non-vacuity — an unhandled command, a
+    dead dispatch branch, an unexamined reply and a phantom examined reply
+    each produce exactly the expected finding.
+    """
+
+    def _run(self, source):
+        from repro.analysis.engine import analyze_modules
+        from repro.analysis.module import SourceModule
+
+        config = default_config()
+        rel = config.options["RPL202"]["module"]
+        config.select = ["RPL202"]
+        modules = [SourceModule.from_source(source, rel=rel)]
+        return analyze_modules(modules, config, REPO_ROOT), rel
+
+    def _real_source(self):
+        rel = default_config().options["RPL202"]["module"]
+        return (REPO_ROOT / rel).read_text()
+
+    def test_real_protocol_is_exhaustive_both_directions(self):
+        report, _ = self._run(self._real_source())
+        assert report.findings == [], render_text(report)
+
+    def test_catches_command_sent_without_worker_dispatch(self):
+        original = self._real_source()
+        patched = original.replace(
+            'supported = self._command_all("context")',
+            'supported = self._command_all("context") '
+            '+ self._command_all("flush")',
+        )
+        assert patched != original
+        report, rel = self._run(patched)
+        assert [f.symbol for f in report.findings] == ["flush"]
+        finding = report.findings[0]
+        assert finding.path == rel
+        assert "no dispatch branch" in finding.message
+
+    def test_catches_dead_dispatch_and_unexamined_reply(self):
+        # One patch, two drifts: the worker grows a branch no parent sends
+        # ("ghost") whose reply tag the parent never examines ("weird").
+        original = self._real_source()
+        patched = original.replace(
+            '                elif command == "policy_reset":',
+            '                elif command == "ghost":\n'
+            '                    conn.send(("weird", None))\n'
+            '                elif command == "policy_reset":',
+        )
+        assert patched != original
+        report, _ = self._run(patched)
+        by_symbol = {f.symbol: f for f in report.findings}
+        assert set(by_symbol) == {"ghost", "weird"}
+        assert "no parent call site ever sends" in by_symbol["ghost"].message
+        assert "parent never examines" in by_symbol["weird"].message
+
+    def test_catches_examined_reply_worker_never_sends(self):
+        original = self._real_source()
+        patched = original.replace(
+            'if tag != "ok":',
+            'if tag == "phantom" or tag != "ok":',
+        )
+        assert patched != original
+        report, _ = self._run(patched)
+        assert [f.symbol for f in report.findings] == ["phantom"]
+        assert "worker never sends it" in report.findings[0].message
 
 
 class TestSuppressions:
@@ -210,10 +298,18 @@ class TestReporters:
             "schema_version", "tool", "rules_enabled", "paths_scanned",
             "findings", "summary",
         }
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
         assert payload["tool"] == "reprolint"
-        assert payload["summary"]["clean"] is False
-        assert payload["summary"]["findings"] == len(payload["findings"])
+        summary = payload["summary"]
+        assert set(summary) == {
+            "files", "findings", "suppressed", "clean", "by_rule", "cache"
+        }
+        assert summary["clean"] is False
+        assert summary["findings"] == len(payload["findings"])
+        # v2: per-rule counts cover every enabled rule (zeros included) and
+        # the cache block records whether the incremental cache was active.
+        assert summary["by_rule"] == {"RPL101": 4}
+        assert summary["cache"] == {"enabled": False, "files": 1}
         for entry in payload["findings"]:
             assert set(entry) == {
                 "rule", "path", "line", "col", "message", "symbol"
@@ -232,13 +328,54 @@ class TestReporters:
         assert text.count("RPL106") == len(report.findings)
         assert "finding" in text.splitlines()[-1]
 
+    def test_by_rule_reports_zero_for_silent_rules(self):
+        report = run_fixture("rpl101_trigger.py", ["RPL101", "RPL102"])
+        payload = json.loads(render_json(report))
+        assert payload["summary"]["by_rule"] == {"RPL101": 4, "RPL102": 0}
+
+    def test_github_format_emits_error_annotations(self):
+        report = run_fixture("rpl101_trigger.py", ["RPL101"])
+        out = render_github(report)
+        lines = out.splitlines()
+        annotations = [line for line in lines if line.startswith("::error ")]
+        assert len(annotations) == len(report.findings) == 4
+        first = report.findings[0]
+        assert annotations[0].startswith(
+            f"::error file={first.path},line={first.line},col={first.col},"
+            f"title=reprolint RPL101::"
+        )
+        assert annotations[0].endswith(first.message)
+        # The human summary line still closes the output.
+        assert "finding" in lines[-1]
+
+    def test_github_format_escapes_workflow_command_characters(self):
+        from repro.analysis.findings import Finding, Report
+
+        finding = Finding(
+            rule_id="RPL101",
+            path="pkg/weird,file.py",
+            line=3,
+            col=1,
+            message="bad % and\nmultiline",
+        )
+        report = Report(
+            findings=[finding], files_scanned=1, rules_enabled=["RPL101"]
+        )
+        out = render_github(report).splitlines()[0]
+        # Property values escape %, newlines and commas; the message data
+        # escapes % and newlines so the annotation stays one line.
+        assert "file=pkg/weird%2Cfile.py" in out
+        assert "bad %25 and%0Amultiline" in out
+        assert "\n" not in out
+
 
 class TestCli:
     def test_list_rules(self, capsys):
         assert cli_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ["RPL001", "RPL002", "RPL101", "RPL102", "RPL103",
-                        "RPL104", "RPL105", "RPL106", "RPL107"]:
+                        "RPL104", "RPL105", "RPL106", "RPL107",
+                        "RPL201", "RPL202", "RPL203", "RPL204"]:
             assert rule_id in out
 
     def test_unknown_rule_is_usage_error(self, capsys):
@@ -286,6 +423,90 @@ class TestCli:
         payload = json.loads(capsys.readouterr().out)
         assert payload["summary"]["clean"] is True
         assert payload["paths_scanned"] == 1
+
+
+class TestCache:
+    """Incremental cache: warm runs replay, never change observable output."""
+
+    def _scan(self, tmp_path, cache_file, select=("RPL101",)):
+        config = AnalysisConfig(select=list(select))
+        return analyze_paths(
+            ["module.py"], config=config, root=tmp_path, cache_file=cache_file
+        )
+
+    def test_cold_and_warm_runs_byte_identical(self, tmp_path):
+        (tmp_path / "module.py").write_text(
+            (FIXTURES / "rpl101_trigger.py").read_text()
+        )
+        cache_file = tmp_path / "cache.json"
+        cold = self._scan(tmp_path, cache_file)
+        assert cold.cache_stats.file_misses == 1
+        assert cold.cache_stats.file_hits == 0
+        warm = self._scan(tmp_path, cache_file)
+        assert warm.cache_stats.file_hits == 1
+        assert warm.cache_stats.file_misses == 0
+        # The acceptance bar: both renderings byte-identical to the cold run.
+        assert render_text(warm) == render_text(cold)
+        assert render_json(warm) == render_json(cold)
+        # And the cached run matches an uncached one finding-for-finding.
+        uncached = analyze_paths(
+            ["module.py"],
+            config=AnalysisConfig(select=["RPL101"]),
+            root=tmp_path,
+        )
+        assert [f.to_dict() for f in uncached.findings] == [
+            f.to_dict() for f in cold.findings
+        ]
+
+    def test_content_change_invalidates_entry(self, tmp_path):
+        target = tmp_path / "module.py"
+        target.write_text("import time\n")
+        cache_file = tmp_path / "cache.json"
+        first = self._scan(tmp_path, cache_file, select=("RPL102",))
+        assert first.findings == []
+        target.write_text("import time\nt = time.time()\n")
+        second = self._scan(tmp_path, cache_file, select=("RPL102",))
+        assert second.cache_stats.file_misses == 1
+        assert [f.rule_id for f in second.findings] == ["RPL102"]
+        # Unchanged content afterwards hits again.
+        third = self._scan(tmp_path, cache_file, select=("RPL102",))
+        assert third.cache_stats.file_hits == 1
+        assert render_json(third) == render_json(second)
+
+    def test_config_change_invalidates_whole_cache(self, tmp_path):
+        target = tmp_path / "module.py"
+        target.write_text("import time\nt = time.time()\n")
+        cache_file = tmp_path / "cache.json"
+        self._scan(tmp_path, cache_file, select=("RPL102",))
+        # A different rule selection must not replay stale entries.
+        other = self._scan(tmp_path, cache_file, select=("RPL101", "RPL102"))
+        assert other.cache_stats.file_misses == 1
+
+    def test_suppressions_replay_from_cache(self, tmp_path):
+        (tmp_path / "module.py").write_text(
+            (FIXTURES / "suppressed_ok.py").read_text()
+        )
+        cache_file = tmp_path / "cache.json"
+        cold = self._scan(tmp_path, cache_file, select=("RPL102",))
+        warm = self._scan(tmp_path, cache_file, select=("RPL102",))
+        assert warm.cache_stats.file_hits == 1
+        assert cold.suppressed == warm.suppressed == 2
+        assert cold.findings == warm.findings == []
+
+    def test_project_rule_scope_cached(self, tmp_path):
+        config = default_config()
+        config.select = ["RPL202"]
+        cache_file = tmp_path / "cache.json"
+        rel = config.options["RPL202"]["module"]
+        cold = analyze_paths(
+            [rel], config=config, root=REPO_ROOT, cache_file=cache_file
+        )
+        assert cold.cache_stats.project_misses == 1
+        warm = analyze_paths(
+            [rel], config=config, root=REPO_ROOT, cache_file=cache_file
+        )
+        assert warm.cache_stats.project_hits == 1
+        assert render_json(warm) == render_json(cold)
 
 
 class TestRepoClean:

@@ -433,3 +433,43 @@ class TestBackendSeam:
             dataclass_replace(specs[1], env_config=EnvConfig(requests_per_episode=21)),
         ]
         assert not soa_supported(mixed)
+
+
+class TestShadowLedgerSync:
+    """Regression for the batched-commit resync window (RPL204's target).
+
+    ``_finalize_batch`` writes whole lanes of ``_node_used``/``_link_used``
+    with one kernel and then resyncs the Python shadow rows via
+    ``_resync_shadow_lanes``; a missed or partial resync would leave the
+    scalar replay paths reading stale shadows.  After every step — full and
+    lean protocol, with and without fault injection — the numpy ledgers and
+    their shadows must be exactly equal.
+    """
+
+    #: Faulted (even) and clean (odd) campaigns across 1-4 lanes.
+    SYNC_SEEDS = (0, 1, 2, 3, 6, 9)
+
+    @staticmethod
+    def _assert_synced(env):
+        np.testing.assert_array_equal(
+            env._node_used,
+            np.asarray(env._node_used_py, dtype=env._node_used.dtype),
+        )
+        np.testing.assert_array_equal(
+            env._link_used,
+            np.asarray(env._link_used_py, dtype=env._link_used.dtype),
+        )
+
+    @pytest.mark.parametrize("lean", [False, True], ids=["full", "lean"])
+    @pytest.mark.parametrize("campaign_seed", SYNC_SEEDS)
+    def test_shadows_match_numpy_after_every_step(self, campaign_seed, lean):
+        campaign = campaign_from_seed(campaign_seed)
+        env = soa_factory(campaign)()
+        rng = np.random.default_rng(campaign_seed + 77)
+        env.reset(observe=not lean)
+        self._assert_synced(env)
+        for _ in range(campaign.steps):
+            masks = np.array(env.valid_action_masks(), dtype=bool, copy=True)
+            actions = masked_random_actions(masks, rng)
+            env.step(actions, observe=not lean, info=not lean)
+            self._assert_synced(env)

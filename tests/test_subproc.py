@@ -335,6 +335,30 @@ class TestLifecycleAndFactory:
         finally:
             sub.close()
 
+    def test_collect_rejects_unexpected_reply_tag(self):
+        # Regression for the protocol desync hole RPL202 flagged: a stray
+        # reply tag (stale handshake "ready", a torn pipe) must not stand in
+        # for an "ok" ack — it must break the env with a diagnosable error.
+        class FakeConn:
+            def __init__(self, reply):
+                self._reply = reply
+
+            def recv(self):
+                return self._reply
+
+        sub = SubprocVecPlacementEnv.__new__(SubprocVecPlacementEnv)
+        sub._conns = [FakeConn(("ok", 1)), FakeConn(("ready", None))]
+        sub._shards = [(0, 2), (2, 4)]
+        sub._last_commands = ["step", "step"]
+        sub._broken = False
+        with pytest.raises(
+            RuntimeError,
+            match=r"worker 1 \(lanes \[2:4\), last command 'step'\) sent "
+            r"unexpected reply tag 'ready' \(protocol desync\)",
+        ):
+            sub._collect()
+        assert sub._broken
+
     def test_second_policy_bind_rejected(self):
         # Binding another policy would hijack the first policy's proxy and
         # silently return the wrong actions; one env serves one policy.
